@@ -1,0 +1,118 @@
+//! Benchmarks of the integrated optimisation loop (the paper's Fig. 8,
+//! Table 2 and the §5 CPU-time analysis).
+//!
+//! * `table2_ga/*` — one GA generation with the coupled-simulation objective
+//!   (the unit of work whose cost the paper analyses), at two population
+//!   sizes.
+//! * `cpu_split/*` — the two halves of the paper's CPU-time comparison:
+//!   simulating a batch of chromosomes with and without the GA around them.
+//! * `optimiser_comparison/*` — ablation: GA vs Nelder–Mead vs PSO vs random
+//!   search driving the same harvester objective with the same evaluation
+//!   budget.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use harvester_bench::bench_fitness;
+use harvester_core::system::HarvesterConfig;
+use harvester_experiments::{encode, paper_bounds, HarvesterObjective};
+use harvester_optim::{
+    GaOptions, GeneticAlgorithm, NelderMead, Objective, Optimizer, ParticleSwarm, RandomSearch,
+};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn configure(group: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>) {
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(5));
+}
+
+fn objective() -> HarvesterObjective {
+    HarvesterObjective::new(HarvesterConfig::unoptimised(), bench_fitness())
+}
+
+fn table2_ga_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_ga");
+    configure(&mut group);
+    let objective = objective();
+    let bounds = paper_bounds();
+    for population in [8usize, 16] {
+        group.bench_function(format!("one_generation_pop{population}"), |b| {
+            let ga = GeneticAlgorithm::new(GaOptions {
+                population_size: population,
+                ..GaOptions::paper()
+            });
+            b.iter(|| black_box(ga.optimise(&objective, &bounds, 1, 7).best_fitness))
+        });
+    }
+    group.finish();
+}
+
+fn cpu_split(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cpu_split");
+    configure(&mut group);
+    let objective = objective();
+    let bounds = paper_bounds();
+    let genes = encode(&HarvesterConfig::unoptimised());
+
+    // The paper's "simulating the chromosomes alone" half.
+    group.bench_function("chromosome_simulation_only_x8", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for k in 0..8 {
+                let mut g = genes.clone();
+                g[1] += k as f64;
+                acc += objective.evaluate(&g);
+            }
+            black_box(acc)
+        })
+    });
+    // The paper's "GA + simulation" half at the same evaluation count.
+    group.bench_function("ga_plus_simulation_pop8", |b| {
+        let ga = GeneticAlgorithm::new(GaOptions {
+            population_size: 8,
+            ..GaOptions::paper()
+        });
+        b.iter(|| black_box(ga.optimise(&objective, &bounds, 1, 7).evaluations))
+    });
+    // The GA machinery alone on a free objective.
+    group.bench_function("ga_machinery_only_pop100", |b| {
+        let ga = GeneticAlgorithm::new(GaOptions::paper());
+        let free = |genes: &[f64]| -genes.iter().map(|g| g * g).sum::<f64>();
+        b.iter(|| black_box(ga.optimise(&free, &bounds, 10, 7).best_fitness))
+    });
+    group.finish();
+}
+
+fn optimiser_comparison(c: &mut Criterion) {
+    let mut group = c.benchmark_group("optimiser_comparison");
+    configure(&mut group);
+    let objective = objective();
+    let bounds = paper_bounds();
+    let optimisers: Vec<(&str, Box<dyn Optimizer>)> = vec![
+        (
+            "genetic-algorithm",
+            Box::new(GeneticAlgorithm::new(GaOptions {
+                population_size: 6,
+                ..GaOptions::paper()
+            })),
+        ),
+        ("nelder-mead", Box::new(NelderMead::default())),
+        (
+            "particle-swarm",
+            Box::new(ParticleSwarm::new(harvester_optim::PsoOptions {
+                swarm_size: 6,
+                ..harvester_optim::PsoOptions::default()
+            })),
+        ),
+        ("random-search", Box::new(RandomSearch::new(6))),
+    ];
+    for (name, optimiser) in &optimisers {
+        group.bench_function(*name, |b| {
+            b.iter(|| black_box(optimiser.optimise(&objective, &bounds, 2, 11).best_fitness))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(optimisation, table2_ga_generation, cpu_split, optimiser_comparison);
+criterion_main!(optimisation);

@@ -1,0 +1,70 @@
+//! Shared helpers for the benchmark harness.
+//!
+//! The benches regenerate the content of every table and figure of the
+//! paper's evaluation at a reduced budget (so `cargo bench` completes in
+//! minutes rather than the paper's 17 CPU-hours) and additionally report
+//! ablation studies on the design choices documented in `DESIGN.md`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use harvester_core::envelope::EnvelopeOptions;
+use harvester_core::params::StorageParams;
+use harvester_core::system::HarvesterConfig;
+use harvester_core::GeneratorModel;
+use harvester_experiments::FitnessBudget;
+
+/// A reduced-size storage element so bench iterations stay in the
+/// sub-second range.
+pub fn bench_storage() -> StorageParams {
+    StorageParams {
+        capacitance: 0.02,
+        ..StorageParams::paper_supercap()
+    }
+}
+
+/// The Fig. 5 base configuration at bench scale.
+pub fn bench_fig5_config() -> HarvesterConfig {
+    let mut config = HarvesterConfig::model_comparison(GeneratorModel::Analytical);
+    config.storage = bench_storage();
+    config
+}
+
+/// The Fig. 10 base configuration at bench scale.
+pub fn bench_fig10_config() -> HarvesterConfig {
+    let mut config = HarvesterConfig::unoptimised();
+    config.storage = bench_storage();
+    config
+}
+
+/// Envelope options shared by the figure benches.
+pub fn bench_envelope() -> EnvelopeOptions {
+    EnvelopeOptions {
+        voltage_points: 3,
+        max_voltage: 3.0,
+        settle_cycles: 25.0,
+        measure_cycles: 5.0,
+        detail_dt: 2e-4,
+        horizon: 600.0,
+        output_points: 40,
+    }
+}
+
+/// Fitness budget shared by the optimisation benches.
+pub fn bench_fitness() -> FitnessBudget {
+    FitnessBudget::coarse()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_configurations_are_valid() {
+        assert!(bench_storage().is_valid());
+        assert!(bench_fig5_config().generator.is_valid());
+        assert!(bench_fig10_config().generator.is_valid());
+        assert!(bench_envelope().voltage_points >= 2);
+        assert!(bench_fitness().reference_voltage > 0.0);
+    }
+}

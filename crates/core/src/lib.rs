@@ -1,0 +1,72 @@
+//! Energy-harvester models and system assembly — the core of the
+//! reproduction of *"Integrated approach to energy harvester mixed technology
+//! modelling and performance optimisation"* (Wang, Kazmierski, Al-Hashimi,
+//! Beeby, Torah — DATE 2008).
+//!
+//! The paper's thesis is that a vibration energy harvester must be modelled
+//! and optimised as **one coupled mixed-domain system** — micro-generator,
+//! voltage booster and storage together — because the booster loads the coil,
+//! the coil current reacts back on the proof mass, and that interaction
+//! dominates how much energy actually reaches the storage element. This crate
+//! provides every component of that system as behavioural devices for the
+//! [`harvester_mna`] simulation kernel:
+//!
+//! * [`params`] — design parameters (the paper's Tables 1 and 2, plus the
+//!   physical constants the paper does not print).
+//! * [`flux`] — the seven-section piecewise electromagnetic coupling function
+//!   of Eqs. (3)–(4).
+//! * [`generator`] — the three micro-generator abstractions compared in
+//!   Fig. 2/Fig. 5: analytical (proposed), equivalent circuit, ideal source.
+//! * [`booster`] — the Villard multiplier (Fig. 4) and the transformer-based
+//!   booster (Fig. 9).
+//! * [`storage`] — the super-capacitor with leakage (Eq. 7).
+//! * [`system`] — assembly of the full harvester and post-processing of runs
+//!   (energies, efficiency loss, charging rate).
+//! * [`envelope`] — envelope-following acceleration for the 150-minute
+//!   charging experiments.
+//! * [`reference`] — the synthetic "experimental measurement" stand-in.
+//! * [`metrics`] — Eq. (9) efficiency loss and related figures of merit.
+//!
+//! # Example
+//!
+//! Simulate one second of the paper's un-optimised design and inspect the
+//! storage voltage:
+//!
+//! ```
+//! use harvester_core::system::HarvesterConfig;
+//! use harvester_mna::transient::TransientOptions;
+//!
+//! # fn main() -> Result<(), harvester_mna::MnaError> {
+//! let mut config = HarvesterConfig::unoptimised();
+//! config.storage.capacitance = 100e-6; // small capacitor for a fast example
+//! let run = config.simulate(TransientOptions {
+//!     t_stop: 0.5,
+//!     dt: 5e-5,
+//!     ..TransientOptions::default()
+//! })?;
+//! assert!(run.final_storage_voltage() > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod booster;
+pub mod envelope;
+pub mod flux;
+pub mod generator;
+pub mod metrics;
+pub mod params;
+pub mod reference;
+pub mod storage;
+pub mod system;
+
+pub use booster::BoosterConfig;
+pub use envelope::{ChargingCurve, EnvelopeOptions, EnvelopeSimulator};
+pub use generator::GeneratorModel;
+pub use params::{
+    MicroGeneratorParams, StorageParams, TransformerBoosterParams, Vibration, VillardParams,
+};
+pub use reference::ExperimentalReference;
+pub use system::{HarvesterConfig, HarvesterRun};

@@ -1,0 +1,185 @@
+//! Reproduction of the paper's CPU-time breakdown (§5): simulating the 100
+//! chromosomes of each GA generation dominates the run time, while the GA
+//! bookkeeping itself accounts for less than 3 % of the CPU time.
+//!
+//! The absolute seconds are hardware-dependent (the paper quotes a Pentium 4
+//! running a commercial VHDL-AMS simulator); the *ratio* between simulation
+//! time and optimiser overhead is the reproducible quantity.
+
+use crate::design_space::{encode, paper_bounds, FitnessBudget, HarvesterObjective};
+use crate::report::Table;
+use harvester_core::system::HarvesterConfig;
+use harvester_optim::{GaOptions, GeneticAlgorithm, Optimizer};
+use std::time::Instant;
+
+/// Options for the CPU-time split measurement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CpuTimeOptions {
+    /// Number of chromosomes simulated per generation.
+    pub population_size: usize,
+    /// Number of GA generations measured.
+    pub generations: usize,
+    /// Simulation budget of each chromosome evaluation.
+    pub fitness: FitnessBudget,
+}
+
+impl Default for CpuTimeOptions {
+    fn default() -> Self {
+        CpuTimeOptions {
+            population_size: 100,
+            generations: 2,
+            fitness: FitnessBudget::coarse(),
+        }
+    }
+}
+
+impl CpuTimeOptions {
+    /// A very small budget for unit tests.
+    pub fn coarse() -> Self {
+        CpuTimeOptions {
+            population_size: 6,
+            generations: 2,
+            fitness: FitnessBudget::coarse(),
+        }
+    }
+}
+
+/// Measured CPU-time split between harvester simulation and GA bookkeeping.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CpuTimeBreakdown {
+    /// Wall-clock seconds spent running the GA *with* the simulation-backed
+    /// objective (the paper's "10 GA generations = 181 s" measurement).
+    pub with_simulation_seconds: f64,
+    /// Wall-clock seconds spent simulating the same number of chromosomes
+    /// without any GA around them (the paper's "simulating 100 chromosomes
+    /// alone takes 177 s" measurement).
+    pub simulation_only_seconds: f64,
+    /// Wall-clock seconds of the GA machinery alone (selection, crossover,
+    /// mutation on a free objective), same population and generations.
+    pub ga_only_seconds: f64,
+    /// Number of objective evaluations in the simulation-only measurement.
+    pub evaluations: usize,
+}
+
+impl CpuTimeBreakdown {
+    /// Fraction of the total optimisation time attributable to the GA
+    /// machinery (the paper reports < 3 %).
+    pub fn ga_fraction(&self) -> f64 {
+        if self.with_simulation_seconds <= 0.0 {
+            return 0.0;
+        }
+        ((self.with_simulation_seconds - self.simulation_only_seconds)
+            .max(self.ga_only_seconds)
+            / self.with_simulation_seconds)
+            .clamp(0.0, 1.0)
+    }
+
+    /// Formats the breakdown as a report table.
+    pub fn table(&self) -> Table {
+        let mut table = Table::new(vec!["quantity".to_string(), "value".to_string()]);
+        table.push_row(vec![
+            "GA + simulation [s]".to_string(),
+            format!("{:.3}", self.with_simulation_seconds),
+        ]);
+        table.push_row(vec![
+            "simulation only [s]".to_string(),
+            format!("{:.3}", self.simulation_only_seconds),
+        ]);
+        table.push_row(vec![
+            "GA machinery only [s]".to_string(),
+            format!("{:.4}", self.ga_only_seconds),
+        ]);
+        table.push_row(vec![
+            "GA fraction of CPU time".to_string(),
+            format!("{:.2} %", 100.0 * self.ga_fraction()),
+        ]);
+        table.push_row(vec![
+            "chromosome evaluations".to_string(),
+            format!("{}", self.evaluations),
+        ]);
+        table
+    }
+}
+
+/// Measures the CPU-time split for the given base design.
+pub fn run_cpu_split(base: &HarvesterConfig, options: &CpuTimeOptions) -> CpuTimeBreakdown {
+    let bounds = paper_bounds();
+    let objective = HarvesterObjective::new(base.clone(), options.fitness);
+    let ga = GeneticAlgorithm::new(GaOptions {
+        population_size: options.population_size,
+        ..GaOptions::paper()
+    });
+
+    // (1) GA driving the real simulation-backed objective.
+    let start = Instant::now();
+    let with_sim = ga.optimise(&objective, &bounds, options.generations, 7);
+    let with_simulation_seconds = start.elapsed().as_secs_f64();
+
+    // (2) The same number of chromosome simulations without any GA logic.
+    let evaluations = with_sim.evaluations;
+    let template = encode(base);
+    let start = Instant::now();
+    let mut checksum = 0.0;
+    for k in 0..evaluations {
+        // Small deterministic perturbation so the simulator cannot
+        // short-circuit identical designs.
+        let mut genes = template.clone();
+        genes[1] += (k % 7) as f64;
+        checksum += objective_eval(&objective, &genes);
+    }
+    let simulation_only_seconds = start.elapsed().as_secs_f64();
+    assert!(checksum.is_finite());
+
+    // (3) The GA machinery alone on a trivially cheap objective.
+    let start = Instant::now();
+    let _ = ga.optimise(
+        &|genes: &[f64]| -genes.iter().map(|g| g * g).sum::<f64>(),
+        &bounds,
+        options.generations,
+        7,
+    );
+    let ga_only_seconds = start.elapsed().as_secs_f64();
+
+    CpuTimeBreakdown {
+        with_simulation_seconds,
+        simulation_only_seconds,
+        ga_only_seconds,
+        evaluations,
+    }
+}
+
+fn objective_eval(objective: &HarvesterObjective, genes: &[f64]) -> f64 {
+    use harvester_optim::Objective;
+    objective.evaluate(genes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ga_overhead_is_a_small_fraction_of_the_optimisation_time() {
+        let breakdown = run_cpu_split(&HarvesterConfig::unoptimised(), &CpuTimeOptions::coarse());
+        assert!(breakdown.with_simulation_seconds > 0.0);
+        assert!(breakdown.simulation_only_seconds > 0.0);
+        assert!(
+            breakdown.ga_fraction() < 0.25,
+            "GA bookkeeping must be a small fraction even at this tiny budget, got {}",
+            breakdown.ga_fraction()
+        );
+        assert!(breakdown.ga_only_seconds < breakdown.with_simulation_seconds);
+        let table = breakdown.table().to_string();
+        assert!(table.contains("GA fraction"));
+    }
+
+    #[test]
+    fn zero_time_edge_case_reports_zero_fraction() {
+        let b = CpuTimeBreakdown {
+            with_simulation_seconds: 0.0,
+            simulation_only_seconds: 0.0,
+            ga_only_seconds: 0.0,
+            evaluations: 0,
+        };
+        assert_eq!(b.ga_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,332 @@
+//! Reproduction of the model-comparison experiments:
+//!
+//! * **Figure 5** — charging of the 0.22 F super-capacitor over 150 minutes
+//!   through the 6-stage Villard multiplier, simulated with the ideal-source,
+//!   equivalent-circuit and analytical generator models and compared against
+//!   the (synthetic) experimental measurement.
+//! * **Figure 7** — generator output-voltage waveform under sine excitation:
+//!   the equivalent-circuit model stays sinusoidal while the analytical model
+//!   (and the measurement) distort once the coil leaves the uniform-coupling
+//!   region.
+
+use crate::report::Table;
+use harvester_core::envelope::{ChargingCurve, EnvelopeOptions, EnvelopeSimulator};
+use harvester_core::generator::GeneratorModel;
+use harvester_core::reference::ExperimentalReference;
+use harvester_core::system::HarvesterConfig;
+use harvester_mna::transient::TransientOptions;
+use harvester_mna::MnaError;
+use harvester_numerics::stats::total_harmonic_distortion;
+
+/// Options for the Fig. 5 charging comparison.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fig5Options {
+    /// Envelope-simulation settings (horizon defaults to 150 minutes).
+    pub envelope: EnvelopeOptions,
+}
+
+impl Default for Fig5Options {
+    fn default() -> Self {
+        Fig5Options {
+            envelope: EnvelopeOptions::default(),
+        }
+    }
+}
+
+impl Fig5Options {
+    /// A coarse budget for unit tests and smoke runs (short horizon, small
+    /// storage would be configured by the caller).
+    pub fn coarse() -> Self {
+        Fig5Options {
+            envelope: EnvelopeOptions {
+                voltage_points: 4,
+                max_voltage: 3.5,
+                settle_cycles: 40.0,
+                measure_cycles: 6.0,
+                detail_dt: 2e-4,
+                horizon: 600.0,
+                output_points: 60,
+            },
+        }
+    }
+}
+
+/// One charging curve of the Fig. 5 comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelCurve {
+    /// Label used in the report ("ideal-source", "equivalent-circuit",
+    /// "analytical", "experimental").
+    pub label: String,
+    /// The charging curve.
+    pub curve: ChargingCurve,
+}
+
+/// Result of the Fig. 5 experiment.
+#[derive(Debug, Clone)]
+pub struct Fig5Result {
+    /// One curve per model plus the experimental reference (last entry).
+    pub curves: Vec<ModelCurve>,
+    /// Horizon in seconds over which the curves were generated.
+    pub horizon: f64,
+}
+
+impl Fig5Result {
+    /// Final voltage of the named curve, if present.
+    pub fn final_voltage(&self, label: &str) -> Option<f64> {
+        self.curves
+            .iter()
+            .find(|c| c.label == label)
+            .map(|c| c.curve.final_voltage())
+    }
+
+    /// Absolute error of a model's final voltage against the experimental
+    /// reference, if both are present.
+    pub fn final_error_vs_experiment(&self, label: &str) -> Option<f64> {
+        let experiment = self.final_voltage("experimental")?;
+        let model = self.final_voltage(label)?;
+        Some((model - experiment).abs())
+    }
+
+    /// Formats the curves as a table of sampled points (one row per output
+    /// time, one column per model) mirroring the figure's content.
+    pub fn table(&self, rows: usize) -> Table {
+        let mut header = vec!["time_s".to_string()];
+        header.extend(self.curves.iter().map(|c| c.label.clone()));
+        let mut table = Table::new(header);
+        for k in 0..rows {
+            let t = self.horizon * k as f64 / (rows - 1).max(1) as f64;
+            let mut row = vec![format!("{t:.1}")];
+            for c in &self.curves {
+                row.push(format!("{:.4}", c.curve.voltage_at(t)));
+            }
+            table.push_row(row);
+        }
+        table
+    }
+}
+
+/// Runs the Fig. 5 model-comparison experiment on the given base
+/// configuration (use [`HarvesterConfig::model_comparison`] with the paper's
+/// 0.22 F storage for the full reproduction).
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn run_fig5(base: &HarvesterConfig, options: &Fig5Options) -> Result<Fig5Result, MnaError> {
+    let mut envelope = options.envelope;
+    let horizon = envelope.horizon;
+    let mut curves = Vec::new();
+    for (model, label) in [
+        (GeneratorModel::IdealSource, "ideal-source"),
+        (GeneratorModel::EquivalentCircuit, "equivalent-circuit"),
+        (GeneratorModel::Analytical, "analytical"),
+    ] {
+        let config = base.clone().with_model(model);
+        envelope.horizon = horizon;
+        let curve = EnvelopeSimulator::new(config, envelope).charge_curve()?;
+        curves.push(ModelCurve {
+            label: label.to_string(),
+            curve,
+        });
+    }
+    let reference = ExperimentalReference::new(base.clone());
+    let curve = reference.charging_curve(envelope)?;
+    curves.push(ModelCurve {
+        label: "experimental".to_string(),
+        curve,
+    });
+    Ok(Fig5Result { curves, horizon })
+}
+
+/// Options for the Fig. 7 waveform comparison.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fig7Options {
+    /// Number of steady-state excitation periods to analyse.
+    pub analysis_periods: usize,
+    /// Number of start-up periods to discard.
+    pub settle_periods: usize,
+    /// Simulation time step.
+    pub dt: f64,
+}
+
+impl Default for Fig7Options {
+    fn default() -> Self {
+        Fig7Options {
+            analysis_periods: 10,
+            settle_periods: 20,
+            dt: 4e-5,
+        }
+    }
+}
+
+/// One generator-output waveform of the Fig. 7 comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WaveformCurve {
+    /// Label used in the report.
+    pub label: String,
+    /// Sample times in seconds (steady-state window only).
+    pub times: Vec<f64>,
+    /// Generator output voltage at each sample.
+    pub volts: Vec<f64>,
+    /// Total harmonic distortion of the waveform relative to the excitation
+    /// frequency.
+    pub thd: f64,
+}
+
+/// Result of the Fig. 7 experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig7Result {
+    /// Equivalent-circuit model, analytical model and experimental waveforms.
+    pub waveforms: Vec<WaveformCurve>,
+}
+
+impl Fig7Result {
+    /// THD of the named waveform, if present.
+    pub fn thd(&self, label: &str) -> Option<f64> {
+        self.waveforms.iter().find(|w| w.label == label).map(|w| w.thd)
+    }
+
+    /// Summary table of waveform distortion (the figure's quantitative
+    /// content).
+    pub fn table(&self) -> Table {
+        let mut table = Table::new(vec![
+            "model".to_string(),
+            "thd".to_string(),
+            "peak_voltage".to_string(),
+        ]);
+        for w in &self.waveforms {
+            let peak = w.volts.iter().fold(0.0f64, |a, &b| a.max(b.abs()));
+            table.push_row(vec![
+                w.label.clone(),
+                format!("{:.4}", w.thd),
+                format!("{:.4}", peak),
+            ]);
+        }
+        table
+    }
+}
+
+/// Runs the Fig. 7 nonlinear-output experiment.
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn run_fig7(base: &HarvesterConfig, options: &Fig7Options) -> Result<Fig7Result, MnaError> {
+    let period = 1.0 / base.vibration.frequency_hz;
+    let t_stop = (options.settle_periods + options.analysis_periods) as f64 * period;
+    let transient = TransientOptions {
+        t_stop,
+        dt: options.dt,
+        ..TransientOptions::default()
+    };
+    let window = (options.analysis_periods as f64 * period / options.dt).round() as usize;
+
+    let mut waveforms = Vec::new();
+    for (model, label) in [
+        (GeneratorModel::EquivalentCircuit, "equivalent-circuit"),
+        (GeneratorModel::Analytical, "analytical"),
+    ] {
+        let run = base.clone().with_model(model).simulate(transient)?;
+        let times = run.times().to_vec();
+        let volts = run.generator_voltage();
+        let start = times.len().saturating_sub(window);
+        let (times, volts) = (times[start..].to_vec(), volts[start..].to_vec());
+        let thd = total_harmonic_distortion(&volts, options.dt, base.vibration.frequency_hz, 9);
+        waveforms.push(WaveformCurve {
+            label: label.to_string(),
+            times,
+            volts,
+            thd,
+        });
+    }
+
+    let reference = ExperimentalReference::new(base.clone());
+    let (times, volts) = reference.generator_waveform(transient)?;
+    let start = times.len().saturating_sub(window);
+    let (times, volts) = (times[start..].to_vec(), volts[start..].to_vec());
+    let thd = total_harmonic_distortion(&volts, options.dt, base.vibration.frequency_hz, 9);
+    waveforms.push(WaveformCurve {
+        label: "experimental".to_string(),
+        times,
+        volts,
+        thd,
+    });
+    Ok(Fig7Result { waveforms })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harvester_core::params::StorageParams;
+
+    fn small_storage_base() -> HarvesterConfig {
+        let mut base = HarvesterConfig::model_comparison(GeneratorModel::Analytical);
+        // A lighter multiplier and storage keep the unit test fast while the
+        // full paper configuration is exercised by the examples and benches.
+        base.booster = harvester_core::BoosterConfig::Villard(harvester_core::VillardParams {
+            stages: 3,
+            stage_capacitance: 2.2e-6,
+            ..harvester_core::VillardParams::paper_six_stage()
+        });
+        base.storage = StorageParams {
+            capacitance: 0.02,
+            ..StorageParams::paper_supercap()
+        };
+        base
+    }
+
+    #[test]
+    fn fig5_reproduces_the_model_ranking() {
+        let result = run_fig5(&small_storage_base(), &Fig5Options::coarse()).unwrap();
+        assert_eq!(result.curves.len(), 4);
+        let ideal = result.final_voltage("ideal-source").unwrap();
+        let analytical = result.final_voltage("analytical").unwrap();
+        let experimental = result.final_voltage("experimental").unwrap();
+        assert!(experimental > 0.05, "reference must charge, got {experimental}");
+        // The paper's headline: the ideal-source model grossly over-predicts,
+        // the analytical model tracks the measurement closely.
+        assert!(
+            ideal > 1.5 * experimental,
+            "ideal-source should over-predict: {ideal} vs {experimental}"
+        );
+        let err_analytical = result.final_error_vs_experiment("analytical").unwrap();
+        let err_ideal = result.final_error_vs_experiment("ideal-source").unwrap();
+        assert!(
+            err_analytical < err_ideal,
+            "analytical must be closer to the measurement ({err_analytical} vs {err_ideal})"
+        );
+        assert!(
+            analytical > 0.5 * experimental && analytical < 2.0 * experimental,
+            "analytical model must be in the right ballpark: {analytical} vs {experimental}"
+        );
+        // Table rendering covers every curve.
+        let table = result.table(5);
+        let text = table.to_string();
+        assert!(text.contains("ideal-source") && text.contains("experimental"));
+    }
+
+    #[test]
+    fn fig7_shows_nonlinear_distortion_only_for_the_analytical_model() {
+        let base = HarvesterConfig::unoptimised();
+        let options = Fig7Options {
+            analysis_periods: 8,
+            settle_periods: 45,
+            dt: 1e-4,
+        };
+        let result = run_fig7(&base, &options).unwrap();
+        assert_eq!(result.waveforms.len(), 3);
+        let thd_linear = result.thd("equivalent-circuit").unwrap();
+        let thd_analytical = result.thd("analytical").unwrap();
+        let thd_experimental = result.thd("experimental").unwrap();
+        assert!(
+            thd_analytical > 1.5 * thd_linear,
+            "analytical THD {thd_analytical} must exceed linear THD {thd_linear}"
+        );
+        assert!(
+            thd_experimental > 1.5 * thd_linear,
+            "measured THD {thd_experimental} must exceed linear THD {thd_linear}"
+        );
+        let table = result.table().to_string();
+        assert!(table.contains("thd"));
+    }
+}

@@ -1,0 +1,422 @@
+//! The behavioural-device trait and the stamping context through which
+//! devices contribute their equations to the global system.
+//!
+//! A device sees the world through [`StampContext`]:
+//!
+//! * it reads the candidate values of its node voltages and extra unknowns,
+//! * it accumulates **KCL currents** (current leaving each node) and their
+//!   partial derivatives,
+//! * it writes its own **branch/behavioural equations** (one per extra
+//!   unknown) and their partial derivatives,
+//! * it differentiates quantities with [`StampContext::ddt`], which applies
+//!   the active integration method (backward Euler or trapezoidal) and
+//!   manages the per-device history state automatically — the moral
+//!   equivalent of VHDL-AMS `'dot`.
+
+use crate::circuit::NodeId;
+use crate::transient::IntegrationMethod;
+use harvester_numerics::linalg::Matrix;
+
+/// Reference to an unknown of the global system from a device's point of
+/// view: either a circuit node voltage or one of the device's own extra
+/// unknowns (branch current, mechanical displacement, …).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Unknown {
+    /// A node voltage.
+    Node(NodeId),
+    /// The device's `k`-th extra unknown (local index).
+    Extra(usize),
+}
+
+/// Result of differentiating a quantity with [`StampContext::ddt`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Differential {
+    /// The discrete-time approximation of the derivative at the new time point.
+    pub derivative: f64,
+    /// Partial derivative of [`Differential::derivative`] with respect to the
+    /// differentiated quantity (e.g. `1/dt` for backward Euler) — the factor
+    /// to use when stamping the Jacobian.
+    pub gain: f64,
+}
+
+/// A behavioural device model.
+///
+/// Implementations must be deterministic functions of the stamping context:
+/// all persistent state is owned by the engine and accessed through the
+/// context's state slots, which makes devices trivially reusable across
+/// repeated analyses (the optimisation loop re-simulates thousands of
+/// circuit variants).
+pub trait Device {
+    /// Unique device name (used for probing results).
+    fn name(&self) -> &str;
+
+    /// Number of extra unknowns this device adds to the system (branch
+    /// currents, internal nodes, mechanical quantities, …). The engine adds
+    /// one equation row per extra unknown.
+    fn extra_unknowns(&self) -> usize {
+        0
+    }
+
+    /// Human-readable names of the extra unknowns, used for probing
+    /// (`result.probe("device", "unknown")`). Must have length
+    /// [`Device::extra_unknowns`]; the default is `x0`, `x1`, ….
+    fn unknown_names(&self) -> Vec<String> {
+        (0..self.extra_unknowns()).map(|i| format!("x{i}")).collect()
+    }
+
+    /// Number of persistent state slots (integration history, accumulated
+    /// energies, …) the engine must allocate for this device.
+    fn state_count(&self) -> usize {
+        0
+    }
+
+    /// Fills the initial values of the state slots (default: zeros).
+    fn initial_state(&self, _states: &mut [f64]) {}
+
+    /// Contributes residual and Jacobian entries for the current Newton
+    /// iterate.
+    fn stamp(&self, ctx: &mut StampContext<'_>);
+
+    /// Whether the device equations are nonlinear (informational; used by
+    /// diagnostics and benchmarks).
+    fn is_nonlinear(&self) -> bool {
+        false
+    }
+}
+
+/// Mutable view through which a device stamps its equations.
+///
+/// Created by the transient engine for each device on every Newton iteration.
+pub struct StampContext<'a> {
+    /// Simulation time of the step being solved (t_{n+1}).
+    time: f64,
+    /// Current step size.
+    dt: f64,
+    method: IntegrationMethod,
+    /// Global candidate solution: `[node voltages (id 1..), extra unknowns…]`.
+    x: &'a [f64],
+    /// Previous converged states for *this* device.
+    states: &'a [f64],
+    /// Candidate new states for *this* device (committed if the step
+    /// converges).
+    new_states: &'a mut [f64],
+    /// Global residual vector.
+    residual: &'a mut [f64],
+    /// Global Jacobian.
+    jacobian: &'a mut Matrix,
+    /// Number of non-ground nodes.
+    node_unknowns: usize,
+    /// Global index of this device's first extra unknown.
+    extra_base: usize,
+    /// Global row of this device's first equation.
+    equation_base: usize,
+    /// Whether this is the very first step of the transient (lets devices
+    /// initialise their history consistently).
+    first_step: bool,
+}
+
+impl<'a> StampContext<'a> {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        time: f64,
+        dt: f64,
+        method: IntegrationMethod,
+        x: &'a [f64],
+        states: &'a [f64],
+        new_states: &'a mut [f64],
+        residual: &'a mut [f64],
+        jacobian: &'a mut Matrix,
+        node_unknowns: usize,
+        extra_base: usize,
+        first_step: bool,
+    ) -> Self {
+        let equation_base = extra_base;
+        StampContext {
+            time,
+            dt,
+            method,
+            x,
+            states,
+            new_states,
+            residual,
+            jacobian,
+            node_unknowns,
+            extra_base,
+            equation_base,
+            first_step,
+        }
+    }
+
+    /// Simulation time of the step being solved.
+    pub fn time(&self) -> f64 {
+        self.time
+    }
+
+    /// Current step size.
+    pub fn dt(&self) -> f64 {
+        self.dt
+    }
+
+    /// Active integration method.
+    pub fn method(&self) -> IntegrationMethod {
+        self.method
+    }
+
+    /// Returns `true` while solving the very first time step.
+    pub fn is_first_step(&self) -> bool {
+        self.first_step
+    }
+
+    /// Number of non-ground nodes in the circuit being solved.
+    pub fn node_unknown_count(&self) -> usize {
+        self.node_unknowns
+    }
+
+    fn global_index(&self, unknown: Unknown) -> Option<usize> {
+        match unknown {
+            Unknown::Node(node) => {
+                if node.is_ground() {
+                    None
+                } else {
+                    Some(node.index() - 1)
+                }
+            }
+            Unknown::Extra(k) => Some(self.extra_base + k),
+        }
+    }
+
+    /// Candidate value of an unknown (ground reads as 0 V).
+    pub fn value(&self, unknown: Unknown) -> f64 {
+        match self.global_index(unknown) {
+            Some(i) => self.x[i],
+            None => 0.0,
+        }
+    }
+
+    /// Candidate voltage of a node (0 V for ground).
+    pub fn voltage(&self, node: NodeId) -> f64 {
+        self.value(Unknown::Node(node))
+    }
+
+    /// Candidate voltage difference `v(a) − v(b)`.
+    pub fn voltage_between(&self, a: NodeId, b: NodeId) -> f64 {
+        self.voltage(a) - self.voltage(b)
+    }
+
+    /// Previous converged value of the device's `slot`-th state.
+    pub fn state(&self, slot: usize) -> f64 {
+        self.states[slot]
+    }
+
+    /// Sets the candidate new value of the device's `slot`-th state
+    /// (committed only if the step converges).
+    pub fn set_state(&mut self, slot: usize, value: f64) {
+        self.new_states[slot] = value;
+    }
+
+    /// Differentiates `value` with respect to time using the active
+    /// integration method.
+    ///
+    /// Two consecutive state slots starting at `slot` are used to hold the
+    /// previous value and previous derivative; they are managed entirely by
+    /// this method — the device only has to reserve them in
+    /// [`Device::state_count`] and (optionally) seed the previous value in
+    /// [`Device::initial_state`].
+    pub fn ddt(&mut self, slot: usize, value: f64) -> Differential {
+        let prev_value = self.states[slot];
+        let prev_derivative = self.states[slot + 1];
+        let (derivative, gain) = match self.method {
+            IntegrationMethod::BackwardEuler => ((value - prev_value) / self.dt, 1.0 / self.dt),
+            IntegrationMethod::Trapezoidal => {
+                if self.first_step {
+                    // No previous derivative available yet: fall back to
+                    // backward Euler for the very first step.
+                    ((value - prev_value) / self.dt, 1.0 / self.dt)
+                } else {
+                    (
+                        2.0 * (value - prev_value) / self.dt - prev_derivative,
+                        2.0 / self.dt,
+                    )
+                }
+            }
+        };
+        self.new_states[slot] = value;
+        self.new_states[slot + 1] = derivative;
+        Differential { derivative, gain }
+    }
+
+    /// Adds `current` (in amperes, flowing **out of** `node` into the device)
+    /// to the node's KCL residual. Contributions to ground are discarded.
+    pub fn add_current(&mut self, node: NodeId, current: f64) {
+        if let Some(row) = self.global_index(Unknown::Node(node)) {
+            self.residual[row] += current;
+        }
+    }
+
+    /// Adds the partial derivative of a previously added KCL current with
+    /// respect to `unknown`.
+    pub fn add_current_derivative(&mut self, node: NodeId, unknown: Unknown, value: f64) {
+        if let (Some(row), Some(col)) = (
+            self.global_index(Unknown::Node(node)),
+            self.global_index(unknown),
+        ) {
+            self.jacobian[(row, col)] += value;
+        }
+    }
+
+    /// Adds `value` to the residual of the device's `equation`-th behavioural
+    /// equation (one equation per extra unknown).
+    pub fn add_equation(&mut self, equation: usize, value: f64) {
+        let row = self.equation_base + equation;
+        self.residual[row] += value;
+    }
+
+    /// Adds the partial derivative of the device's `equation`-th behavioural
+    /// equation with respect to `unknown`.
+    pub fn add_equation_derivative(&mut self, equation: usize, unknown: Unknown, value: f64) {
+        if let Some(col) = self.global_index(unknown) {
+            let row = self.equation_base + equation;
+            self.jacobian[(row, col)] += value;
+        }
+    }
+
+    /// Convenience: stamps a conductance `g` between nodes `a` and `b`
+    /// carrying current `g·(v(a) − v(b))`, including all four Jacobian
+    /// entries. Returns the branch current.
+    pub fn stamp_conductance(&mut self, a: NodeId, b: NodeId, g: f64) -> f64 {
+        let v = self.voltage_between(a, b);
+        let i = g * v;
+        self.add_current(a, i);
+        self.add_current(b, -i);
+        self.add_current_derivative(a, Unknown::Node(a), g);
+        self.add_current_derivative(a, Unknown::Node(b), -g);
+        self.add_current_derivative(b, Unknown::Node(a), -g);
+        self.add_current_derivative(b, Unknown::Node(b), g);
+        i
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::Circuit;
+
+    fn make_buffers(
+        n: usize,
+    ) -> (Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>, Matrix) {
+        (
+            vec![0.0; n],
+            vec![0.0; 4],
+            vec![0.0; 4],
+            vec![0.0; n],
+            Matrix::zeros(n, n),
+        )
+    }
+
+    #[test]
+    fn ground_contributions_are_discarded() {
+        let (x, states, mut new_states, mut residual, mut jacobian) = make_buffers(2);
+        let mut ctx = StampContext::new(
+            0.0,
+            1e-3,
+            IntegrationMethod::BackwardEuler,
+            &x,
+            &states,
+            &mut new_states,
+            &mut residual,
+            &mut jacobian,
+            2,
+            2,
+            true,
+        );
+        ctx.add_current(Circuit::GROUND, 1.0);
+        ctx.add_current_derivative(Circuit::GROUND, Unknown::Node(Circuit::GROUND), 1.0);
+        assert_eq!(ctx.voltage(Circuit::GROUND), 0.0);
+        drop(ctx);
+        assert!(residual.iter().all(|&r| r == 0.0));
+    }
+
+    #[test]
+    fn ddt_backward_euler() {
+        let (x, mut states, mut new_states, mut residual, mut jacobian) = make_buffers(1);
+        states[0] = 2.0; // previous value
+        let mut ctx = StampContext::new(
+            1e-3,
+            1e-3,
+            IntegrationMethod::BackwardEuler,
+            &x,
+            &states,
+            &mut new_states,
+            &mut residual,
+            &mut jacobian,
+            1,
+            1,
+            false,
+        );
+        let d = ctx.ddt(0, 3.0);
+        assert!((d.derivative - 1000.0).abs() < 1e-9);
+        assert!((d.gain - 1000.0).abs() < 1e-9);
+        drop(ctx);
+        assert_eq!(new_states[0], 3.0);
+        assert!((new_states[1] - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ddt_trapezoidal_uses_previous_derivative() {
+        let (x, mut states, mut new_states, mut residual, mut jacobian) = make_buffers(1);
+        states[0] = 1.0; // previous value
+        states[1] = 10.0; // previous derivative
+        let mut ctx = StampContext::new(
+            2e-3,
+            1e-3,
+            IntegrationMethod::Trapezoidal,
+            &x,
+            &states,
+            &mut new_states,
+            &mut residual,
+            &mut jacobian,
+            1,
+            1,
+            false,
+        );
+        let d = ctx.ddt(0, 1.0 + 10.0 * 1e-3);
+        // If the value followed the previous slope exactly the trapezoidal
+        // derivative stays at the previous derivative.
+        assert!((d.derivative - 10.0).abs() < 1e-9);
+        assert!((d.gain - 2000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn conductance_stamp_is_symmetric() {
+        let mut circuit = Circuit::new();
+        let a = circuit.node("a");
+        let b = circuit.node("b");
+        let x = vec![2.0, 1.0];
+        let states = vec![0.0; 4];
+        let mut new_states = vec![0.0; 4];
+        let mut residual = vec![0.0; 2];
+        let mut jacobian = Matrix::zeros(2, 2);
+        let mut ctx = StampContext::new(
+            0.0,
+            1e-3,
+            IntegrationMethod::BackwardEuler,
+            &x,
+            &states,
+            &mut new_states,
+            &mut residual,
+            &mut jacobian,
+            2,
+            2,
+            true,
+        );
+        let i = ctx.stamp_conductance(a, b, 0.5);
+        assert!((i - 0.5).abs() < 1e-12);
+        drop(ctx);
+        assert!((residual[0] - 0.5).abs() < 1e-12);
+        assert!((residual[1] + 0.5).abs() < 1e-12);
+        assert_eq!(jacobian[(0, 0)], 0.5);
+        assert_eq!(jacobian[(0, 1)], -0.5);
+        assert_eq!(jacobian[(1, 0)], -0.5);
+        assert_eq!(jacobian[(1, 1)], 0.5);
+    }
+}

@@ -1,0 +1,86 @@
+use harvester_numerics::NumericsError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the simulation kernel.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum MnaError {
+    /// The underlying numerical routine failed (singular Jacobian, …).
+    Numerics(NumericsError),
+    /// The Newton iteration failed to converge even after step-size recovery.
+    StepFailed {
+        /// Simulation time at which the step failed.
+        time: f64,
+        /// Step size at which the solver gave up.
+        dt: f64,
+        /// Residual norm at the last attempt.
+        residual: f64,
+    },
+    /// The netlist is malformed (e.g. empty, or a device references a node
+    /// that does not exist).
+    InvalidNetlist(String),
+    /// An analysis option is invalid (e.g. a non-positive step size).
+    InvalidOptions(String),
+    /// A named quantity (node or device probe) was not found in the result.
+    UnknownProbe(String),
+}
+
+impl fmt::Display for MnaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MnaError::Numerics(e) => write!(f, "numerical failure: {e}"),
+            MnaError::StepFailed { time, dt, residual } => write!(
+                f,
+                "transient step failed at t={time:.6e}s with dt={dt:.3e}s (residual {residual:.3e})"
+            ),
+            MnaError::InvalidNetlist(msg) => write!(f, "invalid netlist: {msg}"),
+            MnaError::InvalidOptions(msg) => write!(f, "invalid analysis options: {msg}"),
+            MnaError::UnknownProbe(name) => write!(f, "unknown probe '{name}'"),
+        }
+    }
+}
+
+impl Error for MnaError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            MnaError::Numerics(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NumericsError> for MnaError {
+    fn from(e: NumericsError) -> Self {
+        MnaError::Numerics(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = MnaError::from(NumericsError::SingularMatrix {
+            column: 0,
+            pivot: 0.0,
+        });
+        assert!(e.to_string().contains("numerical failure"));
+        assert!(e.source().is_some());
+
+        let e = MnaError::StepFailed {
+            time: 1.0,
+            dt: 1e-6,
+            residual: 0.1,
+        };
+        assert!(e.to_string().contains("transient step failed"));
+        assert!(e.source().is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<MnaError>();
+    }
+}

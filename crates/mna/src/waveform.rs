@@ -1,0 +1,238 @@
+//! Time-dependent source descriptions.
+
+/// A time-dependent scalar waveform used to drive voltage sources, current
+/// sources and the mechanical base excitation of the micro-generator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Waveform {
+    /// Constant value.
+    Dc(f64),
+    /// `offset + amplitude·sin(2π·frequency·(t − delay) + phase)` for
+    /// `t ≥ delay`, `offset` before.
+    Sine {
+        /// DC offset added to the sine.
+        offset: f64,
+        /// Peak amplitude.
+        amplitude: f64,
+        /// Frequency in hertz.
+        frequency_hz: f64,
+        /// Phase in radians.
+        phase_rad: f64,
+        /// Start delay in seconds.
+        delay: f64,
+    },
+    /// Trapezoidal pulse train.
+    Pulse {
+        /// Initial (low) value.
+        low: f64,
+        /// Pulsed (high) value.
+        high: f64,
+        /// Delay before the first edge.
+        delay: f64,
+        /// Rise time.
+        rise: f64,
+        /// Fall time.
+        fall: f64,
+        /// Time spent at the high value.
+        width: f64,
+        /// Pulse period (0 disables repetition).
+        period: f64,
+    },
+    /// Piecewise-linear waveform through `(time, value)` points; clamps
+    /// outside the covered range.
+    Pwl(Vec<(f64, f64)>),
+}
+
+impl Waveform {
+    /// Constant waveform.
+    pub fn dc(value: f64) -> Self {
+        Waveform::Dc(value)
+    }
+
+    /// Zero-offset, zero-phase sine starting at `t = 0`.
+    pub fn sine(amplitude: f64, frequency_hz: f64) -> Self {
+        Waveform::Sine {
+            offset: 0.0,
+            amplitude,
+            frequency_hz,
+            phase_rad: 0.0,
+            delay: 0.0,
+        }
+    }
+
+    /// Evaluates the waveform at time `t` (seconds).
+    pub fn value(&self, t: f64) -> f64 {
+        match self {
+            Waveform::Dc(v) => *v,
+            Waveform::Sine {
+                offset,
+                amplitude,
+                frequency_hz,
+                phase_rad,
+                delay,
+            } => {
+                if t < *delay {
+                    *offset
+                } else {
+                    offset
+                        + amplitude
+                            * (2.0 * std::f64::consts::PI * frequency_hz * (t - delay) + phase_rad)
+                                .sin()
+                }
+            }
+            Waveform::Pulse {
+                low,
+                high,
+                delay,
+                rise,
+                fall,
+                width,
+                period,
+            } => {
+                if t < *delay {
+                    return *low;
+                }
+                let mut tau = t - delay;
+                if *period > 0.0 {
+                    tau %= period;
+                }
+                if tau < *rise {
+                    if *rise == 0.0 {
+                        *high
+                    } else {
+                        low + (high - low) * tau / rise
+                    }
+                } else if tau < rise + width {
+                    *high
+                } else if tau < rise + width + fall {
+                    if *fall == 0.0 {
+                        *low
+                    } else {
+                        high - (high - low) * (tau - rise - width) / fall
+                    }
+                } else {
+                    *low
+                }
+            }
+            Waveform::Pwl(points) => {
+                if points.is_empty() {
+                    return 0.0;
+                }
+                if t <= points[0].0 {
+                    return points[0].1;
+                }
+                if t >= points[points.len() - 1].0 {
+                    return points[points.len() - 1].1;
+                }
+                let hi = points.partition_point(|&(ti, _)| ti <= t);
+                let (t0, v0) = points[hi - 1];
+                let (t1, v1) = points[hi];
+                if t1 == t0 {
+                    v1
+                } else {
+                    v0 + (v1 - v0) * (t - t0) / (t1 - t0)
+                }
+            }
+        }
+    }
+
+    /// Peak absolute value the waveform can attain (used by diagnostics to
+    /// scale convergence tolerances).
+    pub fn peak(&self) -> f64 {
+        match self {
+            Waveform::Dc(v) => v.abs(),
+            Waveform::Sine {
+                offset, amplitude, ..
+            } => offset.abs() + amplitude.abs(),
+            Waveform::Pulse { low, high, .. } => low.abs().max(high.abs()),
+            Waveform::Pwl(points) => points.iter().fold(0.0f64, |acc, &(_, v)| acc.max(v.abs())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dc_is_constant() {
+        let w = Waveform::dc(3.3);
+        assert_eq!(w.value(0.0), 3.3);
+        assert_eq!(w.value(100.0), 3.3);
+        assert_eq!(w.peak(), 3.3);
+    }
+
+    #[test]
+    fn sine_basics() {
+        let w = Waveform::sine(2.0, 50.0);
+        assert!(w.value(0.0).abs() < 1e-12);
+        assert!((w.value(0.005) - 2.0).abs() < 1e-9); // quarter period
+        assert_eq!(w.peak(), 2.0);
+    }
+
+    #[test]
+    fn sine_delay_and_offset() {
+        let w = Waveform::Sine {
+            offset: 1.0,
+            amplitude: 2.0,
+            frequency_hz: 10.0,
+            phase_rad: 0.0,
+            delay: 1.0,
+        };
+        assert_eq!(w.value(0.5), 1.0);
+        assert!((w.value(1.025) - 3.0).abs() < 1e-9);
+        assert_eq!(w.peak(), 3.0);
+    }
+
+    #[test]
+    fn pulse_shape() {
+        let w = Waveform::Pulse {
+            low: 0.0,
+            high: 5.0,
+            delay: 1.0,
+            rise: 1.0,
+            fall: 1.0,
+            width: 2.0,
+            period: 10.0,
+        };
+        assert_eq!(w.value(0.5), 0.0);
+        assert!((w.value(1.5) - 2.5).abs() < 1e-12); // halfway up the rise
+        assert_eq!(w.value(2.5), 5.0);
+        assert!((w.value(4.5) - 2.5).abs() < 1e-12); // halfway down the fall
+        assert_eq!(w.value(6.0), 0.0);
+        assert_eq!(w.value(12.5), 5.0); // repeats with the period
+        assert_eq!(w.peak(), 5.0);
+    }
+
+    #[test]
+    fn pulse_with_zero_edges() {
+        let w = Waveform::Pulse {
+            low: 0.0,
+            high: 1.0,
+            delay: 0.0,
+            rise: 0.0,
+            fall: 0.0,
+            width: 1.0,
+            period: 0.0,
+        };
+        assert_eq!(w.value(0.0), 1.0);
+        assert_eq!(w.value(0.5), 1.0);
+        assert_eq!(w.value(1.5), 0.0);
+    }
+
+    #[test]
+    fn pwl_interpolates_and_clamps() {
+        let w = Waveform::Pwl(vec![(0.0, 0.0), (1.0, 10.0), (2.0, -10.0)]);
+        assert_eq!(w.value(-1.0), 0.0);
+        assert_eq!(w.value(0.5), 5.0);
+        assert_eq!(w.value(1.5), 0.0);
+        assert_eq!(w.value(3.0), -10.0);
+        assert_eq!(w.peak(), 10.0);
+    }
+
+    #[test]
+    fn empty_pwl_is_zero() {
+        let w = Waveform::Pwl(vec![]);
+        assert_eq!(w.value(1.0), 0.0);
+        assert_eq!(w.peak(), 0.0);
+    }
+}

@@ -1,0 +1,86 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the numerical routines in this crate.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum NumericsError {
+    /// A matrix was singular (or numerically singular) during factorisation.
+    SingularMatrix {
+        /// Pivot column at which factorisation broke down.
+        column: usize,
+        /// Magnitude of the offending pivot.
+        pivot: f64,
+    },
+    /// Dimensions of the operands do not match.
+    DimensionMismatch {
+        /// Human-readable description of the expected shape.
+        expected: String,
+        /// Human-readable description of the shape that was supplied.
+        found: String,
+    },
+    /// An iterative method failed to converge within its iteration budget.
+    NoConvergence {
+        /// Number of iterations performed before giving up.
+        iterations: usize,
+        /// Residual norm at the last iterate.
+        residual: f64,
+    },
+    /// An invalid argument was supplied (e.g. a non-positive step size).
+    InvalidArgument(String),
+}
+
+impl fmt::Display for NumericsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NumericsError::SingularMatrix { column, pivot } => write!(
+                f,
+                "matrix is singular at column {column} (pivot magnitude {pivot:.3e})"
+            ),
+            NumericsError::DimensionMismatch { expected, found } => {
+                write!(f, "dimension mismatch: expected {expected}, found {found}")
+            }
+            NumericsError::NoConvergence {
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "no convergence after {iterations} iterations (residual {residual:.3e})"
+            ),
+            NumericsError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl Error for NumericsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_singular() {
+        let e = NumericsError::SingularMatrix {
+            column: 3,
+            pivot: 1e-18,
+        };
+        let s = e.to_string();
+        assert!(s.contains("singular"));
+        assert!(s.contains('3'));
+    }
+
+    #[test]
+    fn display_no_convergence() {
+        let e = NumericsError::NoConvergence {
+            iterations: 50,
+            residual: 0.5,
+        };
+        assert!(e.to_string().contains("50"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NumericsError>();
+    }
+}

@@ -1,0 +1,48 @@
+//! Numerical foundations for the energy-harvester simulation stack.
+//!
+//! This crate provides the dependency-free numerical substrate that the
+//! mixed-technology simulation kernel ([`harvester-mna`]) and the behavioural
+//! device models are built on:
+//!
+//! * [`linalg`] — dense matrices/vectors and LU factorisation with partial
+//!   pivoting (the systems assembled by modified nodal analysis are small and
+//!   dense, so a dense solver is both simplest and fastest here).
+//! * [`newton`] — damped Newton–Raphson for systems of nonlinear equations.
+//! * [`ode`] — explicit and implicit initial-value-problem integrators
+//!   (forward Euler, RK4, adaptive RKF45, semi-implicit Euler, backward Euler
+//!   and trapezoidal rule), used both by the standalone behavioural models and
+//!   as an independent cross-check of the circuit-level transient engine.
+//! * [`interp`] — linear and monotone-cubic (PCHIP) interpolation, used to
+//!   bridge the unspecified sections of the piecewise flux-linkage function.
+//! * [`roots`] — scalar root bracketing (bisection, Brent), used e.g. to find
+//!   the mechanical resonance of a generator design.
+//! * [`stats`] — small statistics helpers (RMS, total harmonic distortion,
+//!   linear regression) used by the experiment harness.
+//!
+//! # Example
+//!
+//! Solve a small linear system with the LU solver:
+//!
+//! ```
+//! # use harvester_numerics::linalg::Matrix;
+//! # fn main() -> Result<(), harvester_numerics::NumericsError> {
+//! let a = Matrix::from_rows(&[&[4.0, 1.0], &[1.0, 3.0]]);
+//! let x = a.solve(&[1.0, 2.0])?;
+//! assert!((4.0 * x[0] + 1.0 * x[1] - 1.0).abs() < 1e-12);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod interp;
+pub mod linalg;
+pub mod newton;
+pub mod ode;
+pub mod roots;
+pub mod stats;
+
+mod error;
+
+pub use error::NumericsError;

@@ -1,0 +1,535 @@
+//! Dense matrices, vectors and LU factorisation with partial pivoting.
+//!
+//! The systems assembled by modified nodal analysis of an energy harvester are
+//! small (tens of unknowns), so a dense, dependency-free solver is the right
+//! tool: no sparse bookkeeping, perfectly predictable performance, trivially
+//! testable.
+
+use crate::NumericsError;
+use std::fmt;
+use std::ops::{Add, Index, IndexMut, Mul, Sub};
+
+/// A dense, row-major matrix of `f64` values.
+///
+/// # Example
+///
+/// ```
+/// # use harvester_numerics::linalg::Matrix;
+/// let m = Matrix::identity(3);
+/// assert_eq!(m[(1, 1)], 1.0);
+/// assert_eq!(m[(0, 1)], 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a `rows × cols` matrix filled with zeros.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` or `cols` is zero.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be non-zero");
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Builds a matrix from row slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows are empty or have inconsistent lengths.
+    pub fn from_rows(rows: &[&[f64]]) -> Self {
+        assert!(!rows.is_empty(), "matrix must have at least one row");
+        let cols = rows[0].len();
+        assert!(cols > 0, "matrix must have at least one column");
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(row.len(), cols, "row {i} has inconsistent length");
+            data.extend_from_slice(row);
+        }
+        Matrix {
+            rows: rows.len(),
+            cols,
+            data,
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Returns `true` if the matrix is square.
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Sets every entry to zero, keeping the allocation.
+    pub fn fill_zero(&mut self) {
+        for v in &mut self.data {
+            *v = 0.0;
+        }
+    }
+
+    /// Adds `value` to the entry at `(row, col)` (the "stamping" primitive
+    /// used by modified nodal analysis).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds.
+    pub fn add_at(&mut self, row: usize, col: usize, value: f64) {
+        self[(row, col)] += value;
+    }
+
+    /// Returns the transpose of the matrix.
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                t[(j, i)] = self[(i, j)];
+            }
+        }
+        t
+    }
+
+    /// Matrix–vector product `A·x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::DimensionMismatch`] if `x.len() != self.cols()`.
+    pub fn mul_vec(&self, x: &[f64]) -> Result<Vec<f64>, NumericsError> {
+        if x.len() != self.cols {
+            return Err(NumericsError::DimensionMismatch {
+                expected: format!("vector of length {}", self.cols),
+                found: format!("vector of length {}", x.len()),
+            });
+        }
+        let mut y = vec![0.0; self.rows];
+        for i in 0..self.rows {
+            let mut acc = 0.0;
+            for j in 0..self.cols {
+                acc += self[(i, j)] * x[j];
+            }
+            y[i] = acc;
+        }
+        Ok(y)
+    }
+
+    /// Frobenius norm of the matrix.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// Infinity norm (maximum absolute row sum).
+    pub fn inf_norm(&self) -> f64 {
+        (0..self.rows)
+            .map(|i| (0..self.cols).map(|j| self[(i, j)].abs()).sum::<f64>())
+            .fold(0.0, f64::max)
+    }
+
+    /// LU factorisation with partial pivoting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::SingularMatrix`] if a pivot smaller than
+    /// `1e-14 × inf-norm` is encountered, and
+    /// [`NumericsError::DimensionMismatch`] if the matrix is not square.
+    pub fn lu(&self) -> Result<LuFactors, NumericsError> {
+        if !self.is_square() {
+            return Err(NumericsError::DimensionMismatch {
+                expected: "square matrix".to_string(),
+                found: format!("{}x{}", self.rows, self.cols),
+            });
+        }
+        let n = self.rows;
+        let mut lu = self.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut sign = 1.0f64;
+        let scale = self.inf_norm().max(f64::MIN_POSITIVE);
+        let tol = 1e-14 * scale;
+
+        for k in 0..n {
+            // Find the pivot row.
+            let mut pivot_row = k;
+            let mut pivot_val = lu[(k, k)].abs();
+            for i in (k + 1)..n {
+                let v = lu[(i, k)].abs();
+                if v > pivot_val {
+                    pivot_val = v;
+                    pivot_row = i;
+                }
+            }
+            if pivot_val <= tol {
+                return Err(NumericsError::SingularMatrix {
+                    column: k,
+                    pivot: pivot_val,
+                });
+            }
+            if pivot_row != k {
+                for j in 0..n {
+                    let a = lu[(k, j)];
+                    let b = lu[(pivot_row, j)];
+                    lu[(k, j)] = b;
+                    lu[(pivot_row, j)] = a;
+                }
+                perm.swap(k, pivot_row);
+                sign = -sign;
+            }
+            let pivot = lu[(k, k)];
+            for i in (k + 1)..n {
+                let factor = lu[(i, k)] / pivot;
+                lu[(i, k)] = factor;
+                for j in (k + 1)..n {
+                    let delta = factor * lu[(k, j)];
+                    lu[(i, j)] -= delta;
+                }
+            }
+        }
+        Ok(LuFactors {
+            lu,
+            perm,
+            sign,
+        })
+    }
+
+    /// Solves `A·x = b` by LU factorisation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from [`Matrix::lu`] and returns a dimension mismatch
+    /// if `b` has the wrong length.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, NumericsError> {
+        self.lu()?.solve(b)
+    }
+
+    /// Determinant, computed via LU factorisation.
+    ///
+    /// Returns `0.0` for a numerically singular matrix.
+    pub fn determinant(&self) -> f64 {
+        match self.lu() {
+            Ok(f) => f.determinant(),
+            Err(_) => 0.0,
+        }
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+
+    fn index(&self, (row, col): (usize, usize)) -> &f64 {
+        assert!(row < self.rows && col < self.cols, "index out of bounds");
+        &self.data[row * self.cols + col]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (row, col): (usize, usize)) -> &mut f64 {
+        assert!(row < self.rows && col < self.cols, "index out of bounds");
+        &mut self.data[row * self.cols + col]
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                write!(f, "{:>12.5e} ", self[(i, j)])?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+impl Add for &Matrix {
+    type Output = Matrix;
+
+    fn add(self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.rows, rhs.rows, "row count mismatch");
+        assert_eq!(self.cols, rhs.cols, "column count mismatch");
+        let mut out = self.clone();
+        for (o, r) in out.data.iter_mut().zip(rhs.data.iter()) {
+            *o += r;
+        }
+        out
+    }
+}
+
+impl Sub for &Matrix {
+    type Output = Matrix;
+
+    fn sub(self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.rows, rhs.rows, "row count mismatch");
+        assert_eq!(self.cols, rhs.cols, "column count mismatch");
+        let mut out = self.clone();
+        for (o, r) in out.data.iter_mut().zip(rhs.data.iter()) {
+            *o -= r;
+        }
+        out
+    }
+}
+
+impl Mul for &Matrix {
+    type Output = Matrix;
+
+    fn mul(self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.cols, rhs.rows, "inner dimension mismatch");
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..rhs.cols {
+                    out[(i, j)] += a * rhs[(k, j)];
+                }
+            }
+        }
+        out
+    }
+}
+
+/// The result of an LU factorisation with partial pivoting.
+///
+/// Stores the combined L (unit lower triangular) and U factors plus the row
+/// permutation, so repeated right-hand sides can be solved cheaply.
+#[derive(Debug, Clone)]
+pub struct LuFactors {
+    lu: Matrix,
+    perm: Vec<usize>,
+    sign: f64,
+}
+
+impl LuFactors {
+    /// Solves `A·x = b` using the stored factors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::DimensionMismatch`] if `b` has the wrong length.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, NumericsError> {
+        let n = self.lu.rows;
+        if b.len() != n {
+            return Err(NumericsError::DimensionMismatch {
+                expected: format!("vector of length {n}"),
+                found: format!("vector of length {}", b.len()),
+            });
+        }
+        // Apply the permutation, then forward/backward substitution.
+        let mut x: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
+        for i in 1..n {
+            let mut acc = x[i];
+            for j in 0..i {
+                acc -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = acc;
+        }
+        for i in (0..n).rev() {
+            let mut acc = x[i];
+            for j in (i + 1)..n {
+                acc -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = acc / self.lu[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// Determinant of the factored matrix.
+    pub fn determinant(&self) -> f64 {
+        let mut det = self.sign;
+        for i in 0..self.lu.rows {
+            det *= self.lu[(i, i)];
+        }
+        det
+    }
+}
+
+/// Euclidean (L2) norm of a vector.
+pub fn norm2(v: &[f64]) -> f64 {
+    v.iter().map(|x| x * x).sum::<f64>().sqrt()
+}
+
+/// Infinity norm (maximum absolute entry) of a vector.
+pub fn norm_inf(v: &[f64]) -> f64 {
+    v.iter().fold(0.0f64, |acc, x| acc.max(x.abs()))
+}
+
+/// Dot product of two equal-length vectors.
+///
+/// # Panics
+///
+/// Panics if the vectors have different lengths.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot product length mismatch");
+    a.iter().zip(b.iter()).map(|(x, y)| x * y).sum()
+}
+
+/// Computes `y ← y + alpha·x` in place.
+///
+/// # Panics
+///
+/// Panics if the vectors have different lengths.
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x.iter()) {
+        *yi += alpha * xi;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_solves_trivially() {
+        let m = Matrix::identity(4);
+        let b = vec![1.0, -2.0, 3.0, 0.5];
+        let x = m.solve(&b).unwrap();
+        for (xi, bi) in x.iter().zip(b.iter()) {
+            assert!((xi - bi).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn solve_known_system() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0, -1.0], &[-3.0, -1.0, 2.0], &[-2.0, 1.0, 2.0]]);
+        let b = [8.0, -11.0, -3.0];
+        let x = a.solve(&b).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+        assert!((x[2] - -1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_requires_pivoting() {
+        // Zero on the diagonal forces a row swap.
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let x = a.solve(&[3.0, 7.0]).unwrap();
+        assert!((x[0] - 7.0).abs() < 1e-14);
+        assert!((x[1] - 3.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn singular_matrix_is_detected() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        let err = a.solve(&[1.0, 2.0]).unwrap_err();
+        assert!(matches!(err, NumericsError::SingularMatrix { .. }));
+    }
+
+    #[test]
+    fn non_square_lu_is_rejected() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(
+            a.lu(),
+            Err(NumericsError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn determinant_of_known_matrix() {
+        let a = Matrix::from_rows(&[&[3.0, 8.0], &[4.0, 6.0]]);
+        assert!((a.determinant() - -14.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn determinant_of_singular_matrix_is_zero() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        assert_eq!(a.determinant(), 0.0);
+    }
+
+    #[test]
+    fn matrix_multiplication() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let c = &a * &b;
+        assert_eq!(c[(0, 0)], 19.0);
+        assert_eq!(c[(0, 1)], 22.0);
+        assert_eq!(c[(1, 0)], 43.0);
+        assert_eq!(c[(1, 1)], 50.0);
+    }
+
+    #[test]
+    fn matrix_add_sub_roundtrip() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Matrix::from_rows(&[&[0.5, -1.0], &[2.0, 0.0]]);
+        let c = &(&a + &b) - &b;
+        for i in 0..2 {
+            for j in 0..2 {
+                assert!((c[(i, j)] - a[(i, j)]).abs() < 1e-15);
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let t = a.transpose();
+        assert_eq!(t.rows(), 3);
+        assert_eq!(t.cols(), 2);
+        assert_eq!(t.transpose(), a);
+    }
+
+    #[test]
+    fn mul_vec_matches_manual() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let y = a.mul_vec(&[1.0, 1.0]).unwrap();
+        assert_eq!(y, vec![3.0, 7.0]);
+    }
+
+    #[test]
+    fn mul_vec_dimension_mismatch() {
+        let a = Matrix::identity(2);
+        assert!(a.mul_vec(&[1.0, 2.0, 3.0]).is_err());
+    }
+
+    #[test]
+    fn vector_helpers() {
+        assert!((norm2(&[3.0, 4.0]) - 5.0).abs() < 1e-15);
+        assert_eq!(norm_inf(&[-3.0, 2.0]), 3.0);
+        assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+        let mut y = vec![1.0, 1.0];
+        axpy(2.0, &[1.0, -1.0], &mut y);
+        assert_eq!(y, vec![3.0, -1.0]);
+    }
+
+    #[test]
+    fn lu_reuse_for_multiple_rhs() {
+        let a = Matrix::from_rows(&[&[4.0, 3.0], &[6.0, 3.0]]);
+        let f = a.lu().unwrap();
+        let x1 = f.solve(&[10.0, 12.0]).unwrap();
+        let x2 = f.solve(&[1.0, 0.0]).unwrap();
+        let r1 = a.mul_vec(&x1).unwrap();
+        let r2 = a.mul_vec(&x2).unwrap();
+        assert!((r1[0] - 10.0).abs() < 1e-12 && (r1[1] - 12.0).abs() < 1e-12);
+        assert!((r2[0] - 1.0).abs() < 1e-12 && (r2[1]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn norms_are_consistent() {
+        let a = Matrix::from_rows(&[&[1.0, -2.0], &[0.0, 3.0]]);
+        assert!((a.frobenius_norm() - (1.0f64 + 4.0 + 9.0).sqrt()).abs() < 1e-14);
+        assert_eq!(a.inf_norm(), 3.0);
+    }
+}

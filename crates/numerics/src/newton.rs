@@ -1,0 +1,312 @@
+//! Damped Newton–Raphson solver for systems of nonlinear equations.
+//!
+//! The mixed-technology transient engine solves one nonlinear system per time
+//! step (node voltages, branch currents, mechanical displacement/velocity),
+//! so this module is the inner loop of the whole simulator.
+
+use crate::linalg::{norm_inf, Matrix};
+use crate::NumericsError;
+
+/// A system of nonlinear equations `F(x) = 0` with an analytic Jacobian.
+///
+/// Implementors fill the residual and Jacobian for the supplied iterate; the
+/// buffers are pre-zeroed by the solver.
+pub trait NonlinearSystem {
+    /// Number of unknowns (and equations).
+    fn dimension(&self) -> usize;
+
+    /// Evaluates the residual `F(x)` into `residual`.
+    fn residual(&self, x: &[f64], residual: &mut [f64]);
+
+    /// Evaluates the Jacobian `∂F/∂x` into `jacobian`.
+    ///
+    /// The default implementation uses forward finite differences on
+    /// [`NonlinearSystem::residual`]; override it with an analytic Jacobian
+    /// for speed and robustness.
+    fn jacobian(&self, x: &[f64], jacobian: &mut Matrix) {
+        finite_difference_jacobian(self, x, jacobian);
+    }
+}
+
+/// Fills `jacobian` with a forward finite-difference approximation of the
+/// Jacobian of `system` at `x`.
+pub fn finite_difference_jacobian<S: NonlinearSystem + ?Sized>(
+    system: &S,
+    x: &[f64],
+    jacobian: &mut Matrix,
+) {
+    let n = system.dimension();
+    let mut base = vec![0.0; n];
+    system.residual(x, &mut base);
+    let mut xp = x.to_vec();
+    let mut fp = vec![0.0; n];
+    for j in 0..n {
+        let h = 1e-7 * x[j].abs().max(1e-7);
+        xp[j] = x[j] + h;
+        system.residual(&xp, &mut fp);
+        for i in 0..n {
+            jacobian[(i, j)] = (fp[i] - base[i]) / h;
+        }
+        xp[j] = x[j];
+    }
+}
+
+/// Configuration for [`NewtonSolver`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NewtonOptions {
+    /// Maximum number of Newton iterations per solve.
+    pub max_iterations: usize,
+    /// Absolute tolerance on the residual infinity norm.
+    pub residual_tolerance: f64,
+    /// Absolute tolerance on the update infinity norm.
+    pub step_tolerance: f64,
+    /// Damping factor applied when a full step increases the residual
+    /// (`0 < damping ≤ 1`); the step is halved repeatedly down to
+    /// `min_damping`.
+    pub min_damping: f64,
+}
+
+impl Default for NewtonOptions {
+    fn default() -> Self {
+        NewtonOptions {
+            max_iterations: 100,
+            residual_tolerance: 1e-9,
+            step_tolerance: 1e-12,
+            min_damping: 1.0 / 64.0,
+        }
+    }
+}
+
+/// Outcome of a successful Newton solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NewtonResult {
+    /// The converged solution.
+    pub solution: Vec<f64>,
+    /// Number of iterations performed.
+    pub iterations: usize,
+    /// Final residual infinity norm.
+    pub residual_norm: f64,
+}
+
+/// Damped Newton–Raphson solver.
+///
+/// # Example
+///
+/// ```
+/// # use harvester_numerics::newton::{NewtonOptions, NewtonSolver, NonlinearSystem};
+/// # use harvester_numerics::linalg::Matrix;
+/// struct Circle;
+/// impl NonlinearSystem for Circle {
+///     fn dimension(&self) -> usize { 2 }
+///     fn residual(&self, x: &[f64], r: &mut [f64]) {
+///         r[0] = x[0] * x[0] + x[1] * x[1] - 1.0;
+///         r[1] = x[0] - x[1];
+///     }
+/// }
+/// # fn main() -> Result<(), harvester_numerics::NumericsError> {
+/// let solver = NewtonSolver::new(NewtonOptions::default());
+/// let result = solver.solve(&Circle, &[1.0, 0.5])?;
+/// assert!((result.solution[0] - result.solution[1]).abs() < 1e-8);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct NewtonSolver {
+    options: NewtonOptions,
+}
+
+impl NewtonSolver {
+    /// Creates a solver with the given options.
+    pub fn new(options: NewtonOptions) -> Self {
+        NewtonSolver { options }
+    }
+
+    /// Returns the solver options.
+    pub fn options(&self) -> &NewtonOptions {
+        &self.options
+    }
+
+    /// Solves `F(x) = 0` starting from `initial_guess`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::NoConvergence`] if the iteration budget is
+    /// exhausted, or [`NumericsError::SingularMatrix`] if the Jacobian cannot
+    /// be factored.
+    pub fn solve<S: NonlinearSystem + ?Sized>(
+        &self,
+        system: &S,
+        initial_guess: &[f64],
+    ) -> Result<NewtonResult, NumericsError> {
+        let n = system.dimension();
+        if initial_guess.len() != n {
+            return Err(NumericsError::DimensionMismatch {
+                expected: format!("initial guess of length {n}"),
+                found: format!("length {}", initial_guess.len()),
+            });
+        }
+        let mut x = initial_guess.to_vec();
+        let mut residual = vec![0.0; n];
+        let mut jacobian = Matrix::zeros(n, n);
+        let mut trial = vec![0.0; n];
+        let mut trial_residual = vec![0.0; n];
+
+        system.residual(&x, &mut residual);
+        let mut res_norm = norm_inf(&residual);
+
+        for iteration in 0..self.options.max_iterations {
+            if res_norm <= self.options.residual_tolerance {
+                return Ok(NewtonResult {
+                    solution: x,
+                    iterations: iteration,
+                    residual_norm: res_norm,
+                });
+            }
+            jacobian.fill_zero();
+            system.jacobian(&x, &mut jacobian);
+            let rhs: Vec<f64> = residual.iter().map(|r| -r).collect();
+            let delta = jacobian.solve(&rhs)?;
+
+            // Damped line search: halve the step until the residual decreases
+            // (or the damping floor is reached, in which case take the step
+            // anyway — Newton is allowed transient growth far from the root).
+            let mut damping = 1.0;
+            loop {
+                for i in 0..n {
+                    trial[i] = x[i] + damping * delta[i];
+                }
+                system.residual(&trial, &mut trial_residual);
+                let trial_norm = norm_inf(&trial_residual);
+                if trial_norm < res_norm || damping <= self.options.min_damping {
+                    x.copy_from_slice(&trial);
+                    residual.copy_from_slice(&trial_residual);
+                    res_norm = trial_norm;
+                    break;
+                }
+                damping *= 0.5;
+            }
+
+            let step_norm = norm_inf(&delta) * damping;
+            if step_norm <= self.options.step_tolerance
+                && res_norm <= self.options.residual_tolerance.max(1e-6)
+            {
+                return Ok(NewtonResult {
+                    solution: x,
+                    iterations: iteration + 1,
+                    residual_norm: res_norm,
+                });
+            }
+        }
+
+        if res_norm <= self.options.residual_tolerance * 10.0 {
+            // Close enough: accept with a degraded tolerance rather than fail
+            // the whole transient for a marginally converged step.
+            return Ok(NewtonResult {
+                solution: x,
+                iterations: self.options.max_iterations,
+                residual_norm: res_norm,
+            });
+        }
+        Err(NumericsError::NoConvergence {
+            iterations: self.options.max_iterations,
+            residual: res_norm,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Quadratic;
+
+    impl NonlinearSystem for Quadratic {
+        fn dimension(&self) -> usize {
+            1
+        }
+        fn residual(&self, x: &[f64], r: &mut [f64]) {
+            r[0] = x[0] * x[0] - 2.0;
+        }
+        fn jacobian(&self, x: &[f64], j: &mut Matrix) {
+            j[(0, 0)] = 2.0 * x[0];
+        }
+    }
+
+    struct Coupled;
+
+    impl NonlinearSystem for Coupled {
+        fn dimension(&self) -> usize {
+            2
+        }
+        fn residual(&self, x: &[f64], r: &mut [f64]) {
+            r[0] = x[0].exp() - x[1];
+            r[1] = x[0] + x[1] - 2.0;
+        }
+    }
+
+    #[test]
+    fn solves_sqrt_two() {
+        let solver = NewtonSolver::default();
+        let result = solver.solve(&Quadratic, &[1.0]).unwrap();
+        assert!((result.solution[0] - std::f64::consts::SQRT_2).abs() < 1e-9);
+        assert!(result.iterations < 10);
+    }
+
+    #[test]
+    fn solves_with_finite_difference_jacobian() {
+        let solver = NewtonSolver::default();
+        let result = solver.solve(&Coupled, &[0.5, 1.0]).unwrap();
+        let x = result.solution;
+        assert!((x[0].exp() - x[1]).abs() < 1e-7);
+        assert!((x[0] + x[1] - 2.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn converges_from_poor_guess_with_damping() {
+        let solver = NewtonSolver::new(NewtonOptions {
+            max_iterations: 200,
+            ..NewtonOptions::default()
+        });
+        let result = solver.solve(&Quadratic, &[100.0]).unwrap();
+        assert!((result.solution[0] - std::f64::consts::SQRT_2).abs() < 1e-8);
+    }
+
+    #[test]
+    fn rejects_wrong_guess_length() {
+        let solver = NewtonSolver::default();
+        assert!(matches!(
+            solver.solve(&Quadratic, &[1.0, 2.0]),
+            Err(NumericsError::DimensionMismatch { .. })
+        ));
+    }
+
+    struct NoRoot;
+
+    impl NonlinearSystem for NoRoot {
+        fn dimension(&self) -> usize {
+            1
+        }
+        fn residual(&self, x: &[f64], r: &mut [f64]) {
+            r[0] = x[0] * x[0] + 1.0;
+        }
+    }
+
+    #[test]
+    fn reports_no_convergence_when_there_is_no_root() {
+        let solver = NewtonSolver::new(NewtonOptions {
+            max_iterations: 25,
+            ..NewtonOptions::default()
+        });
+        assert!(matches!(
+            solver.solve(&NoRoot, &[3.0]),
+            Err(NumericsError::NoConvergence { .. })
+        ));
+    }
+
+    #[test]
+    fn finite_difference_jacobian_matches_analytic() {
+        let mut fd = Matrix::zeros(1, 1);
+        finite_difference_jacobian(&Quadratic, &[3.0], &mut fd);
+        assert!((fd[(0, 0)] - 6.0).abs() < 1e-5);
+    }
+}

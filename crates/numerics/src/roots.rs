@@ -1,0 +1,202 @@
+//! Scalar root finding (bisection and Brent's method).
+//!
+//! Used by the harvester design helpers, e.g. to locate the mechanical
+//! resonance of a generator design or the excitation amplitude that drives
+//! the coil to a prescribed displacement.
+
+use crate::NumericsError;
+
+/// Options controlling the bracketing root finders.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RootOptions {
+    /// Absolute tolerance on the abscissa.
+    pub x_tolerance: f64,
+    /// Absolute tolerance on |f(x)|.
+    pub f_tolerance: f64,
+    /// Maximum number of iterations.
+    pub max_iterations: usize,
+}
+
+impl Default for RootOptions {
+    fn default() -> Self {
+        RootOptions {
+            x_tolerance: 1e-12,
+            f_tolerance: 1e-12,
+            max_iterations: 200,
+        }
+    }
+}
+
+fn check_bracket(fa: f64, fb: f64) -> Result<(), NumericsError> {
+    if fa * fb > 0.0 {
+        return Err(NumericsError::InvalidArgument(format!(
+            "interval does not bracket a root: f(a)={fa:.3e}, f(b)={fb:.3e}"
+        )));
+    }
+    Ok(())
+}
+
+/// Finds a root of `f` in `[a, b]` by bisection.
+///
+/// # Errors
+///
+/// Returns [`NumericsError::InvalidArgument`] if the interval does not
+/// bracket a sign change and [`NumericsError::NoConvergence`] if the
+/// iteration budget is exhausted.
+pub fn bisection<F: Fn(f64) -> f64>(
+    f: F,
+    a: f64,
+    b: f64,
+    options: &RootOptions,
+) -> Result<f64, NumericsError> {
+    let (mut lo, mut hi) = if a < b { (a, b) } else { (b, a) };
+    let mut flo = f(lo);
+    let fhi = f(hi);
+    if flo.abs() <= options.f_tolerance {
+        return Ok(lo);
+    }
+    if fhi.abs() <= options.f_tolerance {
+        return Ok(hi);
+    }
+    check_bracket(flo, fhi)?;
+    for _ in 0..options.max_iterations {
+        let mid = 0.5 * (lo + hi);
+        let fmid = f(mid);
+        if fmid.abs() <= options.f_tolerance || (hi - lo) * 0.5 < options.x_tolerance {
+            return Ok(mid);
+        }
+        if flo * fmid < 0.0 {
+            hi = mid;
+        } else {
+            lo = mid;
+            flo = fmid;
+        }
+    }
+    Err(NumericsError::NoConvergence {
+        iterations: options.max_iterations,
+        residual: hi - lo,
+    })
+}
+
+/// Finds a root of `f` in `[a, b]` by Brent's method (inverse quadratic
+/// interpolation with a bisection fallback).
+///
+/// # Errors
+///
+/// Returns [`NumericsError::InvalidArgument`] if the interval does not
+/// bracket a sign change and [`NumericsError::NoConvergence`] if the
+/// iteration budget is exhausted.
+pub fn brent<F: Fn(f64) -> f64>(
+    f: F,
+    a: f64,
+    b: f64,
+    options: &RootOptions,
+) -> Result<f64, NumericsError> {
+    let mut a = a;
+    let mut b = b;
+    let mut fa = f(a);
+    let mut fb = f(b);
+    if fa.abs() <= options.f_tolerance {
+        return Ok(a);
+    }
+    if fb.abs() <= options.f_tolerance {
+        return Ok(b);
+    }
+    check_bracket(fa, fb)?;
+    if fa.abs() < fb.abs() {
+        std::mem::swap(&mut a, &mut b);
+        std::mem::swap(&mut fa, &mut fb);
+    }
+    let mut c = a;
+    let mut fc = fa;
+    let mut d = b - a;
+    let mut mflag = true;
+
+    for _ in 0..options.max_iterations {
+        if fb.abs() <= options.f_tolerance || (b - a).abs() < options.x_tolerance {
+            return Ok(b);
+        }
+        let mut s = if fa != fc && fb != fc {
+            // Inverse quadratic interpolation.
+            a * fb * fc / ((fa - fb) * (fa - fc))
+                + b * fa * fc / ((fb - fa) * (fb - fc))
+                + c * fa * fb / ((fc - fa) * (fc - fb))
+        } else {
+            // Secant.
+            b - fb * (b - a) / (fb - fa)
+        };
+        let lower = (3.0 * a + b) / 4.0;
+        let cond1 = !((s > lower.min(b) && s < lower.max(b))
+            || (s > b.min(lower) && s < b.max(lower)));
+        let cond2 = mflag && (s - b).abs() >= (b - c).abs() / 2.0;
+        let cond3 = !mflag && (s - b).abs() >= (c - d).abs() / 2.0;
+        let cond4 = mflag && (b - c).abs() < options.x_tolerance;
+        let cond5 = !mflag && (c - d).abs() < options.x_tolerance;
+        if cond1 || cond2 || cond3 || cond4 || cond5 {
+            s = 0.5 * (a + b);
+            mflag = true;
+        } else {
+            mflag = false;
+        }
+        let fs = f(s);
+        d = c;
+        c = b;
+        fc = fb;
+        if fa * fs < 0.0 {
+            b = s;
+            fb = fs;
+        } else {
+            a = s;
+            fa = fs;
+        }
+        if fa.abs() < fb.abs() {
+            std::mem::swap(&mut a, &mut b);
+            std::mem::swap(&mut fa, &mut fb);
+        }
+    }
+    Err(NumericsError::NoConvergence {
+        iterations: options.max_iterations,
+        residual: fb.abs(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bisection_finds_sqrt_two() {
+        let root = bisection(|x| x * x - 2.0, 0.0, 2.0, &RootOptions::default()).unwrap();
+        assert!((root - std::f64::consts::SQRT_2).abs() < 1e-10);
+    }
+
+    #[test]
+    fn brent_finds_cosine_root() {
+        let root = brent(|x| x.cos(), 1.0, 2.0, &RootOptions::default()).unwrap();
+        assert!((root - std::f64::consts::FRAC_PI_2).abs() < 1e-10);
+    }
+
+    #[test]
+    fn brent_converges_faster_than_bisection_budget() {
+        let opts = RootOptions {
+            max_iterations: 60,
+            ..RootOptions::default()
+        };
+        let root = brent(|x| x.powi(3) - 2.0 * x - 5.0, 2.0, 3.0, &opts).unwrap();
+        assert!((root.powi(3) - 2.0 * root - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn non_bracketing_interval_is_rejected() {
+        assert!(bisection(|x| x * x + 1.0, -1.0, 1.0, &RootOptions::default()).is_err());
+        assert!(brent(|x| x * x + 1.0, -1.0, 1.0, &RootOptions::default()).is_err());
+    }
+
+    #[test]
+    fn endpoint_root_is_returned_immediately() {
+        let root = bisection(|x| x, 0.0, 1.0, &RootOptions::default()).unwrap();
+        assert_eq!(root, 0.0);
+        let root = brent(|x| x - 1.0, 0.0, 1.0, &RootOptions::default()).unwrap();
+        assert_eq!(root, 1.0);
+    }
+}

@@ -1,0 +1,293 @@
+//! Real-coded genetic algorithm, configured as in the paper: population of
+//! 100 chromosomes, 7 genes, crossover rate 0.8, mutation rate 0.02,
+//! tournament selection with elitism.
+
+use crate::{Bounds, Objective, OptimisationResult, Optimizer};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of the genetic algorithm.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GaOptions {
+    /// Number of chromosomes in the population (the paper uses 100).
+    pub population_size: usize,
+    /// Probability that a pair of parents undergoes crossover (paper: 0.8).
+    pub crossover_rate: f64,
+    /// Per-gene mutation probability (paper: 0.02).
+    pub mutation_rate: f64,
+    /// Number of chromosomes competing in each tournament selection.
+    pub tournament_size: usize,
+    /// Number of top chromosomes copied unchanged into the next generation.
+    pub elite_count: usize,
+    /// Standard deviation of a mutation, as a fraction of each gene's range.
+    pub mutation_scale: f64,
+}
+
+impl Default for GaOptions {
+    fn default() -> Self {
+        GaOptions {
+            population_size: 100,
+            crossover_rate: 0.8,
+            mutation_rate: 0.02,
+            tournament_size: 3,
+            elite_count: 2,
+            mutation_scale: 0.1,
+        }
+    }
+}
+
+impl GaOptions {
+    /// The exact settings quoted by the paper (§5): 100 chromosomes,
+    /// crossover 0.8, mutation 0.02.
+    pub fn paper() -> Self {
+        Self::default()
+    }
+}
+
+/// Real-coded genetic algorithm with tournament selection, blend crossover
+/// and Gaussian mutation.
+#[derive(Debug, Clone, Default)]
+pub struct GeneticAlgorithm {
+    options: GaOptions,
+}
+
+impl GeneticAlgorithm {
+    /// Creates a GA with the given options.
+    pub fn new(options: GaOptions) -> Self {
+        GeneticAlgorithm { options }
+    }
+
+    /// The GA options.
+    pub fn options(&self) -> &GaOptions {
+        &self.options
+    }
+}
+
+impl Optimizer for GeneticAlgorithm {
+    fn name(&self) -> &'static str {
+        "genetic-algorithm"
+    }
+
+    fn optimise(
+        &self,
+        objective: &dyn Objective,
+        bounds: &Bounds,
+        iterations: usize,
+        seed: u64,
+    ) -> OptimisationResult {
+        let opts = &self.options;
+        assert!(opts.population_size >= 2, "population must hold at least two chromosomes");
+        assert!(
+            opts.elite_count < opts.population_size,
+            "elite count must be smaller than the population"
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dimension = bounds.dimension();
+        let widths = bounds.widths();
+
+        // Initial population: uniform random inside the bounds.
+        let mut population: Vec<Vec<f64>> = (0..opts.population_size)
+            .map(|_| bounds.sample(&mut rng))
+            .collect();
+        let mut fitness: Vec<f64> = population
+            .iter()
+            .map(|genes| objective.evaluate(genes))
+            .collect();
+        let mut evaluations = opts.population_size;
+
+        let mut history = Vec::with_capacity(iterations + 1);
+        let mut best_index = argmax(&fitness);
+        history.push(fitness[best_index]);
+
+        for _generation in 0..iterations {
+            // Rank for elitism.
+            let mut order: Vec<usize> = (0..population.len()).collect();
+            order.sort_by(|&a, &b| fitness[b].partial_cmp(&fitness[a]).unwrap());
+
+            let mut next_population: Vec<Vec<f64>> =
+                order.iter().take(opts.elite_count).map(|&i| population[i].clone()).collect();
+            let mut next_fitness: Vec<f64> =
+                order.iter().take(opts.elite_count).map(|&i| fitness[i]).collect();
+
+            while next_population.len() < opts.population_size {
+                let parent_a = tournament(&fitness, opts.tournament_size, &mut rng);
+                let parent_b = tournament(&fitness, opts.tournament_size, &mut rng);
+                let mut child = if rng.gen_bool(opts.crossover_rate) {
+                    blend_crossover(&population[parent_a], &population[parent_b], &mut rng)
+                } else {
+                    population[parent_a].clone()
+                };
+                for (g, width) in child.iter_mut().zip(widths.iter()) {
+                    if rng.gen_bool(opts.mutation_rate) {
+                        *g += gaussian(&mut rng) * opts.mutation_scale * width;
+                    }
+                }
+                bounds.clamp(&mut child);
+                let f = objective.evaluate(&child);
+                evaluations += 1;
+                next_population.push(child);
+                next_fitness.push(f);
+            }
+            debug_assert_eq!(next_population.len(), opts.population_size);
+            debug_assert!(next_population.iter().all(|c| c.len() == dimension));
+            population = next_population;
+            fitness = next_fitness;
+            best_index = argmax(&fitness);
+            let best_so_far = history
+                .last()
+                .copied()
+                .unwrap_or(f64::NEG_INFINITY)
+                .max(fitness[best_index]);
+            history.push(best_so_far);
+        }
+
+        // The elite guarantees the best individual is still in the population.
+        best_index = argmax(&fitness);
+        OptimisationResult {
+            best_genes: population[best_index].clone(),
+            best_fitness: fitness[best_index].max(*history.last().unwrap()),
+            history,
+            evaluations,
+        }
+    }
+}
+
+fn argmax(values: &[f64]) -> usize {
+    let mut best = 0;
+    for (i, v) in values.iter().enumerate() {
+        if *v > values[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+fn tournament<R: Rng>(fitness: &[f64], size: usize, rng: &mut R) -> usize {
+    let mut best = rng.gen_range(0..fitness.len());
+    for _ in 1..size.max(1) {
+        let challenger = rng.gen_range(0..fitness.len());
+        if fitness[challenger] > fitness[best] {
+            best = challenger;
+        }
+    }
+    best
+}
+
+fn blend_crossover<R: Rng>(a: &[f64], b: &[f64], rng: &mut R) -> Vec<f64> {
+    a.iter()
+        .zip(b.iter())
+        .map(|(&ga, &gb)| {
+            let alpha: f64 = rng.gen_range(-0.25..1.25);
+            ga + alpha * (gb - ga)
+        })
+        .collect()
+}
+
+/// Standard normal sample via the Box–Muller transform (avoids pulling the
+/// `rand_distr` crate in for one distribution).
+fn gaussian<R: Rng>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sphere(genes: &[f64]) -> f64 {
+        -genes.iter().map(|g| g * g).sum::<f64>()
+    }
+
+    fn rastrigin(genes: &[f64]) -> f64 {
+        let n = genes.len() as f64;
+        -(10.0 * n
+            + genes
+                .iter()
+                .map(|g| g * g - 10.0 * (2.0 * std::f64::consts::PI * g).cos())
+                .sum::<f64>())
+    }
+
+    #[test]
+    fn paper_options_match_the_published_settings() {
+        let opts = GaOptions::paper();
+        assert_eq!(opts.population_size, 100);
+        assert_eq!(opts.crossover_rate, 0.8);
+        assert_eq!(opts.mutation_rate, 0.02);
+    }
+
+    #[test]
+    fn ga_optimises_the_sphere_function() {
+        let ga = GeneticAlgorithm::new(GaOptions {
+            population_size: 50,
+            ..GaOptions::default()
+        });
+        let bounds = Bounds::uniform(4, -10.0, 10.0);
+        let result = ga.optimise(&sphere, &bounds, 80, 1);
+        assert!(result.best_fitness > -0.5, "fitness {}", result.best_fitness);
+        assert!(result.best_genes.iter().all(|g| g.abs() < 1.0));
+        assert_eq!(result.evaluations, 50 + 80 * 48);
+    }
+
+    #[test]
+    fn ga_handles_multimodal_objectives() {
+        let ga = GeneticAlgorithm::new(GaOptions {
+            population_size: 60,
+            mutation_rate: 0.1,
+            ..GaOptions::default()
+        });
+        let bounds = Bounds::uniform(2, -5.12, 5.12);
+        let result = ga.optimise(&rastrigin, &bounds, 100, 3);
+        // Not necessarily the global optimum, but well inside the good basin.
+        assert!(result.best_fitness > -5.0, "fitness {}", result.best_fitness);
+    }
+
+    #[test]
+    fn history_is_monotone_non_decreasing() {
+        let ga = GeneticAlgorithm::new(GaOptions {
+            population_size: 20,
+            ..GaOptions::default()
+        });
+        let bounds = Bounds::uniform(3, -2.0, 2.0);
+        let result = ga.optimise(&sphere, &bounds, 30, 9);
+        for w in result.history.windows(2) {
+            assert!(w[1] >= w[0], "best-so-far history must never regress");
+        }
+        assert_eq!(result.history.len(), 31);
+    }
+
+    #[test]
+    fn runs_are_reproducible_for_a_seed() {
+        let ga = GeneticAlgorithm::default();
+        let bounds = Bounds::uniform(3, -1.0, 1.0);
+        let a = ga.optimise(&sphere, &bounds, 10, 1234);
+        let b = ga.optimise(&sphere, &bounds, 10, 1234);
+        assert_eq!(a.best_genes, b.best_genes);
+        assert_eq!(a.history, b.history);
+        let c = ga.optimise(&sphere, &bounds, 10, 4321);
+        assert_ne!(a.best_genes, c.best_genes);
+    }
+
+    #[test]
+    fn solutions_respect_bounds() {
+        let ga = GeneticAlgorithm::new(GaOptions {
+            population_size: 30,
+            mutation_rate: 0.5,
+            mutation_scale: 1.0,
+            ..GaOptions::default()
+        });
+        let bounds = Bounds::new(&[(0.5, 1.0), (-3.0, -2.0)]);
+        // Objective pushes towards the boundary to stress the clamping.
+        let result = ga.optimise(&|g: &[f64]| g[0] - g[1], &bounds, 25, 5);
+        assert!(result.best_genes[0] >= 0.5 && result.best_genes[0] <= 1.0);
+        assert!(result.best_genes[1] >= -3.0 && result.best_genes[1] <= -2.0);
+        // The optimum of g0 - g1 in the box is (1.0, -3.0).
+        assert!(result.best_fitness > 3.8);
+    }
+
+    #[test]
+    fn name_is_stable() {
+        assert_eq!(GeneticAlgorithm::default().name(), "genetic-algorithm");
+        assert_eq!(GeneticAlgorithm::default().options().population_size, 100);
+    }
+}

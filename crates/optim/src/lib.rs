@@ -1,0 +1,216 @@
+//! Optimisation algorithms for the integrated energy-harvester optimisation
+//! loop (the paper's Fig. 8).
+//!
+//! The paper embeds a genetic algorithm in the same testbench as the
+//! harvester model and lets it tune seven design parameters (three from the
+//! micro-generator coil, four from the voltage booster) to maximise the
+//! super-capacitor charging rate. This crate provides that GA with the
+//! paper's settings (population 100, crossover 0.8, mutation 0.02) plus the
+//! "other optimisation algorithms [that] may also be applied based on the
+//! proposed integrated model": Nelder–Mead simplex, particle-swarm
+//! optimisation and random search, used as ablation baselines.
+//!
+//! The objective is abstract ([`Objective`]); the experiment crate provides
+//! the concrete harvester-simulation objective.
+//!
+//! # Example
+//!
+//! ```
+//! use harvester_optim::{Bounds, GaOptions, GeneticAlgorithm, Objective, Optimizer};
+//!
+//! /// Maximise the negative sphere function (optimum at the origin).
+//! struct Sphere;
+//! impl Objective for Sphere {
+//!     fn evaluate(&self, genes: &[f64]) -> f64 {
+//!         -genes.iter().map(|g| g * g).sum::<f64>()
+//!     }
+//! }
+//!
+//! let bounds = Bounds::uniform(3, -5.0, 5.0);
+//! let ga = GeneticAlgorithm::new(GaOptions { population_size: 40, ..GaOptions::default() });
+//! let result = ga.optimise(&Sphere, &bounds, 60, 42);
+//! assert!(result.best_fitness > -0.5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ga;
+pub mod nelder_mead;
+pub mod pso;
+pub mod random_search;
+
+pub use ga::{GaOptions, GeneticAlgorithm};
+pub use nelder_mead::{NelderMead, NelderMeadOptions};
+pub use pso::{ParticleSwarm, PsoOptions};
+pub use random_search::RandomSearch;
+
+/// A maximisation objective: higher return values are better designs.
+///
+/// Implementations are expected to be deterministic for a given gene vector;
+/// the harvester objective satisfies this because the underlying transient
+/// simulation is deterministic.
+pub trait Objective {
+    /// Evaluates the fitness of a candidate gene vector.
+    fn evaluate(&self, genes: &[f64]) -> f64;
+}
+
+impl<F> Objective for F
+where
+    F: Fn(&[f64]) -> f64,
+{
+    fn evaluate(&self, genes: &[f64]) -> f64 {
+        self(genes)
+    }
+}
+
+/// Box constraints on the gene vector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Bounds {
+    lower: Vec<f64>,
+    upper: Vec<f64>,
+}
+
+impl Bounds {
+    /// Creates bounds from per-gene `(lower, upper)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the list is empty or any lower bound exceeds its upper
+    /// bound.
+    pub fn new(limits: &[(f64, f64)]) -> Self {
+        assert!(!limits.is_empty(), "bounds must cover at least one gene");
+        for (i, (lo, hi)) in limits.iter().enumerate() {
+            assert!(lo < hi, "gene {i}: lower bound {lo} must be below upper bound {hi}");
+        }
+        Bounds {
+            lower: limits.iter().map(|l| l.0).collect(),
+            upper: limits.iter().map(|l| l.1).collect(),
+        }
+    }
+
+    /// Creates identical bounds for `dimension` genes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dimension` is zero or `lower >= upper`.
+    pub fn uniform(dimension: usize, lower: f64, upper: f64) -> Self {
+        assert!(dimension > 0, "dimension must be positive");
+        Self::new(&vec![(lower, upper); dimension])
+    }
+
+    /// Number of genes.
+    pub fn dimension(&self) -> usize {
+        self.lower.len()
+    }
+
+    /// Lower bounds.
+    pub fn lower(&self) -> &[f64] {
+        &self.lower
+    }
+
+    /// Upper bounds.
+    pub fn upper(&self) -> &[f64] {
+        &self.upper
+    }
+
+    /// Clamps a gene vector into the box.
+    pub fn clamp(&self, genes: &mut [f64]) {
+        for (g, (lo, hi)) in genes
+            .iter_mut()
+            .zip(self.lower.iter().zip(self.upper.iter()))
+        {
+            *g = g.clamp(*lo, *hi);
+        }
+    }
+
+    /// Draws a uniformly random point inside the box.
+    pub fn sample<R: rand::Rng>(&self, rng: &mut R) -> Vec<f64> {
+        self.lower
+            .iter()
+            .zip(self.upper.iter())
+            .map(|(lo, hi)| rng.gen_range(*lo..*hi))
+            .collect()
+    }
+
+    /// Width of each gene's interval.
+    pub fn widths(&self) -> Vec<f64> {
+        self.lower
+            .iter()
+            .zip(self.upper.iter())
+            .map(|(lo, hi)| hi - lo)
+            .collect()
+    }
+}
+
+/// Progress of an optimisation run: the best fitness after each generation /
+/// iteration, plus the final best design.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OptimisationResult {
+    /// Best gene vector found.
+    pub best_genes: Vec<f64>,
+    /// Fitness of the best gene vector.
+    pub best_fitness: f64,
+    /// Best fitness after each generation (monotone non-decreasing).
+    pub history: Vec<f64>,
+    /// Total number of objective evaluations performed.
+    pub evaluations: usize,
+}
+
+/// Common interface of all optimisers in this crate.
+pub trait Optimizer {
+    /// Runs the optimiser for `iterations` generations/iterations with the
+    /// given RNG `seed` and returns the best design found.
+    fn optimise(
+        &self,
+        objective: &dyn Objective,
+        bounds: &Bounds,
+        iterations: usize,
+        seed: u64,
+    ) -> OptimisationResult;
+
+    /// Human-readable name used in experiment reports.
+    fn name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn bounds_accessors_and_clamping() {
+        let b = Bounds::new(&[(0.0, 1.0), (-2.0, 2.0)]);
+        assert_eq!(b.dimension(), 2);
+        assert_eq!(b.lower(), &[0.0, -2.0]);
+        assert_eq!(b.upper(), &[1.0, 2.0]);
+        assert_eq!(b.widths(), vec![1.0, 4.0]);
+        let mut genes = vec![-1.0, 5.0];
+        b.clamp(&mut genes);
+        assert_eq!(genes, vec![0.0, 2.0]);
+    }
+
+    #[test]
+    fn bounds_sampling_stays_inside() {
+        let b = Bounds::uniform(4, -1.0, 3.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            let s = b.sample(&mut rng);
+            assert_eq!(s.len(), 4);
+            assert!(s.iter().all(|&g| (-1.0..3.0).contains(&g)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "lower bound")]
+    fn inverted_bounds_panic() {
+        let _ = Bounds::new(&[(1.0, 0.0)]);
+    }
+
+    #[test]
+    fn closures_are_objectives() {
+        let f = |genes: &[f64]| -genes[0].abs();
+        assert_eq!(f.evaluate(&[2.0]), -2.0);
+    }
+}

@@ -1,0 +1,206 @@
+//! Nelder–Mead downhill-simplex optimiser (derivative-free local search).
+//!
+//! One of the "other optimisation algorithms" the paper notes can be plugged
+//! into the integrated model; used by the ablation benches to compare against
+//! the GA.
+
+use crate::{Bounds, Objective, OptimisationResult, Optimizer};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Configuration of the Nelder–Mead simplex.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NelderMeadOptions {
+    /// Reflection coefficient (standard value 1.0).
+    pub reflection: f64,
+    /// Expansion coefficient (standard value 2.0).
+    pub expansion: f64,
+    /// Contraction coefficient (standard value 0.5).
+    pub contraction: f64,
+    /// Shrink coefficient (standard value 0.5).
+    pub shrink: f64,
+    /// Size of the initial simplex as a fraction of each gene's range.
+    pub initial_size: f64,
+}
+
+impl Default for NelderMeadOptions {
+    fn default() -> Self {
+        NelderMeadOptions {
+            reflection: 1.0,
+            expansion: 2.0,
+            contraction: 0.5,
+            shrink: 0.5,
+            initial_size: 0.2,
+        }
+    }
+}
+
+/// The Nelder–Mead simplex optimiser (maximisation form).
+#[derive(Debug, Clone, Default)]
+pub struct NelderMead {
+    options: NelderMeadOptions,
+}
+
+impl NelderMead {
+    /// Creates an optimiser with the given options.
+    pub fn new(options: NelderMeadOptions) -> Self {
+        NelderMead { options }
+    }
+}
+
+impl Optimizer for NelderMead {
+    fn name(&self) -> &'static str {
+        "nelder-mead"
+    }
+
+    fn optimise(
+        &self,
+        objective: &dyn Objective,
+        bounds: &Bounds,
+        iterations: usize,
+        seed: u64,
+    ) -> OptimisationResult {
+        let opts = &self.options;
+        let n = bounds.dimension();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let widths = bounds.widths();
+
+        // Initial simplex: a random point plus axis-aligned offsets.
+        let origin = bounds.sample(&mut rng);
+        let mut simplex: Vec<Vec<f64>> = vec![origin.clone()];
+        for i in 0..n {
+            let mut vertex = origin.clone();
+            vertex[i] += opts.initial_size * widths[i];
+            bounds.clamp(&mut vertex);
+            simplex.push(vertex);
+        }
+        let mut values: Vec<f64> = simplex.iter().map(|v| objective.evaluate(v)).collect();
+        let mut evaluations = simplex.len();
+        let mut history = Vec::with_capacity(iterations + 1);
+        history.push(values.iter().cloned().fold(f64::NEG_INFINITY, f64::max));
+
+        for _ in 0..iterations {
+            // Sort descending by fitness (maximisation).
+            let mut order: Vec<usize> = (0..simplex.len()).collect();
+            order.sort_by(|&a, &b| values[b].partial_cmp(&values[a]).unwrap());
+            simplex = order.iter().map(|&i| simplex[i].clone()).collect();
+            values = order.iter().map(|&i| values[i]).collect();
+
+            let worst = simplex.len() - 1;
+            // Centroid of all but the worst vertex.
+            let mut centroid = vec![0.0; n];
+            for vertex in simplex.iter().take(worst) {
+                for (c, v) in centroid.iter_mut().zip(vertex.iter()) {
+                    *c += v / worst as f64;
+                }
+            }
+
+            let make_point = |coef: f64| {
+                let mut p: Vec<f64> = centroid
+                    .iter()
+                    .zip(simplex[worst].iter())
+                    .map(|(c, w)| c + coef * (c - w))
+                    .collect();
+                bounds.clamp(&mut p);
+                p
+            };
+
+            let reflected = make_point(opts.reflection);
+            let f_reflected = objective.evaluate(&reflected);
+            evaluations += 1;
+
+            if f_reflected > values[0] {
+                // Try to expand further.
+                let expanded = make_point(opts.expansion);
+                let f_expanded = objective.evaluate(&expanded);
+                evaluations += 1;
+                if f_expanded > f_reflected {
+                    simplex[worst] = expanded;
+                    values[worst] = f_expanded;
+                } else {
+                    simplex[worst] = reflected;
+                    values[worst] = f_reflected;
+                }
+            } else if f_reflected > values[worst - 1] {
+                simplex[worst] = reflected;
+                values[worst] = f_reflected;
+            } else {
+                // Contract towards the centroid.
+                let contracted = make_point(-opts.contraction);
+                let f_contracted = objective.evaluate(&contracted);
+                evaluations += 1;
+                if f_contracted > values[worst] {
+                    simplex[worst] = contracted;
+                    values[worst] = f_contracted;
+                } else {
+                    // Shrink the whole simplex towards the best vertex.
+                    let best = simplex[0].clone();
+                    for (vertex, value) in simplex.iter_mut().zip(values.iter_mut()).skip(1) {
+                        for (v, b) in vertex.iter_mut().zip(best.iter()) {
+                            *v = b + opts.shrink * (*v - b);
+                        }
+                        bounds.clamp(vertex);
+                        *value = objective.evaluate(vertex);
+                        evaluations += 1;
+                    }
+                }
+            }
+            let best_now = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            history.push(history.last().unwrap().max(best_now));
+        }
+
+        let best_index = values
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        OptimisationResult {
+            best_genes: simplex[best_index].clone(),
+            best_fitness: values[best_index],
+            history,
+            evaluations,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sphere(genes: &[f64]) -> f64 {
+        -genes.iter().map(|g| g * g).sum::<f64>()
+    }
+
+    #[test]
+    fn converges_on_the_sphere_function() {
+        let nm = NelderMead::default();
+        let bounds = Bounds::uniform(3, -4.0, 4.0);
+        let result = nm.optimise(&sphere, &bounds, 200, 11);
+        assert!(result.best_fitness > -1e-3, "fitness {}", result.best_fitness);
+        assert!(result.best_genes.iter().all(|g| g.abs() < 0.1));
+    }
+
+    #[test]
+    fn respects_bounds() {
+        let nm = NelderMead::default();
+        let bounds = Bounds::new(&[(1.0, 2.0)]);
+        // Unconstrained optimum at 0 lies outside the box, so the optimiser
+        // should end up pinned at the lower bound.
+        let result = nm.optimise(&sphere, &bounds, 100, 2);
+        assert!(result.best_genes[0] >= 1.0);
+        assert!((result.best_genes[0] - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn history_is_monotone() {
+        let nm = NelderMead::default();
+        let bounds = Bounds::uniform(2, -1.0, 1.0);
+        let result = nm.optimise(&sphere, &bounds, 50, 3);
+        for w in result.history.windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+        assert!(result.evaluations >= 50);
+        assert_eq!(nm.name(), "nelder-mead");
+    }
+}

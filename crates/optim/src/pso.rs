@@ -1,0 +1,174 @@
+//! Particle-swarm optimisation — another "other algorithm" that can drive the
+//! integrated harvester model; used by the optimiser-comparison ablation.
+
+use crate::{Bounds, Objective, OptimisationResult, Optimizer};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of the particle swarm.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PsoOptions {
+    /// Number of particles.
+    pub swarm_size: usize,
+    /// Inertia weight.
+    pub inertia: f64,
+    /// Cognitive (personal-best) acceleration coefficient.
+    pub cognitive: f64,
+    /// Social (global-best) acceleration coefficient.
+    pub social: f64,
+    /// Maximum speed as a fraction of each gene's range.
+    pub max_velocity: f64,
+}
+
+impl Default for PsoOptions {
+    fn default() -> Self {
+        PsoOptions {
+            swarm_size: 40,
+            inertia: 0.72,
+            cognitive: 1.49,
+            social: 1.49,
+            max_velocity: 0.2,
+        }
+    }
+}
+
+/// Particle-swarm optimiser (maximisation form).
+#[derive(Debug, Clone, Default)]
+pub struct ParticleSwarm {
+    options: PsoOptions,
+}
+
+impl ParticleSwarm {
+    /// Creates a PSO optimiser with the given options.
+    pub fn new(options: PsoOptions) -> Self {
+        ParticleSwarm { options }
+    }
+}
+
+impl Optimizer for ParticleSwarm {
+    fn name(&self) -> &'static str {
+        "particle-swarm"
+    }
+
+    fn optimise(
+        &self,
+        objective: &dyn Objective,
+        bounds: &Bounds,
+        iterations: usize,
+        seed: u64,
+    ) -> OptimisationResult {
+        let opts = &self.options;
+        assert!(opts.swarm_size >= 2, "swarm needs at least two particles");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = bounds.dimension();
+        let widths = bounds.widths();
+        let vmax: Vec<f64> = widths.iter().map(|w| w * opts.max_velocity).collect();
+
+        let mut positions: Vec<Vec<f64>> =
+            (0..opts.swarm_size).map(|_| bounds.sample(&mut rng)).collect();
+        let mut velocities: Vec<Vec<f64>> = (0..opts.swarm_size)
+            .map(|_| {
+                (0..n)
+                    .map(|j| rng.gen_range(-vmax[j]..vmax[j]))
+                    .collect::<Vec<f64>>()
+            })
+            .collect();
+        let mut fitness: Vec<f64> = positions.iter().map(|p| objective.evaluate(p)).collect();
+        let mut evaluations = opts.swarm_size;
+
+        let mut personal_best = positions.clone();
+        let mut personal_best_fitness = fitness.clone();
+        let mut global_best_index = argmax(&fitness);
+        let mut global_best = positions[global_best_index].clone();
+        let mut global_best_fitness = fitness[global_best_index];
+
+        let mut history = vec![global_best_fitness];
+
+        for _ in 0..iterations {
+            for i in 0..opts.swarm_size {
+                for j in 0..n {
+                    let r1: f64 = rng.gen_range(0.0..1.0);
+                    let r2: f64 = rng.gen_range(0.0..1.0);
+                    let v = opts.inertia * velocities[i][j]
+                        + opts.cognitive * r1 * (personal_best[i][j] - positions[i][j])
+                        + opts.social * r2 * (global_best[j] - positions[i][j]);
+                    velocities[i][j] = v.clamp(-vmax[j], vmax[j]);
+                    positions[i][j] += velocities[i][j];
+                }
+                bounds.clamp(&mut positions[i]);
+                fitness[i] = objective.evaluate(&positions[i]);
+                evaluations += 1;
+                if fitness[i] > personal_best_fitness[i] {
+                    personal_best_fitness[i] = fitness[i];
+                    personal_best[i] = positions[i].clone();
+                }
+            }
+            global_best_index = argmax(&personal_best_fitness);
+            if personal_best_fitness[global_best_index] > global_best_fitness {
+                global_best_fitness = personal_best_fitness[global_best_index];
+                global_best = personal_best[global_best_index].clone();
+            }
+            history.push(global_best_fitness);
+        }
+
+        OptimisationResult {
+            best_genes: global_best,
+            best_fitness: global_best_fitness,
+            history,
+            evaluations,
+        }
+    }
+}
+
+fn argmax(values: &[f64]) -> usize {
+    let mut best = 0;
+    for (i, v) in values.iter().enumerate() {
+        if *v > values[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sphere(genes: &[f64]) -> f64 {
+        -genes.iter().map(|g| g * g).sum::<f64>()
+    }
+
+    #[test]
+    fn converges_on_the_sphere_function() {
+        let pso = ParticleSwarm::default();
+        let bounds = Bounds::uniform(4, -10.0, 10.0);
+        let result = pso.optimise(&sphere, &bounds, 120, 17);
+        assert!(result.best_fitness > -1e-2, "fitness {}", result.best_fitness);
+    }
+
+    #[test]
+    fn history_is_monotone_and_bounded_solutions() {
+        let pso = ParticleSwarm::new(PsoOptions {
+            swarm_size: 15,
+            ..PsoOptions::default()
+        });
+        let bounds = Bounds::new(&[(0.0, 1.0), (2.0, 3.0)]);
+        let result = pso.optimise(&sphere, &bounds, 40, 4);
+        for w in result.history.windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+        assert!(result.best_genes[0] >= 0.0 && result.best_genes[0] <= 1.0);
+        assert!(result.best_genes[1] >= 2.0 && result.best_genes[1] <= 3.0);
+        assert_eq!(result.evaluations, 15 + 40 * 15);
+        assert_eq!(pso.name(), "particle-swarm");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let pso = ParticleSwarm::default();
+        let bounds = Bounds::uniform(3, -2.0, 2.0);
+        let a = pso.optimise(&sphere, &bounds, 20, 5);
+        let b = pso.optimise(&sphere, &bounds, 20, 5);
+        assert_eq!(a.best_genes, b.best_genes);
+    }
+}

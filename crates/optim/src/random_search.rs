@@ -1,0 +1,109 @@
+//! Uniform random search — the sanity-check baseline for the optimiser
+//! comparison ablation (any structured optimiser should beat it for the same
+//! evaluation budget).
+
+use crate::{Bounds, Objective, OptimisationResult, Optimizer};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Uniform random search over the bounded design space.
+///
+/// Each "iteration" draws `batch_size` candidates, mirroring one generation
+/// of a population-based optimiser so evaluation budgets are comparable.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RandomSearch {
+    /// Candidates evaluated per iteration.
+    pub batch_size: usize,
+}
+
+impl Default for RandomSearch {
+    fn default() -> Self {
+        RandomSearch { batch_size: 100 }
+    }
+}
+
+impl RandomSearch {
+    /// Creates a random search with the given per-iteration batch size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size` is zero.
+    pub fn new(batch_size: usize) -> Self {
+        assert!(batch_size > 0, "batch size must be positive");
+        RandomSearch { batch_size }
+    }
+}
+
+impl Optimizer for RandomSearch {
+    fn name(&self) -> &'static str {
+        "random-search"
+    }
+
+    fn optimise(
+        &self,
+        objective: &dyn Objective,
+        bounds: &Bounds,
+        iterations: usize,
+        seed: u64,
+    ) -> OptimisationResult {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut best_genes = bounds.sample(&mut rng);
+        let mut best_fitness = objective.evaluate(&best_genes);
+        let mut evaluations = 1;
+        let mut history = vec![best_fitness];
+        for _ in 0..iterations {
+            for _ in 0..self.batch_size {
+                let candidate = bounds.sample(&mut rng);
+                let fitness = objective.evaluate(&candidate);
+                evaluations += 1;
+                if fitness > best_fitness {
+                    best_fitness = fitness;
+                    best_genes = candidate;
+                }
+            }
+            history.push(best_fitness);
+        }
+        OptimisationResult {
+            best_genes,
+            best_fitness,
+            history,
+            evaluations,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sphere(genes: &[f64]) -> f64 {
+        -genes.iter().map(|g| g * g).sum::<f64>()
+    }
+
+    #[test]
+    fn improves_with_more_iterations() {
+        let rs = RandomSearch::new(20);
+        let bounds = Bounds::uniform(3, -5.0, 5.0);
+        let short = rs.optimise(&sphere, &bounds, 2, 8);
+        let long = rs.optimise(&sphere, &bounds, 60, 8);
+        assert!(long.best_fitness >= short.best_fitness);
+        assert_eq!(long.evaluations, 1 + 60 * 20);
+    }
+
+    #[test]
+    fn history_is_monotone_and_name_is_stable() {
+        let rs = RandomSearch::default();
+        let bounds = Bounds::uniform(2, -1.0, 1.0);
+        let result = rs.optimise(&sphere, &bounds, 10, 3);
+        for w in result.history.windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+        assert_eq!(rs.name(), "random-search");
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size must be positive")]
+    fn zero_batch_is_rejected() {
+        let _ = RandomSearch::new(0);
+    }
+}
