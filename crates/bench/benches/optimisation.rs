@@ -114,5 +114,10 @@ fn optimiser_comparison(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(optimisation, table2_ga_generation, cpu_split, optimiser_comparison);
+criterion_group!(
+    optimisation,
+    table2_ga_generation,
+    cpu_split,
+    optimiser_comparison
+);
 criterion_main!(optimisation);

@@ -318,7 +318,10 @@ mod tests {
             2.5,
             120.0,
         );
-        assert!(one < 2.0 * 2.5, "a single stage cannot exceed twice the peak: {one}");
+        assert!(
+            one < 2.0 * 2.5,
+            "a single stage cannot exceed twice the peak: {one}"
+        );
         assert!(
             three > 1.4 * one,
             "more stages must boost substantially more: {three} vs {one}"
@@ -364,7 +367,10 @@ mod tests {
             BoosterConfig::Transformer(TransformerBoosterParams::unoptimised()).label(),
             "transformer-booster"
         );
-        assert_eq!(BoosterConfig::HalfWaveRectifier.label(), "half-wave-rectifier");
+        assert_eq!(
+            BoosterConfig::HalfWaveRectifier.label(),
+            "half-wave-rectifier"
+        );
     }
 
     #[test]

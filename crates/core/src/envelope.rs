@@ -167,8 +167,8 @@ impl EnvelopeSimulator {
             voltages.push(v);
             currents.push(i);
         }
-        let interpolator = LinearInterpolator::new(voltages, currents)
-            .map_err(MnaError::Numerics)?;
+        let interpolator =
+            LinearInterpolator::new(voltages, currents).map_err(MnaError::Numerics)?;
         Ok(ChargingCharacteristic { interpolator })
     }
 
@@ -230,7 +230,12 @@ impl EnvelopeSimulator {
         // for ever; the series resistance damps the ringing within a few
         // steps while leaving the cycle-averaged current unchanged.
         let clamp_internal = circuit.node("clamp_internal");
-        circuit.add(Resistor::new("clamp_series", nodes.storage, clamp_internal, 10.0));
+        circuit.add(Resistor::new(
+            "clamp_series",
+            nodes.storage,
+            clamp_internal,
+            10.0,
+        ));
         circuit.add(VoltageSource::new(
             "clamp",
             clamp_internal,
@@ -315,7 +320,10 @@ mod tests {
         assert_eq!(points.len(), 4);
         let i_low = characteristic.current_at(0.0);
         let i_high = characteristic.current_at(3.0);
-        assert!(i_low > 0.0, "empty storage must draw positive charge current");
+        assert!(
+            i_low > 0.0,
+            "empty storage must draw positive charge current"
+        );
         assert!(
             i_high < i_low,
             "charging current must fall as the storage fills: {i_high} vs {i_low}"
@@ -332,7 +340,10 @@ mod tests {
         let sim = EnvelopeSimulator::new(config, quick_envelope_options());
         let curve = sim.charge_curve().unwrap();
         assert_eq!(curve.times.len(), curve.voltages.len());
-        assert!(curve.final_voltage() > 0.1, "storage should charge appreciably");
+        assert!(
+            curve.final_voltage() > 0.1,
+            "storage should charge appreciably"
+        );
         for w in curve.voltages.windows(2) {
             assert!(w[1] >= w[0] - 1e-6, "charging curve must be non-decreasing");
         }

@@ -73,11 +73,8 @@ impl CouplingFunction {
         // guarantees a monotone, overshoot-free reconstruction.
         let inner_at = |z: f64| (big_r * big_r - z * z).sqrt() + (r * r - z * z).max(0.0).sqrt();
         let k_at_r = inner_at(r) * scale;
-        let bridge = MonotoneCubic::new(
-            vec![r, 0.5 * h, h - r],
-            vec![k_at_r, 0.0, -k_at_r],
-        )
-        .expect("bridge knots are strictly increasing for valid geometry");
+        let bridge = MonotoneCubic::new(vec![r, 0.5 * h, h - r], vec![k_at_r, 0.0, -k_at_r])
+            .expect("bridge knots are strictly increasing for valid geometry");
 
         // Tail: from the negative peak at |z| = H back to zero once the coil
         // has fully left the magnet structure at |z| = H + R.
@@ -175,14 +172,22 @@ mod tests {
         let p = MicroGeneratorParams::unoptimised();
         let k = coupling();
         assert!((k.peak() - p.coupling_at_rest()).abs() < 1e-12);
-        assert!((k.value(0.0) - 2.0 * p.flux_density * p.coil_turns * (p.outer_radius + p.inner_radius)).abs() < 1e-12);
+        assert!(
+            (k.value(0.0)
+                - 2.0 * p.flux_density * p.coil_turns * (p.outer_radius + p.inner_radius))
+                .abs()
+                < 1e-12
+        );
     }
 
     #[test]
     fn function_is_even() {
         let k = coupling();
         for &z in &[0.1e-3, 0.5e-3, 1.0e-3, 2.0e-3, 2.9e-3, 3.5e-3] {
-            assert!((k.value(z) - k.value(-z)).abs() < 1e-12, "k must be even in z");
+            assert!(
+                (k.value(z) - k.value(-z)).abs() < 1e-12,
+                "k must be even in z"
+            );
         }
     }
 
@@ -214,14 +219,23 @@ mod tests {
         let p = MicroGeneratorParams::unoptimised();
         let k = coupling();
         assert_eq!(k.section(0.0), CouplingSection::Inner);
-        assert_eq!(k.section(0.5 * (p.inner_radius + p.outer_radius)), CouplingSection::InnerTransition);
+        assert_eq!(
+            k.section(0.5 * (p.inner_radius + p.outer_radius)),
+            CouplingSection::InnerTransition
+        );
         assert_eq!(k.section(0.5 * p.magnet_height), CouplingSection::Bridge);
         assert_eq!(
             k.section(p.magnet_height - 0.5 * (p.inner_radius + p.outer_radius)),
             CouplingSection::OuterTransition
         );
-        assert_eq!(k.section(p.magnet_height - 0.5 * p.inner_radius), CouplingSection::Outer);
-        assert_eq!(k.section(p.magnet_height + 0.5 * p.outer_radius), CouplingSection::Tail);
+        assert_eq!(
+            k.section(p.magnet_height - 0.5 * p.inner_radius),
+            CouplingSection::Outer
+        );
+        assert_eq!(
+            k.section(p.magnet_height + 0.5 * p.outer_radius),
+            CouplingSection::Tail
+        );
         assert_eq!(k.section(2.0 * p.magnet_height), CouplingSection::Beyond);
     }
 

@@ -173,7 +173,10 @@ impl Device for ElectromechanicalGenerator {
         // Eq. (5): v = vem − Rc·i_ext − Lc·di_ext/dt with vem = k(z)·ż and
         // i_ext = −i, i.e. v(+) − v(−) − k(z)·u − Rc·i − Lc·di/dt = 0.
         let v = ctx.voltage_between(self.positive, self.negative);
-        ctx.add_equation(0, v - k * u - p.coil_resistance * i - p.coil_inductance * di.derivative);
+        ctx.add_equation(
+            0,
+            v - k * u - p.coil_resistance * i - p.coil_inductance * di.derivative,
+        );
         ctx.add_equation_derivative(0, Unknown::Node(self.positive), 1.0);
         ctx.add_equation_derivative(0, Unknown::Node(self.negative), -1.0);
         ctx.add_equation_derivative(
@@ -203,7 +206,10 @@ impl Device for ElectromechanicalGenerator {
 /// Steady-state velocity amplitude of the *unloaded* (open-circuit) linear
 /// generator under the given vibration — the classic forced-oscillator
 /// response `|U| = m·A·ω / √((ks − m·ω²)² + (cp·ω)²)`.
-pub fn open_circuit_velocity_amplitude(params: &MicroGeneratorParams, vibration: &Vibration) -> f64 {
+pub fn open_circuit_velocity_amplitude(
+    params: &MicroGeneratorParams,
+    vibration: &Vibration,
+) -> f64 {
     let omega = vibration.angular_frequency();
     let forcing = params.mass * vibration.acceleration_amplitude;
     let stiffness_term = params.stiffness - params.mass * omega * omega;
@@ -296,13 +302,27 @@ mod tests {
         let vib = Vibration::paper_benchtop();
         match model {
             GeneratorModel::Analytical => c.add(ElectromechanicalGenerator::analytical(
-                "EH", out, Circuit::GROUND, params, vib,
+                "EH",
+                out,
+                Circuit::GROUND,
+                params,
+                vib,
             )),
-            GeneratorModel::EquivalentCircuit => c.add(ElectromechanicalGenerator::equivalent_circuit(
-                "EH", out, Circuit::GROUND, params, vib,
-            )),
+            GeneratorModel::EquivalentCircuit => {
+                c.add(ElectromechanicalGenerator::equivalent_circuit(
+                    "EH",
+                    out,
+                    Circuit::GROUND,
+                    params,
+                    vib,
+                ))
+            }
             GeneratorModel::IdealSource => c.add(IdealSourceGenerator::new(
-                "EH", out, Circuit::GROUND, params, vib,
+                "EH",
+                out,
+                Circuit::GROUND,
+                params,
+                vib,
             )),
         }
         c.add(Resistor::new("RL", out, Circuit::GROUND, load_ohms));
@@ -313,10 +333,8 @@ mod tests {
     fn open_circuit_velocity_peaks_at_resonance() {
         let p = MicroGeneratorParams::unoptimised();
         let f0 = p.resonant_frequency();
-        let at_resonance =
-            open_circuit_velocity_amplitude(&p, &Vibration::new(1.0, f0));
-        let off_resonance =
-            open_circuit_velocity_amplitude(&p, &Vibration::new(1.0, f0 * 1.5));
+        let at_resonance = open_circuit_velocity_amplitude(&p, &Vibration::new(1.0, f0));
+        let off_resonance = open_circuit_velocity_amplitude(&p, &Vibration::new(1.0, f0 * 1.5));
         assert!(at_resonance > 3.0 * off_resonance);
         // At resonance the closed form reduces to m·A/cp.
         assert!((at_resonance - p.mass * 1.0 / p.damping).abs() / at_resonance < 1e-6);
@@ -328,8 +346,14 @@ mod tests {
         let result = TransientAnalysis::new(options(0.3)).run(&c).unwrap();
         let v = result.voltage(out);
         let v_peak = peak(&v[v.len() / 2..]);
-        assert!(v_peak > 0.05, "loaded output should be tens of mV at least, got {v_peak}");
-        assert!(v_peak < 5.0, "loaded output should stay physical, got {v_peak}");
+        assert!(
+            v_peak > 0.05,
+            "loaded output should be tens of mV at least, got {v_peak}"
+        );
+        assert!(
+            v_peak < 5.0,
+            "loaded output should stay physical, got {v_peak}"
+        );
         // Displacement stays inside the magnet structure.
         let z = result.probe("EH", "z").unwrap();
         let z_peak = peak(&z);
@@ -366,19 +390,14 @@ mod tests {
         // tail so the single-bin Fourier estimate does not suffer leakage.
         let window = (10.0 / vib.frequency_hz / dt).round() as usize;
         let tail = |v: Vec<f64>| v[v.len() - window..].to_vec();
-        let thd_lin = total_harmonic_distortion(
-            &tail(r_lin.voltage(out_lin)),
-            dt,
-            vib.frequency_hz,
-            7,
+        let thd_lin =
+            total_harmonic_distortion(&tail(r_lin.voltage(out_lin)), dt, vib.frequency_hz, 7);
+        let thd_nonlin =
+            total_harmonic_distortion(&tail(r_nonlin.voltage(out_nonlin)), dt, vib.frequency_hz, 7);
+        assert!(
+            thd_lin < 0.1,
+            "linear model must stay sinusoidal, THD={thd_lin}"
         );
-        let thd_nonlin = total_harmonic_distortion(
-            &tail(r_nonlin.voltage(out_nonlin)),
-            dt,
-            vib.frequency_hz,
-            7,
-        );
-        assert!(thd_lin < 0.1, "linear model must stay sinusoidal, THD={thd_lin}");
         assert!(
             thd_nonlin > 2.0 * thd_lin,
             "non-linear model must distort more: {thd_nonlin} vs {thd_lin}"
@@ -427,7 +446,8 @@ mod tests {
         assert!(g.is_nonlinear());
         assert_eq!(g.params().coil_turns, 2300.0);
         assert_eq!(g.vibration().frequency_hz, vib.frequency_hz);
-        let lin = ElectromechanicalGenerator::equivalent_circuit("EH2", out, Circuit::GROUND, p, vib);
+        let lin =
+            ElectromechanicalGenerator::equivalent_circuit("EH2", out, Circuit::GROUND, p, vib);
         assert!(!lin.is_nonlinear());
         let ideal = IdealSourceGenerator::new("EH3", out, Circuit::GROUND, p, vib);
         assert_eq!(ideal.extra_unknowns(), 1);

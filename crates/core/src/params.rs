@@ -346,7 +346,10 @@ mod tests {
     fn derived_quantities_are_sensible() {
         let g = MicroGeneratorParams::unoptimised();
         let f = g.resonant_frequency();
-        assert!(f > 40.0 && f < 70.0, "resonance should be tens of Hz, got {f}");
+        assert!(
+            f > 40.0 && f < 70.0,
+            "resonance should be tens of Hz, got {f}"
+        );
         assert!(g.mechanical_q() > 20.0);
         assert!(g.coupling_at_rest() > 1.0 && g.coupling_at_rest() < 10.0);
         assert!(g.is_valid());

@@ -19,8 +19,8 @@
 //! small relative to the structural differences between the model families.
 
 use crate::envelope::{ChargingCurve, EnvelopeOptions, EnvelopeSimulator};
-use crate::system::HarvesterConfig;
 use crate::params::StorageParams;
+use crate::system::HarvesterConfig;
 use harvester_mna::transient::TransientOptions;
 use harvester_mna::MnaError;
 use rand::rngs::StdRng;
@@ -189,13 +189,10 @@ mod tests {
         )
         .charging_curve(quick_envelope())
         .unwrap();
-        let b = ExperimentalReference::with_perturbation(
-            config,
-            ReferencePerturbation::default(),
-            2,
-        )
-        .charging_curve(quick_envelope())
-        .unwrap();
+        let b =
+            ExperimentalReference::with_perturbation(config, ReferencePerturbation::default(), 2)
+                .charging_curve(quick_envelope())
+                .unwrap();
         assert_ne!(a.voltages, b.voltages);
         assert!((a.final_voltage() - b.final_voltage()).abs() < 0.1 * a.final_voltage());
     }

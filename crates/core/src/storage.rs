@@ -91,11 +91,7 @@ impl Device for Supercapacitor {
         ctx.add_equation(0, v_port - v_int - p.series_resistance * i_total);
         ctx.add_equation_derivative(0, Unknown::Node(self.positive), 1.0);
         ctx.add_equation_derivative(0, Unknown::Node(self.negative), -1.0);
-        ctx.add_equation_derivative(
-            0,
-            Unknown::Extra(0),
-            -1.0 - p.series_resistance * di_dvint,
-        );
+        ctx.add_equation_derivative(0, Unknown::Extra(0), -1.0 - p.series_resistance * di_dvint);
     }
 }
 
@@ -128,7 +124,12 @@ mod tests {
             series_resistance: 0.0,
             initial_voltage: 0.0,
         };
-        c.add(VoltageSource::new("V", vin, Circuit::GROUND, Waveform::dc(2.0)));
+        c.add(VoltageSource::new(
+            "V",
+            vin,
+            Circuit::GROUND,
+            Waveform::dc(2.0),
+        ));
         c.add(Resistor::new("R", vin, out, 100.0));
         c.add(Supercapacitor::new("CS", out, Circuit::GROUND, params));
         let result = TransientAnalysis::new(TransientOptions {
@@ -184,7 +185,12 @@ mod tests {
             series_resistance: 10.0,
             initial_voltage: 0.0,
         };
-        c.add(VoltageSource::new("V", vin, Circuit::GROUND, Waveform::dc(1.0)));
+        c.add(VoltageSource::new(
+            "V",
+            vin,
+            Circuit::GROUND,
+            Waveform::dc(1.0),
+        ));
         c.add(Supercapacitor::new("CS", vin, Circuit::GROUND, params));
         let result = TransientAnalysis::new(TransientOptions {
             t_stop: 1e-2,

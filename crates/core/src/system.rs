@@ -5,7 +5,9 @@ use crate::booster::{add_booster, BoosterConfig};
 use crate::flux::CouplingFunction;
 use crate::generator::{ElectromechanicalGenerator, GeneratorModel, IdealSourceGenerator};
 use crate::metrics;
-use crate::params::{MicroGeneratorParams, StorageParams, TransformerBoosterParams, Vibration, VillardParams};
+use crate::params::{
+    MicroGeneratorParams, StorageParams, TransformerBoosterParams, Vibration, VillardParams,
+};
 use crate::storage::Supercapacitor;
 use harvester_mna::circuit::{Circuit, NodeId};
 use harvester_mna::transient::{TransientAnalysis, TransientOptions, TransientResult};
@@ -324,7 +326,10 @@ mod tests {
         let v = run.storage_voltage();
         let v_end = run.final_storage_voltage();
         assert!(v_end > 0.05, "storage must charge, got {v_end} V");
-        assert!(v_end < 5.0, "storage voltage must stay physical, got {v_end} V");
+        assert!(
+            v_end < 5.0,
+            "storage voltage must stay physical, got {v_end} V"
+        );
         // Monotone non-decreasing apart from tiny numerical ripple.
         let v_mid = v[v.len() / 2];
         assert!(v_end >= v_mid - 1e-3);
@@ -345,7 +350,10 @@ mod tests {
             "cannot deliver more than was harvested (delivered {delivered}, harvested {harvested})"
         );
         let loss = run.efficiency_loss();
-        assert!((0.0..=1.0).contains(&loss), "loss must be a fraction, got {loss}");
+        assert!(
+            (0.0..=1.0).contains(&loss),
+            "loss must be a fraction, got {loss}"
+        );
     }
 
     #[test]

@@ -68,8 +68,7 @@ impl CpuTimeBreakdown {
         if self.with_simulation_seconds <= 0.0 {
             return 0.0;
         }
-        ((self.with_simulation_seconds - self.simulation_only_seconds)
-            .max(self.ga_only_seconds)
+        ((self.with_simulation_seconds - self.simulation_only_seconds).max(self.ga_only_seconds)
             / self.with_simulation_seconds)
             .clamp(0.0, 1.0)
     }

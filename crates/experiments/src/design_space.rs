@@ -39,13 +39,13 @@ pub const GENE_COUNT: usize = 7;
 /// around the paper's Table 1 values).
 pub fn paper_bounds() -> Bounds {
     Bounds::new(&[
-        (0.8e-3, 1.6e-3),   // coil outer radius R
-        (1200.0, 3200.0),   // coil turns N
-        (600.0, 2600.0),    // coil resistance Rc
-        (50.0, 900.0),      // primary winding resistance
-        (800.0, 3200.0),    // primary turns
-        (200.0, 1600.0),    // secondary winding resistance
-        (2000.0, 7000.0),   // secondary turns
+        (0.8e-3, 1.6e-3), // coil outer radius R
+        (1200.0, 3200.0), // coil turns N
+        (600.0, 2600.0),  // coil resistance Rc
+        (50.0, 900.0),    // primary winding resistance
+        (800.0, 3200.0),  // primary turns
+        (200.0, 1600.0),  // secondary winding resistance
+        (2000.0, 7000.0), // secondary turns
     ])
 }
 
@@ -78,7 +78,11 @@ pub fn encode(config: &HarvesterConfig) -> Vec<f64> {
 ///
 /// Panics if `genes` does not have [`GENE_COUNT`] entries.
 pub fn decode(base: &HarvesterConfig, genes: &[f64]) -> HarvesterConfig {
-    assert_eq!(genes.len(), GENE_COUNT, "chromosome must have {GENE_COUNT} genes");
+    assert_eq!(
+        genes.len(),
+        GENE_COUNT,
+        "chromosome must have {GENE_COUNT} genes"
+    );
     let mut config = base.clone();
     // The coil must stay inside the magnet structure (the seven-section
     // coupling function requires H > 2·R), so the radius gene is clamped to
@@ -240,7 +244,10 @@ mod tests {
     #[test]
     fn paper_designs_lie_inside_the_bounds() {
         let bounds = paper_bounds();
-        for config in [HarvesterConfig::unoptimised(), HarvesterConfig::optimised_paper()] {
+        for config in [
+            HarvesterConfig::unoptimised(),
+            HarvesterConfig::optimised_paper(),
+        ] {
             let mut genes = encode(&config);
             let before = genes.clone();
             bounds.clamp(&mut genes);
@@ -271,7 +278,9 @@ mod tests {
         let mut genes = encode(&base);
         genes[Gene::CoilTurns as usize] = 4600.0; // double the turns
         let decoded = decode(&base, &genes);
-        assert!((decoded.generator.coil_inductance - 4.0 * base.generator.coil_inductance).abs() < 1e-9);
+        assert!(
+            (decoded.generator.coil_inductance - 4.0 * base.generator.coil_inductance).abs() < 1e-9
+        );
     }
 
     #[test]

@@ -19,18 +19,10 @@ use harvester_mna::MnaError;
 use harvester_numerics::stats::total_harmonic_distortion;
 
 /// Options for the Fig. 5 charging comparison.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Fig5Options {
     /// Envelope-simulation settings (horizon defaults to 150 minutes).
     pub envelope: EnvelopeOptions,
-}
-
-impl Default for Fig5Options {
-    fn default() -> Self {
-        Fig5Options {
-            envelope: EnvelopeOptions::default(),
-        }
-    }
 }
 
 impl Fig5Options {
@@ -183,7 +175,10 @@ pub struct Fig7Result {
 impl Fig7Result {
     /// THD of the named waveform, if present.
     pub fn thd(&self, label: &str) -> Option<f64> {
-        self.waveforms.iter().find(|w| w.label == label).map(|w| w.thd)
+        self.waveforms
+            .iter()
+            .find(|w| w.label == label)
+            .map(|w| w.thd)
     }
 
     /// Summary table of waveform distortion (the figure's quantitative
@@ -282,7 +277,10 @@ mod tests {
         let ideal = result.final_voltage("ideal-source").unwrap();
         let analytical = result.final_voltage("analytical").unwrap();
         let experimental = result.final_voltage("experimental").unwrap();
-        assert!(experimental > 0.05, "reference must charge, got {experimental}");
+        assert!(
+            experimental > 0.05,
+            "reference must charge, got {experimental}"
+        );
         // The paper's headline: the ideal-source model grossly over-predicts,
         // the analytical model tracks the measurement closely.
         assert!(

@@ -83,7 +83,8 @@ impl OptimisationOutcome {
             "optimised (paper Table 2)".to_string(),
         ]);
         let paper = HarvesterConfig::optimised_paper();
-        let rows: Vec<(&str, Box<dyn Fn(&HarvesterConfig) -> String>)> = vec![
+        type ColumnFormatter = Box<dyn Fn(&HarvesterConfig) -> String>;
+        let rows: Vec<(&str, ColumnFormatter)> = vec![
             (
                 "coil outer radius R [mm]",
                 Box::new(|c: &HarvesterConfig| format!("{:.2}", c.generator.outer_radius * 1e3)),
@@ -106,7 +107,9 @@ impl OptimisationOutcome {
             ),
             (
                 "secondary winding resistance [ohm]",
-                Box::new(|c: &HarvesterConfig| format!("{:.0}", transformer(c).secondary_resistance)),
+                Box::new(|c: &HarvesterConfig| {
+                    format!("{:.0}", transformer(c).secondary_resistance)
+                }),
             ),
             (
                 "secondary turns",
@@ -162,7 +165,10 @@ pub fn table1() -> Table {
 
 /// The paper's Table 2 as a formatted table (the authors' optimised design).
 pub fn table2_paper() -> Table {
-    design_table("optimised (paper Table 2)", &HarvesterConfig::optimised_paper())
+    design_table(
+        "optimised (paper Table 2)",
+        &HarvesterConfig::optimised_paper(),
+    )
 }
 
 fn design_table(label: &str, config: &HarvesterConfig) -> Table {
@@ -320,13 +326,12 @@ mod tests {
         // run; the GA-found design is exercised by the examples and benches.
         let mut unopt = HarvesterConfig::unoptimised();
         let mut opt = HarvesterConfig::unoptimised();
-        opt.booster = BoosterConfig::Transformer(
-            harvester_core::params::TransformerBoosterParams {
+        opt.booster =
+            BoosterConfig::Transformer(harvester_core::params::TransformerBoosterParams {
                 primary_resistance: 150.0,
                 secondary_resistance: 400.0,
                 ..harvester_core::params::TransformerBoosterParams::unoptimised()
-            },
-        );
+            });
         opt.generator.coil_resistance = 1100.0;
         for cfg in [&mut unopt, &mut opt] {
             cfg.storage = StorageParams {

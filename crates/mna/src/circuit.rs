@@ -52,7 +52,11 @@ impl fmt::Debug for Circuit {
             .field("nodes", &self.node_names)
             .field(
                 "devices",
-                &self.devices.iter().map(|d| d.name().to_string()).collect::<Vec<_>>(),
+                &self
+                    .devices
+                    .iter()
+                    .map(|d| d.name().to_string())
+                    .collect::<Vec<_>>(),
             )
             .finish()
     }

@@ -61,7 +61,9 @@ pub trait Device {
     /// (`result.probe("device", "unknown")`). Must have length
     /// [`Device::extra_unknowns`]; the default is `x0`, `x1`, ….
     fn unknown_names(&self) -> Vec<String> {
-        (0..self.extra_unknowns()).map(|i| format!("x{i}")).collect()
+        (0..self.extra_unknowns())
+            .map(|i| format!("x{i}"))
+            .collect()
     }
 
     /// Number of persistent state slots (integration history, accumulated
@@ -301,9 +303,7 @@ mod tests {
     use super::*;
     use crate::circuit::Circuit;
 
-    fn make_buffers(
-        n: usize,
-    ) -> (Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>, Matrix) {
+    fn make_buffers(n: usize) -> (Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>, Matrix) {
         (
             vec![0.0; n],
             vec![0.0; 4],
@@ -332,7 +332,6 @@ mod tests {
         ctx.add_current(Circuit::GROUND, 1.0);
         ctx.add_current_derivative(Circuit::GROUND, Unknown::Node(Circuit::GROUND), 1.0);
         assert_eq!(ctx.voltage(Circuit::GROUND), 0.0);
-        drop(ctx);
         assert!(residual.iter().all(|&r| r == 0.0));
     }
 
@@ -356,7 +355,6 @@ mod tests {
         let d = ctx.ddt(0, 3.0);
         assert!((d.derivative - 1000.0).abs() < 1e-9);
         assert!((d.gain - 1000.0).abs() < 1e-9);
-        drop(ctx);
         assert_eq!(new_states[0], 3.0);
         assert!((new_states[1] - 1000.0).abs() < 1e-9);
     }
@@ -411,7 +409,6 @@ mod tests {
         );
         let i = ctx.stamp_conductance(a, b, 0.5);
         assert!((i - 0.5).abs() < 1e-12);
-        drop(ctx);
         assert!((residual[0] - 0.5).abs() < 1e-12);
         assert!((residual[1] + 0.5).abs() < 1e-12);
         assert_eq!(jacobian[(0, 0)], 0.5);

@@ -604,7 +604,12 @@ mod tests {
         let mut c = Circuit::new();
         let vin = c.node("in");
         let mid = c.node("mid");
-        c.add(VoltageSource::new("V", vin, Circuit::GROUND, Waveform::dc(10.0)));
+        c.add(VoltageSource::new(
+            "V",
+            vin,
+            Circuit::GROUND,
+            Waveform::dc(10.0),
+        ));
         c.add(Resistor::new("R1", vin, mid, 1000.0));
         c.add(Resistor::new("R2", mid, Circuit::GROUND, 1000.0));
         let result = TransientAnalysis::new(short_options(1e-3, 1e-4))
@@ -625,7 +630,12 @@ mod tests {
         let out = c.node("out");
         let r = 1_000.0;
         let cap = 1e-6;
-        c.add(VoltageSource::new("V", vin, Circuit::GROUND, Waveform::dc(1.0)));
+        c.add(VoltageSource::new(
+            "V",
+            vin,
+            Circuit::GROUND,
+            Waveform::dc(1.0),
+        ));
         c.add(Resistor::new("R", vin, out, r));
         c.add(Capacitor::new("C", out, Circuit::GROUND, cap));
         let result = TransientAnalysis::new(short_options(3e-3, 1e-6))
@@ -648,7 +658,12 @@ mod tests {
         let mid = c.node("mid");
         let r = 10.0;
         let l = 1e-3;
-        c.add(VoltageSource::new("V", vin, Circuit::GROUND, Waveform::dc(1.0)));
+        c.add(VoltageSource::new(
+            "V",
+            vin,
+            Circuit::GROUND,
+            Waveform::dc(1.0),
+        ));
         c.add(Resistor::new("R", vin, mid, r));
         c.add(Inductor::new("L", mid, Circuit::GROUND, l));
         let result = TransientAnalysis::new(short_options(5e-4, 1e-6))
@@ -681,7 +696,10 @@ mod tests {
         let min = vout.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = vout.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         assert!(min > -0.1, "rectified output should never go far negative");
-        assert!(max > 3.5, "positive half-cycles should pass (minus the diode drop)");
+        assert!(
+            max > 3.5,
+            "positive half-cycles should pass (minus the diode drop)"
+        );
     }
 
     #[test]
@@ -736,7 +754,12 @@ mod tests {
         let mut c = Circuit::new();
         let vin = c.node("in");
         let out = c.node("out");
-        c.add(VoltageSource::new("V", vin, Circuit::GROUND, Waveform::dc(1.0)));
+        c.add(VoltageSource::new(
+            "V",
+            vin,
+            Circuit::GROUND,
+            Waveform::dc(1.0),
+        ));
         c.add(TimedSwitch::new("S", vin, out, 0.5e-3, 2e-3));
         c.add(Resistor::new("R", out, Circuit::GROUND, 1000.0));
         let result = TransientAnalysis::new(short_options(1e-3, 1e-5))

@@ -272,7 +272,11 @@ impl TransientAnalysis {
                 // far from the solution. One-volt-scale steps per iteration
                 // keep it contained without slowing converged steps down.
                 let delta_norm = norm_inf(&delta);
-                let limiter = if delta_norm > 1.0 { 1.0 / delta_norm } else { 1.0 };
+                let limiter = if delta_norm > 1.0 {
+                    1.0 / delta_norm
+                } else {
+                    1.0
+                };
                 for (xi, di) in candidate.iter_mut().zip(delta.iter()) {
                     *xi += limiter * di;
                 }
@@ -470,7 +474,12 @@ mod tests {
         let mut c = Circuit::new();
         let vin = c.node("in");
         let out = c.node("out");
-        c.add(VoltageSource::new("V", vin, Circuit::GROUND, Waveform::dc(1.0)));
+        c.add(VoltageSource::new(
+            "V",
+            vin,
+            Circuit::GROUND,
+            Waveform::dc(1.0),
+        ));
         c.add(Resistor::new("R", vin, out, 1000.0));
         c.add(Capacitor::new("C", out, Circuit::GROUND, 1e-6));
         (c, out)
@@ -495,10 +504,7 @@ mod tests {
     fn empty_circuit_is_rejected() {
         let c = Circuit::new();
         let analysis = TransientAnalysis::new(TransientOptions::default());
-        assert!(matches!(
-            analysis.run(&c),
-            Err(MnaError::InvalidNetlist(_))
-        ));
+        assert!(matches!(analysis.run(&c), Err(MnaError::InvalidNetlist(_))));
     }
 
     #[test]

@@ -159,7 +159,10 @@ impl MonotoneCubic {
         let h10 = t3 - 2.0 * t2 + t;
         let h01 = -2.0 * t3 + 3.0 * t2;
         let h11 = t3 - t2;
-        h00 * self.ys[lo] + h10 * h * self.slopes[lo] + h01 * self.ys[hi] + h11 * h * self.slopes[hi]
+        h00 * self.ys[lo]
+            + h10 * h * self.slopes[lo]
+            + h01 * self.ys[hi]
+            + h11 * h * self.slopes[hi]
     }
 
     /// Derivative of the interpolant at `x`.
@@ -247,11 +250,8 @@ mod tests {
 
     #[test]
     fn monotone_cubic_preserves_monotonicity() {
-        let mc = MonotoneCubic::new(
-            vec![0.0, 1.0, 2.0, 3.0, 4.0],
-            vec![0.0, 0.1, 0.2, 5.0, 5.1],
-        )
-        .unwrap();
+        let mc = MonotoneCubic::new(vec![0.0, 1.0, 2.0, 3.0, 4.0], vec![0.0, 0.1, 0.2, 5.0, 5.1])
+            .unwrap();
         let mut prev = mc.value(0.0);
         let mut x = 0.0;
         while x <= 4.0 {
@@ -273,9 +273,8 @@ mod tests {
 
     #[test]
     fn end_slopes_are_honoured() {
-        let mc =
-            MonotoneCubic::with_end_slopes(vec![0.0, 1.0, 2.0], vec![0.0, 1.0, 2.0], 0.0, 3.0)
-                .unwrap();
+        let mc = MonotoneCubic::with_end_slopes(vec![0.0, 1.0, 2.0], vec![0.0, 1.0, 2.0], 0.0, 3.0)
+            .unwrap();
         assert!((mc.derivative(0.0) - 0.0).abs() < 1e-12);
         assert!((mc.derivative(2.0) - 3.0).abs() < 1e-12);
         // Outside the range it extrapolates with those slopes.

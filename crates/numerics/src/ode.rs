@@ -104,7 +104,7 @@ impl Trajectory {
 }
 
 fn validate_span(t0: f64, t1: f64, dt: f64) -> Result<(), NumericsError> {
-    if !(dt > 0.0) {
+    if dt.is_nan() || dt <= 0.0 {
         return Err(NumericsError::InvalidArgument(format!(
             "step size must be positive, got {dt}"
         )));
@@ -165,8 +165,7 @@ pub fn rk4<S: OdeSystem + ?Sized>(
     validate_span(t0, t1, dt)?;
     let n = system.dimension();
     let mut x = x0.to_vec();
-    let (mut k1, mut k2, mut k3, mut k4) =
-        (vec![0.0; n], vec![0.0; n], vec![0.0; n], vec![0.0; n]);
+    let (mut k1, mut k2, mut k3, mut k4) = (vec![0.0; n], vec![0.0; n], vec![0.0; n], vec![0.0; n]);
     let mut tmp = vec![0.0; n];
     let mut traj = Trajectory::new();
     traj.push(t0, &x);
@@ -597,8 +596,14 @@ mod tests {
 
     #[test]
     fn rkf45_meets_tolerance() {
-        let traj = rkf45_adaptive(&Oscillator, &[1.0, 0.0], 0.0, 10.0, &AdaptiveOptions::default())
-            .unwrap();
+        let traj = rkf45_adaptive(
+            &Oscillator,
+            &[1.0, 0.0],
+            0.0,
+            10.0,
+            &AdaptiveOptions::default(),
+        )
+        .unwrap();
         let last = traj.final_state().unwrap();
         assert!((last[0] - 10.0f64.cos()).abs() < 1e-4);
         assert!((last[1] + 10.0f64.sin()).abs() < 1e-4);
@@ -609,7 +614,10 @@ mod tests {
         let traj = semi_implicit_euler(&Oscillator, &[1.0, 0.0], 0.0, 100.0, 1e-3).unwrap();
         let last = traj.final_state().unwrap();
         let energy = 0.5 * (last[0] * last[0] + last[1] * last[1]);
-        assert!((energy - 0.5).abs() < 1e-2, "symplectic energy drift too big");
+        assert!(
+            (energy - 0.5).abs() < 1e-2,
+            "symplectic energy drift too big"
+        );
     }
 
     #[test]
@@ -638,7 +646,9 @@ mod tests {
 
     #[test]
     fn closure_based_system_works() {
-        let sys = (1usize, |_t: f64, x: &[f64], d: &mut [f64]| d[0] = 2.0 * x[0]);
+        let sys = (1usize, |_t: f64, x: &[f64], d: &mut [f64]| {
+            d[0] = 2.0 * x[0]
+        });
         let traj = rk4(&sys, &[1.0], 0.0, 0.5, 1e-3).unwrap();
         assert!((traj.final_state().unwrap()[0] - 1.0f64.exp()).abs() < 1e-6);
     }

@@ -126,8 +126,8 @@ pub fn brent<F: Fn(f64) -> f64>(
             b - fb * (b - a) / (fb - fa)
         };
         let lower = (3.0 * a + b) / 4.0;
-        let cond1 = !((s > lower.min(b) && s < lower.max(b))
-            || (s > b.min(lower) && s < b.max(lower)));
+        let cond1 =
+            !((s > lower.min(b) && s < lower.max(b)) || (s > b.min(lower) && s < b.max(lower)));
         let cond2 = mflag && (s - b).abs() >= (b - c).abs() / 2.0;
         let cond3 = !mflag && (s - b).abs() >= (c - d).abs() / 2.0;
         let cond4 = mflag && (b - c).abs() < options.x_tolerance;

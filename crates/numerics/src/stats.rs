@@ -192,12 +192,17 @@ mod tests {
         let f = 50.0;
         let dt = 1e-4;
         let n = 2000;
-        let sine: Vec<f64> = (0..n).map(|k| (2.0 * PI * f * k as f64 * dt).sin()).collect();
+        let sine: Vec<f64> = (0..n)
+            .map(|k| (2.0 * PI * f * k as f64 * dt).sin())
+            .collect();
         let square: Vec<f64> = sine.iter().map(|s| s.signum()).collect();
         let thd_sine = total_harmonic_distortion(&sine, dt, f, 9);
         let thd_square = total_harmonic_distortion(&square, dt, f, 9);
         assert!(thd_sine < 0.05, "sine THD should be tiny, got {thd_sine}");
-        assert!(thd_square > 0.3, "square THD should be large, got {thd_square}");
+        assert!(
+            thd_square > 0.3,
+            "square THD should be large, got {thd_square}"
+        );
     }
 
     #[test]

@@ -76,7 +76,10 @@ impl Optimizer for GeneticAlgorithm {
         seed: u64,
     ) -> OptimisationResult {
         let opts = &self.options;
-        assert!(opts.population_size >= 2, "population must hold at least two chromosomes");
+        assert!(
+            opts.population_size >= 2,
+            "population must hold at least two chromosomes"
+        );
         assert!(
             opts.elite_count < opts.population_size,
             "elite count must be smaller than the population"
@@ -104,10 +107,16 @@ impl Optimizer for GeneticAlgorithm {
             let mut order: Vec<usize> = (0..population.len()).collect();
             order.sort_by(|&a, &b| fitness[b].partial_cmp(&fitness[a]).unwrap());
 
-            let mut next_population: Vec<Vec<f64>> =
-                order.iter().take(opts.elite_count).map(|&i| population[i].clone()).collect();
-            let mut next_fitness: Vec<f64> =
-                order.iter().take(opts.elite_count).map(|&i| fitness[i]).collect();
+            let mut next_population: Vec<Vec<f64>> = order
+                .iter()
+                .take(opts.elite_count)
+                .map(|&i| population[i].clone())
+                .collect();
+            let mut next_fitness: Vec<f64> = order
+                .iter()
+                .take(opts.elite_count)
+                .map(|&i| fitness[i])
+                .collect();
 
             while next_population.len() < opts.population_size {
                 let parent_a = tournament(&fitness, opts.tournament_size, &mut rng);
@@ -224,7 +233,11 @@ mod tests {
         });
         let bounds = Bounds::uniform(4, -10.0, 10.0);
         let result = ga.optimise(&sphere, &bounds, 80, 1);
-        assert!(result.best_fitness > -0.5, "fitness {}", result.best_fitness);
+        assert!(
+            result.best_fitness > -0.5,
+            "fitness {}",
+            result.best_fitness
+        );
         assert!(result.best_genes.iter().all(|g| g.abs() < 1.0));
         assert_eq!(result.evaluations, 50 + 80 * 48);
     }
@@ -239,7 +252,11 @@ mod tests {
         let bounds = Bounds::uniform(2, -5.12, 5.12);
         let result = ga.optimise(&rastrigin, &bounds, 100, 3);
         // Not necessarily the global optimum, but well inside the good basin.
-        assert!(result.best_fitness > -5.0, "fitness {}", result.best_fitness);
+        assert!(
+            result.best_fitness > -5.0,
+            "fitness {}",
+            result.best_fitness
+        );
     }
 
     #[test]

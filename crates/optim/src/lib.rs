@@ -81,7 +81,10 @@ impl Bounds {
     pub fn new(limits: &[(f64, f64)]) -> Self {
         assert!(!limits.is_empty(), "bounds must cover at least one gene");
         for (i, (lo, hi)) in limits.iter().enumerate() {
-            assert!(lo < hi, "gene {i}: lower bound {lo} must be below upper bound {hi}");
+            assert!(
+                lo < hi,
+                "gene {i}: lower bound {lo} must be below upper bound {hi}"
+            );
         }
         Bounds {
             lower: limits.iter().map(|l| l.0).collect(),

@@ -177,7 +177,11 @@ mod tests {
         let nm = NelderMead::default();
         let bounds = Bounds::uniform(3, -4.0, 4.0);
         let result = nm.optimise(&sphere, &bounds, 200, 11);
-        assert!(result.best_fitness > -1e-3, "fitness {}", result.best_fitness);
+        assert!(
+            result.best_fitness > -1e-3,
+            "fitness {}",
+            result.best_fitness
+        );
         assert!(result.best_genes.iter().all(|g| g.abs() < 0.1));
     }
 

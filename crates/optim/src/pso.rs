@@ -64,8 +64,9 @@ impl Optimizer for ParticleSwarm {
         let widths = bounds.widths();
         let vmax: Vec<f64> = widths.iter().map(|w| w * opts.max_velocity).collect();
 
-        let mut positions: Vec<Vec<f64>> =
-            (0..opts.swarm_size).map(|_| bounds.sample(&mut rng)).collect();
+        let mut positions: Vec<Vec<f64>> = (0..opts.swarm_size)
+            .map(|_| bounds.sample(&mut rng))
+            .collect();
         let mut velocities: Vec<Vec<f64>> = (0..opts.swarm_size)
             .map(|_| {
                 (0..n)
@@ -143,7 +144,11 @@ mod tests {
         let pso = ParticleSwarm::default();
         let bounds = Bounds::uniform(4, -10.0, 10.0);
         let result = pso.optimise(&sphere, &bounds, 120, 17);
-        assert!(result.best_fitness > -1e-2, "fitness {}", result.best_fitness);
+        assert!(
+            result.best_fitness > -1e-2,
+            "fitness {}",
+            result.best_fitness
+        );
     }
 
     #[test]

@@ -1,0 +1,161 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! This build environment has no network access, so the workspace vendors the
+//! API subset its benches use: [`Criterion::benchmark_group`], the group
+//! configuration setters, [`Bencher::iter`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros. Instead of criterion's full statistical
+//! machinery it times `sample_size` batches (bounded by `measurement_time`)
+//! and prints min/mean/max per benchmark — enough for quick local comparisons
+//! and for CI to keep the bench targets compiling. Swap the workspace
+//! `criterion` path dependency for the registry crate for real statistics.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::hint::black_box;
+use std::marker::PhantomData;
+use std::time::{Duration, Instant};
+
+/// Measurement strategies, mirroring `criterion::measurement`.
+pub mod measurement {
+    /// Wall-clock time measurement (the only strategy this stand-in offers).
+    #[derive(Clone, Copy, Debug, Default)]
+    pub struct WallTime;
+}
+
+/// The benchmark manager handed to every `criterion_group!` target.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(
+        &mut self,
+        name: impl Into<String>,
+    ) -> BenchmarkGroup<'_, measurement::WallTime> {
+        let name = name.into();
+        println!("\ngroup: {name}");
+        BenchmarkGroup {
+            name,
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(500),
+            measurement_time: Duration::from_secs(5),
+            _criterion: PhantomData,
+        }
+    }
+}
+
+/// A group of benchmarks sharing configuration, mirroring
+/// `criterion::BenchmarkGroup`.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a, M> {
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    _criterion: PhantomData<(&'a mut Criterion, M)>,
+}
+
+impl<M> BenchmarkGroup<'_, M> {
+    /// Sets how many timed samples to collect per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets how long to run the routine untimed before sampling.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Caps the total time spent collecting timed samples.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Times one benchmark routine and prints a summary line.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let mut bencher = Bencher {
+            elapsed: Duration::ZERO,
+        };
+
+        // Warm-up: run untimed until the warm-up budget is spent.
+        let warm_up_start = Instant::now();
+        while warm_up_start.elapsed() < self.warm_up_time {
+            f(&mut bencher);
+        }
+
+        let mut samples = Vec::with_capacity(self.sample_size);
+        let measure_start = Instant::now();
+        for _ in 0..self.sample_size {
+            bencher.elapsed = Duration::ZERO;
+            f(&mut bencher);
+            samples.push(bencher.elapsed);
+            if measure_start.elapsed() > self.measurement_time {
+                break;
+            }
+        }
+
+        let min = samples.iter().min().copied().unwrap_or_default();
+        let max = samples.iter().max().copied().unwrap_or_default();
+        let mean = samples.iter().sum::<Duration>() / samples.len().max(1) as u32;
+        println!(
+            "  {}/{id}: {mean:?} (min {min:?}, max {max:?}, {} samples)",
+            self.name,
+            samples.len()
+        );
+        self
+    }
+
+    /// Closes the group (kept for API compatibility; prints nothing).
+    pub fn finish(self) {}
+}
+
+/// The per-iteration timer handed to benchmark closures.
+#[derive(Debug)]
+pub struct Bencher {
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times repeated executions of `routine`; the routine's output is passed
+    /// through [`black_box`] so the optimiser cannot delete it.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        black_box(routine());
+        self.elapsed += start.elapsed();
+    }
+}
+
+/// Declares a function running a list of benchmark targets, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` for a bench binary, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

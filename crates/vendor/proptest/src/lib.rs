@@ -1,0 +1,281 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! property-testing framework.
+//!
+//! This build environment has no network access, so the workspace vendors the
+//! API subset its tests use: the [`proptest!`] macro with an optional
+//! `#![proptest_config(...)]` attribute, range strategies over `f64`/`usize`,
+//! [`collection::vec`], and the [`prop_assert!`] / [`prop_assume!`] macros.
+//! Inputs are drawn from a deterministic per-test generator, so failures
+//! reproduce exactly; unlike real proptest there is no shrinking — a failure
+//! reports the case number and message only. Swap the workspace `proptest`
+//! path dependency for the registry crate to restore shrinking; no call site
+//! needs to change.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use core::ops::Range;
+
+/// Runner configuration, mirroring `proptest::test_runner::Config`.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of accepted (non-rejected) cases each property must pass.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` accepted cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// The case was vetoed by [`prop_assume!`]; it does not count against
+    /// the budget.
+    Reject(String),
+    /// A [`prop_assert!`] failed.
+    Fail(String),
+}
+
+/// The deterministic input generator behind every strategy (SplitMix64).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    fn new(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// Returns the next pseudo-random `u64`.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Returns a uniform `f64` in `[0, 1)`.
+    pub fn next_unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A recipe for generating test inputs, mirroring `proptest::strategy::Strategy`.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value from the strategy.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        self.start + rng.next_unit() * (self.end - self.start)
+    }
+}
+
+impl Strategy for Range<usize> {
+    type Value = usize;
+
+    fn sample(&self, rng: &mut TestRng) -> usize {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let span = (self.end - self.start) as u64;
+        let hi = ((u128::from(rng.next_u64()) * u128::from(span)) >> 64) as u64;
+        self.start + hi as usize
+    }
+}
+
+/// Strategies for collections, mirroring `proptest::collection`.
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// A strategy producing `Vec`s of a fixed length.
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: usize,
+    }
+
+    /// Generates `len` elements drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, len: usize) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            (0..self.len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Drives one property: draws cases until `config.cases` of them are accepted
+/// or a case fails. Called by the [`proptest!`] expansion — not public API in
+/// real proptest, but harmless to expose here.
+pub fn run_proptest<F>(config: &ProptestConfig, name: &str, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    // A fixed per-test seed keeps every run of every property reproducible.
+    let seed = name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+        (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3)
+    });
+    let mut rng = TestRng::new(seed);
+    let mut accepted = 0u32;
+    let mut attempts = 0u32;
+    let max_attempts = config.cases.saturating_mul(64).max(1024);
+    while accepted < config.cases {
+        attempts += 1;
+        assert!(
+            attempts <= max_attempts,
+            "property `{name}` rejected too many inputs \
+             ({accepted}/{} accepted after {attempts} attempts)",
+            config.cases
+        );
+        match case(&mut rng) {
+            Ok(()) => accepted += 1,
+            Err(TestCaseError::Reject(_)) => {}
+            Err(TestCaseError::Fail(message)) => {
+                panic!("property `{name}` failed at case {attempts}: {message}")
+            }
+        }
+    }
+}
+
+/// Fails the current case unless `cond` holds, mirroring
+/// `proptest::prop_assert!`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {{
+        let holds: bool = $cond;
+        if !holds {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(
+                ::std::format!("assertion failed: {}", ::core::stringify!($cond)),
+            ));
+        }
+    }};
+    ($cond:expr, $($fmt:tt)+) => {{
+        let holds: bool = $cond;
+        if !holds {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    }};
+}
+
+/// Skips the current case unless `cond` holds, mirroring
+/// `proptest::prop_assume!`.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {{
+        let holds: bool = $cond;
+        if !holds {
+            return ::core::result::Result::Err($crate::TestCaseError::Reject(
+                ::std::string::String::from(::core::stringify!($cond)),
+            ));
+        }
+    }};
+}
+
+/// Declares property tests, mirroring `proptest::proptest!`.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                $crate::run_proptest(&config, ::core::stringify!($name), |rng| {
+                    $(let $arg = $crate::Strategy::sample(&($strategy), rng);)+
+                    $body
+                    ::core::result::Result::Ok(())
+                });
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($arg in $strategy),+) $body
+            )*
+        }
+    };
+}
+
+/// The usual glob import, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{prop_assert, prop_assume, proptest};
+    pub use crate::{ProptestConfig, Strategy, TestCaseError, TestRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_respect_bounds(x in -3.0f64..5.0, n in 1usize..9) {
+            prop_assert!((-3.0..5.0).contains(&x));
+            prop_assert!((1..9).contains(&n));
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(x in 0.0f64..1.0) {
+            prop_assume!(x > 0.25);
+            prop_assert!(x > 0.25, "assume must have filtered x, got {x}");
+        }
+
+        #[test]
+        fn vec_strategy_yields_fixed_length(values in collection::vec(0.0f64..1.0, 7)) {
+            prop_assert!(values.len() == 7);
+            prop_assert!(values.iter().all(|v| (0.0..1.0).contains(v)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failing_property_panics() {
+        crate::run_proptest(
+            &ProptestConfig::with_cases(8),
+            "always_fails",
+            |_rng| -> Result<(), TestCaseError> {
+                prop_assert!(false, "deliberate failure");
+                Ok(())
+            },
+        );
+    }
+}

@@ -42,11 +42,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     };
 
-    println!("=== Figure 5: charging comparison ({}) ===",
-        if full { "paper horizon: 150 min, 0.22 F" } else { "preview: 30 min, 0.05 F" });
+    println!(
+        "=== Figure 5: charging comparison ({}) ===",
+        if full {
+            "paper horizon: 150 min, 0.22 F"
+        } else {
+            "preview: 30 min, 0.05 F"
+        }
+    );
     let fig5 = run_fig5(&base, &fig5_options)?;
     println!("{}", fig5.table(13));
-    for label in ["ideal-source", "equivalent-circuit", "analytical", "experimental"] {
+    for label in [
+        "ideal-source",
+        "equivalent-circuit",
+        "analytical",
+        "experimental",
+    ] {
         println!(
             "  final voltage [{label:>18}] = {:.3} V (|error vs experiment| = {:.3} V)",
             fig5.final_voltage(label).unwrap_or(0.0),

@@ -28,7 +28,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let base = HarvesterConfig::unoptimised();
 
     println!("=== Paper Table 1 (starting design) ===\n{}", table1());
-    println!("=== Paper Table 2 (authors' optimised design) ===\n{}", table2_paper());
+    println!(
+        "=== Paper Table 2 (authors' optimised design) ===\n{}",
+        table2_paper()
+    );
 
     let options = if full {
         OptimisationOptions {
@@ -57,7 +60,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("=== Integrated GA optimisation (Fig. 8) ===");
     println!(
         "population {}, generations {}, crossover {}, mutation {}",
-        options.ga.population_size, options.generations, options.ga.crossover_rate, options.ga.mutation_rate
+        options.ga.population_size,
+        options.generations,
+        options.ga.crossover_rate,
+        options.ga.mutation_rate
     );
     let outcome = run_optimisation(&base, &options);
     println!("{}", outcome.parameter_table());

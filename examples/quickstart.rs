@@ -20,10 +20,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // simulator (see the `model_comparison` example).
     config.storage.capacitance = 470e-6;
 
-    println!("mechanical resonance : {:.1} Hz", config.generator.resonant_frequency());
-    println!("coupling k(0)        : {:.2} V s/m", config.generator.coupling_at_rest());
-    println!("excitation           : {:.1} m/s^2 at {:.1} Hz",
-        config.vibration.acceleration_amplitude, config.vibration.frequency_hz);
+    println!(
+        "mechanical resonance : {:.1} Hz",
+        config.generator.resonant_frequency()
+    );
+    println!(
+        "coupling k(0)        : {:.2} V s/m",
+        config.generator.coupling_at_rest()
+    );
+    println!(
+        "excitation           : {:.1} m/s^2 at {:.1} Hz",
+        config.vibration.acceleration_amplitude, config.vibration.frequency_hz
+    );
 
     let options = TransientOptions {
         t_stop: 2.0,
@@ -35,18 +43,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!();
     println!("after {:.1} s of vibration:", run.times().last().unwrap());
-    println!("  storage voltage      : {:.3} V", run.final_storage_voltage());
+    println!(
+        "  storage voltage      : {:.3} V",
+        run.final_storage_voltage()
+    );
     println!("  energy harvested     : {:.3e} J", run.energy_harvested());
     println!("  energy delivered     : {:.3e} J", run.energy_delivered());
-    println!("  efficiency loss Eq.9 : {:.1} %", 100.0 * run.efficiency_loss());
+    println!(
+        "  efficiency loss Eq.9 : {:.1} %",
+        100.0 * run.efficiency_loss()
+    );
     println!("  charging rate        : {:.3e} V/s", run.charging_rate());
 
     // The same system with the naive ideal-voltage-source generator model
     // (Fig. 2(a)) — the comparison that motivates the paper.
-    let ideal = config.with_model(GeneratorModel::IdealSource).simulate(options)?;
+    let ideal = config
+        .with_model(GeneratorModel::IdealSource)
+        .simulate(options)?;
     println!();
-    println!("ideal-source model would predict {:.3} V ({}x the coupled model)",
+    println!(
+        "ideal-source model would predict {:.3} V ({}x the coupled model)",
         ideal.final_storage_voltage(),
-        (ideal.final_storage_voltage() / run.final_storage_voltage().max(1e-9)).round());
+        (ideal.final_storage_voltage() / run.final_storage_voltage().max(1e-9)).round()
+    );
     Ok(())
 }

@@ -31,9 +31,18 @@ fn full_chain_charges_with_both_paper_boosters() {
     let mut transformer = HarvesterConfig::unoptimised();
     transformer.storage.capacitance = 100e-6;
     let v_villard = villard.simulate(options).unwrap().final_storage_voltage();
-    let v_transformer = transformer.simulate(options).unwrap().final_storage_voltage();
-    assert!(v_villard > 0.02, "Villard chain must charge, got {v_villard}");
-    assert!(v_transformer > 0.02, "transformer chain must charge, got {v_transformer}");
+    let v_transformer = transformer
+        .simulate(options)
+        .unwrap()
+        .final_storage_voltage();
+    assert!(
+        v_villard > 0.02,
+        "Villard chain must charge, got {v_villard}"
+    );
+    assert!(
+        v_transformer > 0.02,
+        "transformer chain must charge, got {v_transformer}"
+    );
 }
 
 /// The envelope-following accelerator must agree with a brute-force detailed
@@ -75,7 +84,10 @@ fn envelope_matches_detailed_simulation_on_a_short_scenario() {
     );
     let v_envelope = envelope.charge_curve().unwrap().final_voltage();
 
-    assert!(v_detailed > 0.05, "detailed run must charge, got {v_detailed}");
+    assert!(
+        v_detailed > 0.05,
+        "detailed run must charge, got {v_detailed}"
+    );
     let relative_error = (v_envelope - v_detailed).abs() / v_detailed;
     assert!(
         relative_error < 0.35,
@@ -90,7 +102,7 @@ fn integration_methods_agree_on_the_coupled_system() {
     let mut config = HarvesterConfig::unoptimised();
     config.storage.capacitance = 100e-6;
     let (circuit, nodes) = config.build();
-    let mut run = |method| {
+    let run = |method| {
         TransientAnalysis::new(TransientOptions {
             t_stop: 0.5,
             dt: 5e-5,
@@ -133,7 +145,8 @@ fn integrated_optimisation_does_not_regress_the_design() {
 /// reproducible optimisation runs.
 #[test]
 fn harvester_objective_is_deterministic() {
-    let objective = HarvesterObjective::new(HarvesterConfig::unoptimised(), FitnessBudget::coarse());
+    let objective =
+        HarvesterObjective::new(HarvesterConfig::unoptimised(), FitnessBudget::coarse());
     let genes = encode(&HarvesterConfig::unoptimised());
     let a = objective.evaluate(&genes);
     let b = objective.evaluate(&genes);
