@@ -65,6 +65,7 @@ fn fig7_nonlinear_output(c: &mut Criterion) {
         analysis_periods: 8,
         settle_periods: 30,
         dt: 1e-4,
+        backend: Default::default(),
     };
     group.bench_function("waveform_and_thd", |b| {
         b.iter(|| {

@@ -13,6 +13,7 @@ use harvester_core::params::StorageParams;
 use harvester_core::system::HarvesterConfig;
 use harvester_core::GeneratorModel;
 use harvester_experiments::FitnessBudget;
+use harvester_mna::transient::SolverBackend;
 
 /// A reduced-size storage element so bench iterations stay in the
 /// sub-second range.
@@ -47,6 +48,7 @@ pub fn bench_envelope() -> EnvelopeOptions {
         detail_dt: 2e-4,
         horizon: 600.0,
         output_points: 40,
+        backend: SolverBackend::Auto,
     }
 }
 

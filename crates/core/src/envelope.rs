@@ -23,7 +23,9 @@
 use crate::system::HarvesterConfig;
 use harvester_mna::circuit::Circuit;
 use harvester_mna::devices::{Resistor, VoltageSource};
-use harvester_mna::transient::{TransientAnalysis, TransientOptions, TransientResult};
+use harvester_mna::transient::{
+    SolverBackend, TransientAnalysis, TransientOptions, TransientResult,
+};
 use harvester_mna::waveform::Waveform;
 use harvester_mna::MnaError;
 use harvester_numerics::interp::LinearInterpolator;
@@ -49,6 +51,8 @@ pub struct EnvelopeOptions {
     pub horizon: f64,
     /// Number of points reported on the output charging curve.
     pub output_points: usize,
+    /// Linear-solver backend used by the detailed transients.
+    pub backend: SolverBackend,
 }
 
 impl Default for EnvelopeOptions {
@@ -61,6 +65,7 @@ impl Default for EnvelopeOptions {
             detail_dt: 4e-5,
             horizon: 150.0 * 60.0,
             output_points: 200,
+            backend: SolverBackend::Auto,
         }
     }
 }
@@ -245,6 +250,7 @@ impl EnvelopeSimulator {
         let options = TransientOptions {
             t_stop,
             dt: self.options.detail_dt,
+            backend: self.options.backend,
             ..TransientOptions::default()
         };
         TransientAnalysis::new(options).run(&circuit)
@@ -303,6 +309,7 @@ mod tests {
             detail_dt: 1e-4,
             horizon: 600.0,
             output_points: 50,
+            backend: SolverBackend::Auto,
         }
     }
 

@@ -151,6 +151,7 @@ mod tests {
             detail_dt: 1e-4,
             horizon: 300.0,
             output_points: 30,
+            backend: Default::default(),
         }
     }
 

@@ -19,7 +19,10 @@ pub struct CpuTimeOptions {
     pub population_size: usize,
     /// Number of GA generations measured.
     pub generations: usize,
-    /// Simulation budget of each chromosome evaluation.
+    /// Simulation budget of each chromosome evaluation, including the
+    /// solver backend ([`FitnessBudget::backend`]) every fitness transient
+    /// runs on — the knob that moves the simulation side of the paper's
+    /// CPU-time split.
     pub fitness: FitnessBudget,
 }
 

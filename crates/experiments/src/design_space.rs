@@ -11,6 +11,7 @@ use harvester_core::booster::BoosterConfig;
 use harvester_core::params::TransformerBoosterParams;
 use harvester_core::system::HarvesterConfig;
 use harvester_core::{EnvelopeOptions, EnvelopeSimulator};
+use harvester_mna::transient::SolverBackend;
 use harvester_optim::{Bounds, Objective};
 
 /// Index of each gene in the chromosome.
@@ -129,6 +130,8 @@ pub struct FitnessBudget {
     /// at this voltage — proportional to the charging rate of the paper's
     /// large super-capacitor around that operating point).
     pub reference_voltage: f64,
+    /// Linear-solver backend used by every fitness simulation.
+    pub backend: SolverBackend,
 }
 
 impl Default for FitnessBudget {
@@ -138,6 +141,7 @@ impl Default for FitnessBudget {
             measure_cycles: 8.0,
             detail_dt: 1e-4,
             reference_voltage: 1.0,
+            backend: SolverBackend::Auto,
         }
     }
 }
@@ -153,6 +157,7 @@ impl FitnessBudget {
             measure_cycles: 4.0,
             detail_dt: 2e-4,
             reference_voltage: 0.25,
+            backend: SolverBackend::Auto,
         }
     }
 }
@@ -193,6 +198,7 @@ impl HarvesterObjective {
             detail_dt: self.budget.detail_dt,
             horizon: 1.0,
             output_points: 2,
+            backend: self.budget.backend,
         };
         let sim = EnvelopeSimulator::new(config.clone(), envelope);
         match sim.measure_characteristic() {

@@ -14,7 +14,7 @@ use harvester_core::envelope::{ChargingCurve, EnvelopeOptions, EnvelopeSimulator
 use harvester_core::generator::GeneratorModel;
 use harvester_core::reference::ExperimentalReference;
 use harvester_core::system::HarvesterConfig;
-use harvester_mna::transient::TransientOptions;
+use harvester_mna::transient::{SolverBackend, TransientOptions};
 use harvester_mna::MnaError;
 use harvester_numerics::stats::total_harmonic_distortion;
 
@@ -38,6 +38,7 @@ impl Fig5Options {
                 detail_dt: 2e-4,
                 horizon: 600.0,
                 output_points: 60,
+                backend: SolverBackend::Auto,
             },
         }
     }
@@ -139,6 +140,8 @@ pub struct Fig7Options {
     pub settle_periods: usize,
     /// Simulation time step.
     pub dt: f64,
+    /// Linear-solver backend for the transient runs.
+    pub backend: SolverBackend,
 }
 
 impl Default for Fig7Options {
@@ -147,6 +150,7 @@ impl Default for Fig7Options {
             analysis_periods: 10,
             settle_periods: 20,
             dt: 4e-5,
+            backend: SolverBackend::Auto,
         }
     }
 }
@@ -212,6 +216,7 @@ pub fn run_fig7(base: &HarvesterConfig, options: &Fig7Options) -> Result<Fig7Res
     let transient = TransientOptions {
         t_stop,
         dt: options.dt,
+        backend: options.backend,
         ..TransientOptions::default()
     };
     let window = (options.analysis_periods as f64 * period / options.dt).round() as usize;
@@ -310,6 +315,7 @@ mod tests {
             analysis_periods: 8,
             settle_periods: 45,
             dt: 1e-4,
+            backend: Default::default(),
         };
         let result = run_fig7(&base, &options).unwrap();
         assert_eq!(result.waveforms.len(), 3);

@@ -270,6 +270,7 @@ pub fn run_fig10(
             t_stop: 1.0,
             dt: 1e-4,
             record_interval: Some(1e-3),
+            backend: envelope.backend,
             ..TransientOptions::default()
         })?;
         Ok(run.efficiency_loss())
@@ -347,6 +348,7 @@ mod tests {
             detail_dt: 2e-4,
             horizon: 600.0,
             output_points: 50,
+            backend: Default::default(),
         };
         let result = run_fig10(&unopt, &opt, envelope).unwrap();
         assert!(result.unoptimised_final_voltage() > 0.05);

@@ -16,6 +16,7 @@
 use crate::circuit::NodeId;
 use crate::transient::IntegrationMethod;
 use harvester_numerics::linalg::Matrix;
+use harvester_numerics::sparse::SparseMatrix;
 
 /// Reference to an unknown of the global system from a device's point of
 /// view: either a circuit node voltage or one of the device's own extra
@@ -79,10 +80,127 @@ pub trait Device {
     /// iterate.
     fn stamp(&self, ctx: &mut StampContext<'_>);
 
+    /// Declares which Jacobian entries [`Device::stamp`] may ever write — the
+    /// device's contribution to the fixed MNA sparsity pattern the sparse
+    /// solver backend factorises symbolically once per circuit.
+    ///
+    /// The declared pattern must be a **superset** of every entry `stamp`
+    /// touches over the whole transient (the sparse assembly panics on a
+    /// stamp outside the pattern). The default implementation conservatively
+    /// marks the entire matrix, which is always correct but forfeits
+    /// sparsity; every device shipped with this workspace overrides it.
+    fn stamp_pattern(&self, ctx: &mut PatternContext<'_>) {
+        ctx.mark_dense();
+    }
+
     /// Whether the device equations are nonlinear (informational; used by
     /// diagnostics and benchmarks).
     fn is_nonlinear(&self) -> bool {
         false
+    }
+}
+
+/// Mutable view of the Jacobian being assembled, abstracting over the dense
+/// and sparse solver backends so device models stamp identically into both.
+#[derive(Debug)]
+pub enum JacobianView<'a> {
+    /// Dense backend: stamps accumulate into a dense [`Matrix`].
+    Dense(&'a mut Matrix),
+    /// Sparse backend: stamps accumulate into a fixed-pattern CSR matrix.
+    /// Stamping a position outside the pattern declared by
+    /// [`Device::stamp_pattern`] panics.
+    Sparse(&'a mut SparseMatrix),
+}
+
+impl JacobianView<'_> {
+    fn add(&mut self, row: usize, col: usize, value: f64) {
+        match self {
+            JacobianView::Dense(m) => m[(row, col)] += value,
+            JacobianView::Sparse(s) => s.add_at(row, col, value),
+        }
+    }
+}
+
+/// The view through which a device declares its Jacobian sparsity pattern
+/// (see [`Device::stamp_pattern`]).
+///
+/// The marking methods mirror the derivative-stamping methods of
+/// [`StampContext`], so a `stamp_pattern` implementation is usually a
+/// value-free copy of the derivative calls in `stamp`. Ground rows/columns
+/// are discarded exactly as they are during stamping.
+pub struct PatternContext<'a> {
+    node_unknowns: usize,
+    extra_base: usize,
+    entries: &'a mut Vec<(usize, usize)>,
+    dense: &'a mut bool,
+}
+
+impl<'a> PatternContext<'a> {
+    pub(crate) fn new(
+        node_unknowns: usize,
+        extra_base: usize,
+        entries: &'a mut Vec<(usize, usize)>,
+        dense: &'a mut bool,
+    ) -> Self {
+        PatternContext {
+            node_unknowns,
+            extra_base,
+            entries,
+            dense,
+        }
+    }
+
+    fn global_index(&self, unknown: Unknown) -> Option<usize> {
+        match unknown {
+            Unknown::Node(node) => {
+                if node.is_ground() {
+                    None
+                } else {
+                    Some(node.index() - 1)
+                }
+            }
+            Unknown::Extra(k) => Some(self.extra_base + k),
+        }
+    }
+
+    /// Number of non-ground nodes in the circuit whose pattern is being
+    /// collected.
+    pub fn node_unknown_count(&self) -> usize {
+        self.node_unknowns
+    }
+
+    /// Declares that `stamp` may call
+    /// [`StampContext::add_current_derivative`] with these arguments.
+    pub fn current_derivative(&mut self, node: NodeId, unknown: Unknown) {
+        if let (Some(row), Some(col)) = (
+            self.global_index(Unknown::Node(node)),
+            self.global_index(unknown),
+        ) {
+            self.entries.push((row, col));
+        }
+    }
+
+    /// Declares that `stamp` may call
+    /// [`StampContext::add_equation_derivative`] with these arguments.
+    pub fn equation_derivative(&mut self, equation: usize, unknown: Unknown) {
+        if let Some(col) = self.global_index(unknown) {
+            self.entries.push((self.extra_base + equation, col));
+        }
+    }
+
+    /// Declares the four entries of a conductance stamp between `a` and `b`
+    /// (the pattern of [`StampContext::stamp_conductance`]).
+    pub fn conductance(&mut self, a: NodeId, b: NodeId) {
+        self.current_derivative(a, Unknown::Node(a));
+        self.current_derivative(a, Unknown::Node(b));
+        self.current_derivative(b, Unknown::Node(a));
+        self.current_derivative(b, Unknown::Node(b));
+    }
+
+    /// Conservatively marks the whole matrix as potentially stamped: always
+    /// correct, but the sparse backend degenerates to a dense pattern.
+    pub fn mark_dense(&mut self) {
+        *self.dense = true;
     }
 }
 
@@ -104,8 +222,8 @@ pub struct StampContext<'a> {
     new_states: &'a mut [f64],
     /// Global residual vector.
     residual: &'a mut [f64],
-    /// Global Jacobian.
-    jacobian: &'a mut Matrix,
+    /// Global Jacobian (dense or sparse, depending on the solver backend).
+    jacobian: JacobianView<'a>,
     /// Number of non-ground nodes.
     node_unknowns: usize,
     /// Global index of this device's first extra unknown.
@@ -127,7 +245,7 @@ impl<'a> StampContext<'a> {
         states: &'a [f64],
         new_states: &'a mut [f64],
         residual: &'a mut [f64],
-        jacobian: &'a mut Matrix,
+        jacobian: JacobianView<'a>,
         node_unknowns: usize,
         extra_base: usize,
         first_step: bool,
@@ -262,7 +380,7 @@ impl<'a> StampContext<'a> {
             self.global_index(Unknown::Node(node)),
             self.global_index(unknown),
         ) {
-            self.jacobian[(row, col)] += value;
+            self.jacobian.add(row, col, value);
         }
     }
 
@@ -278,7 +396,7 @@ impl<'a> StampContext<'a> {
     pub fn add_equation_derivative(&mut self, equation: usize, unknown: Unknown, value: f64) {
         if let Some(col) = self.global_index(unknown) {
             let row = self.equation_base + equation;
-            self.jacobian[(row, col)] += value;
+            self.jacobian.add(row, col, value);
         }
     }
 
@@ -324,7 +442,7 @@ mod tests {
             &states,
             &mut new_states,
             &mut residual,
-            &mut jacobian,
+            JacobianView::Dense(&mut jacobian),
             2,
             2,
             true,
@@ -347,7 +465,7 @@ mod tests {
             &states,
             &mut new_states,
             &mut residual,
-            &mut jacobian,
+            JacobianView::Dense(&mut jacobian),
             1,
             1,
             false,
@@ -372,7 +490,7 @@ mod tests {
             &states,
             &mut new_states,
             &mut residual,
-            &mut jacobian,
+            JacobianView::Dense(&mut jacobian),
             1,
             1,
             false,
@@ -402,7 +520,7 @@ mod tests {
             &states,
             &mut new_states,
             &mut residual,
-            &mut jacobian,
+            JacobianView::Dense(&mut jacobian),
             2,
             2,
             true,

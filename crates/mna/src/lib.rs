@@ -26,7 +26,9 @@
 //!   capacitor, inductor, diode, sources, ideal transformer, switch).
 //! * [`transient::TransientAnalysis`] — the time-stepping engine (backward
 //!   Euler or trapezoidal companion integration, Newton per step, automatic
-//!   step halving on non-convergence).
+//!   step halving on non-convergence) with dense and sparse linear-solver
+//!   backends ([`transient::SolverBackend`]) and reusable per-run buffers
+//!   ([`transient::TransientWorkspace`]).
 //! * [`waveform::Waveform`] — time-dependent source descriptions (DC, sine,
 //!   pulse, piecewise linear).
 //!

@@ -7,11 +7,32 @@
 //! failure the step is halved and retried, then grown back towards the
 //! nominal step after successful steps — the same recovery strategy analogue
 //! HDL simulators use.
+//!
+//! # Solver backends
+//!
+//! The linear solves inside the Newton loop run on one of two backends
+//! (selected by [`TransientOptions::backend`]):
+//!
+//! * [`SolverBackend::Dense`] — dense LU with partial pivoting. Fastest for
+//!   the small systems (tens of unknowns) a single harvester produces.
+//! * [`SolverBackend::Sparse`] — CSR assembly into the fixed MNA sparsity
+//!   pattern declared by [`Device::stamp_pattern`](crate::device::Device::stamp_pattern), factored with a sparse LU
+//!   whose symbolic analysis (pivot order, fill pattern, scatter map) is
+//!   computed **once per circuit** and reused across every Newton iteration
+//!   and time step.
+//! * [`SolverBackend::Auto`] (the default) picks dense below
+//!   [`SolverBackend::AUTO_SPARSE_THRESHOLD`] unknowns and sparse above it.
+//!
+//! All per-run buffers — the system matrix, RHS, Newton update, candidate
+//! solution, history — live in a [`TransientWorkspace`] that is allocated
+//! once per run (or once per *sweep*, via
+//! [`TransientAnalysis::run_with`]) and reused across all steps.
 
 use crate::circuit::{Circuit, NodeId};
-use crate::device::StampContext;
+use crate::device::{JacobianView, PatternContext, StampContext};
 use crate::MnaError;
-use harvester_numerics::linalg::{norm_inf, Matrix};
+use harvester_numerics::linalg::{norm_inf, LuFactors, Matrix};
+use harvester_numerics::sparse::{SparseLu, SparseMatrix, TripletMatrix};
 use std::collections::HashMap;
 
 /// Numerical integration method used for time discretisation.
@@ -23,6 +44,62 @@ pub enum IntegrationMethod {
     /// damped mechanical resonance of the micro-generator.
     #[default]
     Trapezoidal,
+}
+
+/// Which linear-algebra engine solves the Newton systems of a transient
+/// analysis.
+///
+/// The MNA Jacobian of a circuit has a **fixed sparsity pattern**: every
+/// Newton iteration stamps the same positions, only the values change. The
+/// sparse backend exploits this by computing the symbolic factorisation
+/// (pivot order + fill pattern) once per circuit and then refactoring
+/// numerically in `O(nnz)` per iteration, while the dense backend redoes an
+/// `O(n³)` factorisation each time — unbeatable for small `n`, hopeless for
+/// large `n`.
+///
+/// # Example
+///
+/// ```
+/// use harvester_mna::transient::SolverBackend;
+///
+/// // Auto resolves by system size; explicit choices resolve to themselves.
+/// assert_eq!(SolverBackend::Auto.resolve(8), SolverBackend::Dense);
+/// assert_eq!(SolverBackend::Auto.resolve(100), SolverBackend::Sparse);
+/// assert_eq!(SolverBackend::Sparse.resolve(2), SolverBackend::Sparse);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SolverBackend {
+    /// Choose by system size: dense up to
+    /// [`SolverBackend::AUTO_SPARSE_THRESHOLD`] unknowns, sparse above.
+    #[default]
+    Auto,
+    /// Always use the dense LU solver.
+    Dense,
+    /// Always use the pattern-reusing sparse LU solver.
+    Sparse,
+}
+
+impl SolverBackend {
+    /// Largest system the [`SolverBackend::Auto`] policy still solves
+    /// densely. At and below this size the dense factorisation's perfect
+    /// cache behaviour beats the sparse bookkeeping; above it the `O(n³)`
+    /// dense cost takes over.
+    pub const AUTO_SPARSE_THRESHOLD: usize = 24;
+
+    /// Resolves the backend for a system of `unknowns` unknowns, mapping
+    /// [`SolverBackend::Auto`] to a concrete choice.
+    pub fn resolve(self, unknowns: usize) -> SolverBackend {
+        match self {
+            SolverBackend::Auto => {
+                if unknowns > Self::AUTO_SPARSE_THRESHOLD {
+                    SolverBackend::Sparse
+                } else {
+                    SolverBackend::Dense
+                }
+            }
+            other => other,
+        }
+    }
 }
 
 /// Options controlling a transient analysis.
@@ -48,6 +125,8 @@ pub struct TransientOptions {
     /// every accepted step; for long runs a coarser recording interval keeps
     /// the result memory bounded.
     pub record_interval: Option<f64>,
+    /// Linear-solver backend for the Newton systems.
+    pub backend: SolverBackend,
 }
 
 impl Default for TransientOptions {
@@ -61,6 +140,7 @@ impl Default for TransientOptions {
             residual_tolerance: 1e-6,
             min_dt: 1e-15,
             record_interval: None,
+            backend: SolverBackend::Auto,
         }
     }
 }
@@ -76,56 +156,35 @@ pub struct RunStatistics {
     pub rejected_steps: usize,
     /// Total Newton iterations across all steps.
     pub newton_iterations: usize,
-    /// Total linear solves (LU factorisations).
+    /// Total linear solves.
     pub linear_solves: usize,
+    /// Factorisations that redid the symbolic analysis / pivoting from
+    /// scratch. Every dense solve is a full factorisation; on the sparse
+    /// backend only the first factorisation (plus rare pivot-staleness
+    /// fallbacks) is, the rest are cheap pattern-reusing refactorisations.
+    pub full_factorizations: usize,
 }
 
-/// The transient analysis driver.
-#[derive(Debug, Clone, Default)]
-pub struct TransientAnalysis {
-    options: TransientOptions,
+/// Static layout of a circuit's global system: which global index each
+/// device's extra unknowns and state slots start at.
+#[derive(Debug, Clone)]
+struct SystemLayout {
+    node_unknowns: usize,
+    n: usize,
+    total_states: usize,
+    extra_bases: Vec<usize>,
+    state_bases: Vec<usize>,
+    probes: HashMap<String, (usize, Vec<String>)>,
 }
 
-impl TransientAnalysis {
-    /// Creates an analysis with the given options.
-    pub fn new(options: TransientOptions) -> Self {
-        TransientAnalysis { options }
-    }
-
-    /// The analysis options.
-    pub fn options(&self) -> &TransientOptions {
-        &self.options
-    }
-
-    /// Runs the transient analysis on `circuit`.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`MnaError::InvalidOptions`] for nonsensical options,
-    /// [`MnaError::InvalidNetlist`] for an empty circuit, and
-    /// [`MnaError::StepFailed`] if Newton fails to converge even at the
-    /// minimum step size.
-    pub fn run(&self, circuit: &Circuit) -> Result<TransientResult, MnaError> {
-        let opts = &self.options;
-        if opts.dt <= 0.0 || opts.t_stop <= 0.0 {
-            return Err(MnaError::InvalidOptions(format!(
-                "dt ({}) and t_stop ({}) must be positive",
-                opts.dt, opts.t_stop
-            )));
-        }
-        if opts.min_dt <= 0.0 || opts.min_dt > opts.dt {
-            return Err(MnaError::InvalidOptions(
-                "min_dt must be positive and no larger than dt".to_string(),
-            ));
-        }
+impl SystemLayout {
+    fn for_circuit(circuit: &Circuit) -> Result<Self, MnaError> {
         if circuit.device_count() == 0 {
             return Err(MnaError::InvalidNetlist(
                 "circuit contains no devices".to_string(),
             ));
         }
         let node_unknowns = circuit.unknown_node_count();
-
-        // Lay out extra unknowns and state slots per device.
         let mut extra_bases = Vec::with_capacity(circuit.device_count());
         let mut state_bases = Vec::with_capacity(circuit.device_count());
         let mut total_extras = 0usize;
@@ -160,74 +219,454 @@ impl TransientAnalysis {
                 "circuit has no unknowns (only ground nodes?)".to_string(),
             ));
         }
+        Ok(SystemLayout {
+            node_unknowns,
+            n,
+            total_states,
+            extra_bases,
+            state_bases,
+            probes,
+        })
+    }
+}
 
-        let mut states = vec![0.0; total_states];
-        for (device, &base) in circuit.devices().iter().zip(state_bases.iter()) {
+/// Backend-specific Jacobian storage plus its (lazily created, then reused)
+/// factorisation.
+#[derive(Debug)]
+enum JacobianStorage {
+    Dense {
+        matrix: Matrix,
+        factors: Option<LuFactors>,
+    },
+    Sparse {
+        matrix: SparseMatrix,
+        factors: Option<SparseLu>,
+    },
+}
+
+impl JacobianStorage {
+    fn fill_zero(&mut self) {
+        match self {
+            JacobianStorage::Dense { matrix, .. } => matrix.fill_zero(),
+            JacobianStorage::Sparse { matrix, .. } => matrix.fill_zero(),
+        }
+    }
+
+    /// Factors the assembled Jacobian and solves for the Newton update.
+    /// Returns `false` on a singular system (the step is then rejected and
+    /// halved by the caller).
+    fn solve(&mut self, rhs: &[f64], delta: &mut Vec<f64>, stats: &mut RunStatistics) -> bool {
+        let solved = match self {
+            JacobianStorage::Dense { matrix, factors } => {
+                let factored = match factors {
+                    Some(f) => matrix.lu_into(f).is_ok(),
+                    None => match matrix.lu() {
+                        Ok(f) => {
+                            *factors = Some(f);
+                            true
+                        }
+                        Err(_) => false,
+                    },
+                };
+                if factored {
+                    stats.full_factorizations += 1;
+                }
+                match (factored, factors) {
+                    (true, Some(f)) => f.solve_into(rhs, delta).is_ok(),
+                    _ => false,
+                }
+            }
+            JacobianStorage::Sparse { matrix, factors } => {
+                let factored = match factors {
+                    Some(f) => {
+                        // Cheap pattern-reusing refactorisation first; fall
+                        // back to a fresh pivoted factorisation if the stored
+                        // pivot order went numerically stale.
+                        f.refactor(matrix).is_ok()
+                            || match SparseLu::new(matrix) {
+                                Ok(fresh) => {
+                                    stats.full_factorizations += 1;
+                                    *f = fresh;
+                                    true
+                                }
+                                Err(_) => false,
+                            }
+                    }
+                    None => match SparseLu::new(matrix) {
+                        Ok(f) => {
+                            stats.full_factorizations += 1;
+                            *factors = Some(f);
+                            true
+                        }
+                        Err(_) => false,
+                    },
+                };
+                match (factored, factors) {
+                    (true, Some(f)) => f.solve_into(rhs, delta).is_ok(),
+                    _ => false,
+                }
+            }
+        };
+        if solved {
+            stats.linear_solves += 1;
+        }
+        solved
+    }
+}
+
+/// All per-run buffers of a transient analysis: the system matrix (dense or
+/// sparse, with its reusable factorisation), RHS, Newton update, candidate
+/// solution, device states and the recorded history.
+///
+/// Allocated once per run by [`TransientAnalysis::run`]; for repeated
+/// analyses of the same circuit (parameter sweeps, optimisation loops) build
+/// it once and pass it to [`TransientAnalysis::run_with`] so the matrices —
+/// and, on the sparse backend, the symbolic factorisation — are reused
+/// across runs too.
+///
+/// # Example
+///
+/// ```
+/// use harvester_mna::circuit::Circuit;
+/// use harvester_mna::devices::{Capacitor, Resistor, VoltageSource};
+/// use harvester_mna::transient::{TransientAnalysis, TransientOptions, TransientWorkspace};
+/// use harvester_mna::waveform::Waveform;
+///
+/// # fn main() -> Result<(), harvester_mna::MnaError> {
+/// let mut circuit = Circuit::new();
+/// let vin = circuit.node("in");
+/// let out = circuit.node("out");
+/// circuit.add(VoltageSource::new("V", vin, Circuit::GROUND, Waveform::dc(1.0)));
+/// circuit.add(Resistor::new("R", vin, out, 1e3));
+/// circuit.add(Capacitor::new("C", out, Circuit::GROUND, 1e-6));
+///
+/// let analysis = TransientAnalysis::new(TransientOptions {
+///     t_stop: 1e-4,
+///     ..TransientOptions::default()
+/// });
+/// let mut workspace = TransientWorkspace::for_circuit(&circuit, analysis.options())?;
+/// let first = analysis.run_with(&circuit, &mut workspace)?;
+/// let second = analysis.run_with(&circuit, &mut workspace)?; // no reallocation
+/// assert_eq!(first.len(), second.len());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct TransientWorkspace {
+    layout: SystemLayout,
+    backend: SolverBackend,
+    jacobian: JacobianStorage,
+    residual: Vec<f64>,
+    rhs: Vec<f64>,
+    delta: Vec<f64>,
+    x: Vec<f64>,
+    candidate: Vec<f64>,
+    states: Vec<f64>,
+    new_states: Vec<f64>,
+    times: Vec<f64>,
+    history: Vec<f64>,
+}
+
+impl TransientWorkspace {
+    /// Builds the workspace for `circuit`: computes the system layout,
+    /// resolves the solver backend and, on the sparse backend, collects the
+    /// circuit's Jacobian sparsity pattern from the devices'
+    /// [`Device::stamp_pattern`](crate::device::Device::stamp_pattern) declarations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MnaError::InvalidNetlist`] for an empty circuit, a circuit
+    /// without unknowns, or a device with inconsistent unknown names.
+    pub fn for_circuit(circuit: &Circuit, options: &TransientOptions) -> Result<Self, MnaError> {
+        let layout = SystemLayout::for_circuit(circuit)?;
+        let n = layout.n;
+        let backend = options.backend.resolve(n);
+        let jacobian = if backend == SolverBackend::Sparse {
+            let mut entries: Vec<(usize, usize)> = Vec::new();
+            let mut dense_fallback = false;
+            for (device, &extra_base) in circuit.devices().iter().zip(layout.extra_bases.iter()) {
+                let mut ctx = PatternContext::new(
+                    layout.node_unknowns,
+                    extra_base,
+                    &mut entries,
+                    &mut dense_fallback,
+                );
+                device.stamp_pattern(&mut ctx);
+            }
+            let mut triplets = TripletMatrix::new(n, n);
+            if dense_fallback {
+                for r in 0..n {
+                    for c in 0..n {
+                        triplets.push(r, c, 0.0);
+                    }
+                }
+            } else {
+                for &(r, c) in &entries {
+                    triplets.push(r, c, 0.0);
+                }
+                // The diagonal is always part of the pattern: it keeps the
+                // factorisation's pivot structure stable even where no device
+                // stamps the diagonal directly.
+                for i in 0..n {
+                    triplets.push(i, i, 0.0);
+                }
+            }
+            JacobianStorage::Sparse {
+                matrix: triplets.to_csr(),
+                factors: None,
+            }
+        } else {
+            JacobianStorage::Dense {
+                matrix: Matrix::zeros(n, n),
+                factors: None,
+            }
+        };
+        Ok(TransientWorkspace {
+            backend,
+            jacobian,
+            residual: vec![0.0; n],
+            rhs: vec![0.0; n],
+            delta: vec![0.0; n],
+            x: vec![0.0; n],
+            candidate: vec![0.0; n],
+            states: vec![0.0; layout.total_states],
+            new_states: vec![0.0; layout.total_states],
+            times: Vec::new(),
+            history: Vec::new(),
+            layout,
+        })
+    }
+
+    /// The concrete backend this workspace solves with ([`SolverBackend::Auto`]
+    /// already resolved to dense or sparse).
+    pub fn backend(&self) -> SolverBackend {
+        self.backend
+    }
+
+    /// Size of the global system (node voltages + extra unknowns).
+    pub fn unknown_count(&self) -> usize {
+        self.layout.n
+    }
+
+    /// Returns `true` if `circuit` produces exactly the layout this
+    /// workspace was built for (same node count and the same per-device
+    /// extra-unknown and state-slot bases).
+    fn matches(&self, circuit: &Circuit) -> bool {
+        let layout = &self.layout;
+        if layout.node_unknowns != circuit.unknown_node_count()
+            || layout.extra_bases.len() != circuit.device_count()
+        {
+            return false;
+        }
+        let mut extras = 0usize;
+        let mut states = 0usize;
+        for (device, (&extra_base, &state_base)) in circuit
+            .devices()
+            .iter()
+            .zip(layout.extra_bases.iter().zip(layout.state_bases.iter()))
+        {
+            if extra_base != layout.node_unknowns + extras || state_base != states {
+                return false;
+            }
+            extras += device.extra_unknowns();
+            states += device.state_count();
+        }
+        layout.n == layout.node_unknowns + extras && layout.total_states == states
+    }
+
+    /// Returns `true` if the workspace's Jacobian storage can absorb every
+    /// stamp `circuit` declares. Always true on the dense backend; on the
+    /// sparse backend this catches a rewired circuit that kept the same
+    /// layout but changed topology (its stamps would otherwise panic against
+    /// the stale pattern).
+    fn pattern_covers(&self, circuit: &Circuit) -> bool {
+        let JacobianStorage::Sparse { matrix, .. } = &self.jacobian else {
+            return true;
+        };
+        let n = self.layout.n;
+        let mut entries: Vec<(usize, usize)> = Vec::new();
+        let mut dense_fallback = false;
+        for (device, &extra_base) in circuit.devices().iter().zip(self.layout.extra_bases.iter()) {
+            let mut ctx = PatternContext::new(
+                self.layout.node_unknowns,
+                extra_base,
+                &mut entries,
+                &mut dense_fallback,
+            );
+            device.stamp_pattern(&mut ctx);
+        }
+        if dense_fallback {
+            return matrix.nnz() == n * n;
+        }
+        entries.iter().all(|&(r, c)| matrix.contains(r, c))
+    }
+
+    /// Resets the solution, device states and history for a fresh run.
+    fn reset(&mut self, circuit: &Circuit) {
+        self.x.iter_mut().for_each(|v| *v = 0.0);
+        self.candidate.iter_mut().for_each(|v| *v = 0.0);
+        self.states.iter_mut().for_each(|v| *v = 0.0);
+        for (device, &base) in circuit.devices().iter().zip(self.layout.state_bases.iter()) {
             let count = device.state_count();
             if count > 0 {
-                device.initial_state(&mut states[base..base + count]);
+                device.initial_state(&mut self.states[base..base + count]);
             }
         }
-        let mut new_states = states.clone();
+        self.new_states.copy_from_slice(&self.states);
+        self.times.clear();
+        self.history.clear();
+    }
+}
 
-        let mut x = vec![0.0; n];
-        let mut residual = vec![0.0; n];
-        let mut jacobian = Matrix::zeros(n, n);
+/// Assembles the residual and Jacobian for one Newton iterate by stamping
+/// every device.
+#[allow(clippy::too_many_arguments)]
+fn assemble_system(
+    circuit: &Circuit,
+    layout: &SystemLayout,
+    method: IntegrationMethod,
+    time: f64,
+    dt: f64,
+    first: bool,
+    x: &[f64],
+    states: &[f64],
+    new_states: &mut [f64],
+    residual: &mut [f64],
+    jacobian: &mut JacobianStorage,
+) {
+    for r in residual.iter_mut() {
+        *r = 0.0;
+    }
+    jacobian.fill_zero();
+    for ((device, &extra_base), &state_base) in circuit
+        .devices()
+        .iter()
+        .zip(layout.extra_bases.iter())
+        .zip(layout.state_bases.iter())
+    {
+        let count = device.state_count();
+        let (dev_states, dev_new_states) = if count > 0 {
+            (
+                &states[state_base..state_base + count],
+                &mut new_states[state_base..state_base + count],
+            )
+        } else {
+            (&states[0..0], &mut new_states[0..0])
+        };
+        let view = match jacobian {
+            JacobianStorage::Dense { matrix, .. } => JacobianView::Dense(matrix),
+            JacobianStorage::Sparse { matrix, .. } => JacobianView::Sparse(matrix),
+        };
+        let mut ctx = StampContext::new(
+            time,
+            dt,
+            method,
+            x,
+            dev_states,
+            dev_new_states,
+            residual,
+            view,
+            layout.node_unknowns,
+            extra_base,
+            first,
+        );
+        device.stamp(&mut ctx);
+    }
+}
+
+/// The transient analysis driver.
+#[derive(Debug, Clone, Default)]
+pub struct TransientAnalysis {
+    options: TransientOptions,
+}
+
+impl TransientAnalysis {
+    /// Creates an analysis with the given options.
+    pub fn new(options: TransientOptions) -> Self {
+        TransientAnalysis { options }
+    }
+
+    /// The analysis options.
+    pub fn options(&self) -> &TransientOptions {
+        &self.options
+    }
+
+    fn validate_options(&self) -> Result<(), MnaError> {
+        let opts = &self.options;
+        if opts.dt <= 0.0 || opts.t_stop <= 0.0 {
+            return Err(MnaError::InvalidOptions(format!(
+                "dt ({}) and t_stop ({}) must be positive",
+                opts.dt, opts.t_stop
+            )));
+        }
+        if opts.min_dt <= 0.0 || opts.min_dt > opts.dt {
+            return Err(MnaError::InvalidOptions(
+                "min_dt must be positive and no larger than dt".to_string(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Runs the transient analysis on `circuit`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MnaError::InvalidOptions`] for nonsensical options,
+    /// [`MnaError::InvalidNetlist`] for an empty circuit, and
+    /// [`MnaError::StepFailed`] if Newton fails to converge even at the
+    /// minimum step size.
+    pub fn run(&self, circuit: &Circuit) -> Result<TransientResult, MnaError> {
+        self.validate_options()?;
+        let mut workspace = TransientWorkspace::for_circuit(circuit, &self.options)?;
+        self.run_with(circuit, &mut workspace)
+    }
+
+    /// Runs the transient analysis reusing an existing workspace — the entry
+    /// point for sweeps and optimisation loops that simulate the same
+    /// circuit (topology) many times. The workspace must have been built
+    /// with [`TransientWorkspace::for_circuit`] for a circuit with the same
+    /// layout.
+    ///
+    /// # Errors
+    ///
+    /// As [`TransientAnalysis::run`], plus [`MnaError::InvalidOptions`] if
+    /// the workspace does not match the circuit.
+    pub fn run_with(
+        &self,
+        circuit: &Circuit,
+        workspace: &mut TransientWorkspace,
+    ) -> Result<TransientResult, MnaError> {
+        self.validate_options()?;
+        let opts = &self.options;
+        let ws = workspace;
+        if !ws.matches(circuit) {
+            return Err(MnaError::InvalidOptions(
+                "workspace was built for a different circuit".to_string(),
+            ));
+        }
+        if ws.backend != opts.backend.resolve(ws.layout.n) {
+            return Err(MnaError::InvalidOptions(format!(
+                "workspace was built for the {:?} backend but the analysis requests {:?}",
+                ws.backend, opts.backend
+            )));
+        }
+        if !ws.pattern_covers(circuit) {
+            return Err(MnaError::InvalidOptions(
+                "workspace sparsity pattern does not cover this circuit's stamps \
+                 (same layout, different topology?)"
+                    .to_string(),
+            ));
+        }
+        ws.reset(circuit);
         let mut stats = RunStatistics::default();
 
-        let mut times = Vec::new();
-        let mut solutions = Vec::new();
-        times.push(0.0);
-        solutions.push(x.clone());
+        ws.times.push(0.0);
+        ws.history.extend_from_slice(&ws.x);
         let mut last_recorded = 0.0f64;
 
         let mut t = 0.0f64;
         let mut current_dt = opts.dt;
         let mut first_step = true;
-
-        let assemble = |time: f64,
-                        dt: f64,
-                        first: bool,
-                        x: &[f64],
-                        states: &[f64],
-                        new_states: &mut [f64],
-                        residual: &mut [f64],
-                        jacobian: &mut Matrix| {
-            for r in residual.iter_mut() {
-                *r = 0.0;
-            }
-            jacobian.fill_zero();
-            for ((device, &extra_base), &state_base) in circuit
-                .devices()
-                .iter()
-                .zip(extra_bases.iter())
-                .zip(state_bases.iter())
-            {
-                let count = device.state_count();
-                let (dev_states, dev_new_states) = if count > 0 {
-                    (
-                        &states[state_base..state_base + count],
-                        &mut new_states[state_base..state_base + count],
-                    )
-                } else {
-                    (&states[0..0], &mut new_states[0..0])
-                };
-                let mut ctx = StampContext::new(
-                    time,
-                    dt,
-                    opts.method,
-                    x,
-                    dev_states,
-                    dev_new_states,
-                    residual,
-                    jacobian,
-                    node_unknowns,
-                    extra_base,
-                    first,
-                );
-                device.stamp(&mut ctx);
-            }
-        };
 
         while t < opts.t_stop - 1e-9 * opts.dt {
             // Absorb the final fractional step into the previous one instead
@@ -241,67 +680,98 @@ impl TransientAnalysis {
                 current_dt
             };
             let t_next = t + h;
-            let mut candidate = x.clone();
+            ws.candidate.copy_from_slice(&ws.x);
             let mut converged = false;
             let mut last_residual_norm = f64::INFINITY;
 
             for _ in 0..opts.max_newton_iterations {
-                assemble(
+                assemble_system(
+                    circuit,
+                    &ws.layout,
+                    opts.method,
                     t_next,
                     h,
                     first_step,
-                    &candidate,
-                    &states,
-                    &mut new_states,
-                    &mut residual,
-                    &mut jacobian,
+                    &ws.candidate,
+                    &ws.states,
+                    &mut ws.new_states,
+                    &mut ws.residual,
+                    &mut ws.jacobian,
                 );
-                last_residual_norm = norm_inf(&residual);
+                last_residual_norm = norm_inf(&ws.residual);
                 stats.newton_iterations += 1;
-                let rhs: Vec<f64> = residual.iter().map(|r| -r).collect();
-                let delta = match jacobian.lu().and_then(|f| f.solve(&rhs)) {
-                    Ok(d) => d,
-                    Err(_) => break,
-                };
-                stats.linear_solves += 1;
-                if delta.iter().any(|d| !d.is_finite()) {
+                ws.rhs.clear();
+                ws.rhs.extend(ws.residual.iter().map(|r| -r));
+                if !ws.jacobian.solve(&ws.rhs, &mut ws.delta, &mut stats) {
+                    break;
+                }
+                if ws.delta.iter().any(|d| !d.is_finite()) {
                     break;
                 }
                 // Limit the Newton step: exponential diode models can throw
                 // the iteration into wild oscillation if full steps are taken
                 // far from the solution. One-volt-scale steps per iteration
                 // keep it contained without slowing converged steps down.
-                let delta_norm = norm_inf(&delta);
+                let delta_norm = norm_inf(&ws.delta);
                 let limiter = if delta_norm > 1.0 {
                     1.0 / delta_norm
                 } else {
                     1.0
                 };
-                for (xi, di) in candidate.iter_mut().zip(delta.iter()) {
+                for (xi, di) in ws.candidate.iter_mut().zip(ws.delta.iter()) {
                     *xi += limiter * di;
                 }
-                let scale = 1.0 + norm_inf(&candidate);
+                let scale = 1.0 + norm_inf(&ws.candidate);
                 if delta_norm * limiter <= opts.delta_tolerance * scale {
                     converged = true;
                     break;
                 }
             }
 
-            if converged {
-                // Refresh the residual, Jacobian and candidate states at the
-                // accepted solution so the committed history is consistent.
-                assemble(
+            // Secondary acceptance criterion: a step whose Newton update
+            // stalled (or whose Jacobian went singular) is still accepted if
+            // its equations are balanced to the residual tolerance — halving
+            // the step cannot improve on a solved system. The residual is
+            // re-measured at the final candidate (the iterate that would be
+            // committed), not at the stale pre-update iterate.
+            if !converged {
+                assemble_system(
+                    circuit,
+                    &ws.layout,
+                    opts.method,
                     t_next,
                     h,
                     first_step,
-                    &candidate,
-                    &states,
-                    &mut new_states,
-                    &mut residual,
-                    &mut jacobian,
+                    &ws.candidate,
+                    &ws.states,
+                    &mut ws.new_states,
+                    &mut ws.residual,
+                    &mut ws.jacobian,
                 );
-                states.copy_from_slice(&new_states);
-                x = candidate;
+                last_residual_norm = norm_inf(&ws.residual);
+                if last_residual_norm <= opts.residual_tolerance {
+                    converged = true;
+                }
+            }
+
+            if converged {
+                // Refresh the residual, Jacobian and candidate states at the
+                // accepted solution so the committed history is consistent.
+                assemble_system(
+                    circuit,
+                    &ws.layout,
+                    opts.method,
+                    t_next,
+                    h,
+                    first_step,
+                    &ws.candidate,
+                    &ws.states,
+                    &mut ws.new_states,
+                    &mut ws.residual,
+                    &mut ws.jacobian,
+                );
+                ws.states.copy_from_slice(&ws.new_states);
+                ws.x.copy_from_slice(&ws.candidate);
                 t = t_next;
                 first_step = false;
                 stats.accepted_steps += 1;
@@ -312,8 +782,8 @@ impl TransientAnalysis {
                     }
                 };
                 if should_record {
-                    times.push(t);
-                    solutions.push(x.clone());
+                    ws.times.push(t);
+                    ws.history.extend_from_slice(&ws.x);
                     last_recorded = t;
                 }
                 if current_dt < opts.dt {
@@ -333,20 +803,27 @@ impl TransientAnalysis {
         }
 
         Ok(TransientResult {
-            times,
-            solutions,
+            times: std::mem::take(&mut ws.times),
+            samples: std::mem::take(&mut ws.history),
+            unknowns: ws.layout.n,
             node_names: circuit.node_names().to_vec(),
-            probes,
+            probes: ws.layout.probes.clone(),
             statistics: stats,
         })
     }
 }
 
 /// The recorded outcome of a transient analysis.
+///
+/// Samples are stored in one flat row-major buffer (`unknowns` values per
+/// recorded time point) instead of a `Vec` of `Vec`s, so recording a sample
+/// is a single `extend_from_slice` into pre-grown storage rather than a
+/// fresh allocation per step.
 #[derive(Debug, Clone)]
 pub struct TransientResult {
     times: Vec<f64>,
-    solutions: Vec<Vec<f64>>,
+    samples: Vec<f64>,
+    unknowns: usize,
     node_names: Vec<String>,
     probes: HashMap<String, (usize, Vec<String>)>,
     statistics: RunStatistics,
@@ -380,6 +857,16 @@ impl TransientResult {
         self.statistics
     }
 
+    /// The recorded solution vector at sample `k`.
+    fn sample(&self, k: usize) -> &[f64] {
+        &self.samples[k * self.unknowns..(k + 1) * self.unknowns]
+    }
+
+    /// The time series of global unknown `idx` across all samples.
+    fn series(&self, idx: usize) -> Vec<f64> {
+        (0..self.times.len()).map(|k| self.sample(k)[idx]).collect()
+    }
+
     /// Voltage waveform of a node (all samples).
     ///
     /// # Panics
@@ -394,7 +881,7 @@ impl TransientResult {
             idx < self.node_names.len() - 1,
             "node {node} is not part of the simulated circuit"
         );
-        self.solutions.iter().map(|s| s[idx]).collect()
+        self.series(idx)
     }
 
     /// Voltage waveform of a node looked up by name.
@@ -411,7 +898,7 @@ impl TransientResult {
         if idx == 0 {
             return Ok(vec![0.0; self.times.len()]);
         }
-        Ok(self.solutions.iter().map(|s| s[idx - 1]).collect())
+        Ok(self.series(idx - 1))
     }
 
     /// Waveform of a device's extra unknown (e.g. the coil current `"i"` or
@@ -430,8 +917,7 @@ impl TransientResult {
             .iter()
             .position(|n| n == unknown)
             .ok_or_else(|| MnaError::UnknownProbe(format!("{device}.{unknown}")))?;
-        let idx = base + offset;
-        Ok(self.solutions.iter().map(|s| s[idx]).collect())
+        Ok(self.series(base + offset))
     }
 
     /// Final value of a node voltage.
@@ -566,6 +1052,8 @@ mod tests {
         assert_eq!(stats.accepted_steps, 100);
         assert!(stats.newton_iterations >= stats.accepted_steps);
         assert!(stats.linear_solves > 0);
+        // The dense backend factors from scratch on every linear solve.
+        assert_eq!(stats.full_factorizations, stats.linear_solves);
     }
 
     #[test]
@@ -598,12 +1086,256 @@ mod tests {
         let (c, _) = rc_circuit();
         let result = TransientAnalysis::new(TransientOptions {
             t_stop: 1e-4,
-            dt: 1e-6,
+            dt: 1e-4,
             ..TransientOptions::default()
         })
         .run(&c)
         .unwrap();
         assert!(result.voltage(Circuit::GROUND).iter().all(|&v| v == 0.0));
         assert_eq!(result.final_voltage(Circuit::GROUND), 0.0);
+    }
+
+    #[test]
+    fn auto_backend_resolves_by_system_size() {
+        let (c, _) = rc_circuit();
+        // The RC fixture has 3 unknowns: dense under Auto.
+        let ws = TransientWorkspace::for_circuit(&c, &TransientOptions::default()).unwrap();
+        assert_eq!(ws.backend(), SolverBackend::Dense);
+        assert_eq!(ws.unknown_count(), 3);
+        // Forcing sparse works at any size.
+        let sparse_opts = TransientOptions {
+            backend: SolverBackend::Sparse,
+            ..TransientOptions::default()
+        };
+        let ws = TransientWorkspace::for_circuit(&c, &sparse_opts).unwrap();
+        assert_eq!(ws.backend(), SolverBackend::Sparse);
+        assert_eq!(
+            SolverBackend::Auto.resolve(SolverBackend::AUTO_SPARSE_THRESHOLD + 1),
+            SolverBackend::Sparse
+        );
+        assert_eq!(SolverBackend::Dense.resolve(10_000), SolverBackend::Dense);
+    }
+
+    #[test]
+    fn sparse_backend_reuses_the_symbolic_factorisation() {
+        let (c, out) = rc_circuit();
+        let options = TransientOptions {
+            t_stop: 1e-4,
+            dt: 1e-6,
+            backend: SolverBackend::Sparse,
+            ..TransientOptions::default()
+        };
+        let result = TransientAnalysis::new(options).run(&c).unwrap();
+        let stats = result.statistics();
+        assert!(stats.linear_solves > 50);
+        assert_eq!(
+            stats.full_factorizations, 1,
+            "only the first factorisation may do symbolic work, got {}",
+            stats.full_factorizations
+        );
+        assert!(result.final_voltage(out) > 0.05);
+    }
+
+    #[test]
+    fn workspace_reuse_across_runs_preserves_results_and_step_counts() {
+        let (c, out) = rc_circuit();
+        let analysis = TransientAnalysis::new(TransientOptions {
+            t_stop: 2e-4,
+            dt: 1e-6,
+            backend: SolverBackend::Sparse,
+            ..TransientOptions::default()
+        });
+        let mut ws = TransientWorkspace::for_circuit(&c, analysis.options()).unwrap();
+        let first = analysis.run_with(&c, &mut ws).unwrap();
+        let second = analysis.run_with(&c, &mut ws).unwrap();
+        assert_eq!(first.len(), second.len());
+        assert_eq!(
+            first.statistics().accepted_steps,
+            second.statistics().accepted_steps
+        );
+        assert_eq!(
+            first.statistics().rejected_steps,
+            second.statistics().rejected_steps
+        );
+        for (a, b) in first.voltage(out).iter().zip(second.voltage(out)) {
+            assert_eq!(*a, b, "workspace reuse must be bit-identical");
+        }
+        // The second run needs no fresh symbolic factorisation at all.
+        assert_eq!(second.statistics().full_factorizations, 0);
+    }
+
+    #[test]
+    fn mismatched_workspace_is_rejected() {
+        let (c, _) = rc_circuit();
+        let mut other = Circuit::new();
+        let a = other.node("a");
+        other.add(Resistor::new("R", a, Circuit::GROUND, 1.0));
+        let analysis = TransientAnalysis::new(TransientOptions::default());
+        let mut ws = TransientWorkspace::for_circuit(&other, analysis.options()).unwrap();
+        assert!(matches!(
+            analysis.run_with(&c, &mut ws),
+            Err(MnaError::InvalidOptions(_))
+        ));
+        // Same node and device counts but a different per-device layout
+        // (the voltage source adds an extra unknown the resistor does not).
+        let mut with_source = Circuit::new();
+        let b = with_source.node("a");
+        with_source.add(VoltageSource::new(
+            "V",
+            b,
+            Circuit::GROUND,
+            Waveform::dc(1.0),
+        ));
+        assert!(matches!(
+            analysis.run_with(&with_source, &mut ws),
+            Err(MnaError::InvalidOptions(_))
+        ));
+    }
+
+    #[test]
+    fn workspace_backend_must_match_the_requested_backend() {
+        let (c, _) = rc_circuit();
+        let dense_ws_opts = TransientOptions::default(); // Auto → Dense at n = 3
+        let mut ws = TransientWorkspace::for_circuit(&c, &dense_ws_opts).unwrap();
+        let sparse_analysis = TransientAnalysis::new(TransientOptions {
+            backend: SolverBackend::Sparse,
+            ..TransientOptions::default()
+        });
+        assert!(matches!(
+            sparse_analysis.run_with(&c, &mut ws),
+            Err(MnaError::InvalidOptions(_))
+        ));
+    }
+
+    #[test]
+    fn rewired_circuit_with_identical_layout_is_rejected_not_panicked() {
+        fn chain(bridge: bool) -> Circuit {
+            let mut c = Circuit::new();
+            let vin = c.node("in");
+            let mid = c.node("mid");
+            let out = c.node("out");
+            c.add(VoltageSource::new(
+                "V",
+                vin,
+                Circuit::GROUND,
+                Waveform::dc(1.0),
+            ));
+            c.add(Resistor::new("R1", vin, mid, 100.0));
+            // Same devices and layout, but R2 couples a different node pair.
+            if bridge {
+                c.add(Resistor::new("R2", vin, out, 100.0));
+            } else {
+                c.add(Resistor::new("R2", mid, out, 100.0));
+            }
+            c.add(Resistor::new("R3", out, Circuit::GROUND, 100.0));
+            c
+        }
+        let analysis = TransientAnalysis::new(TransientOptions {
+            t_stop: 1e-5,
+            dt: 1e-6,
+            backend: SolverBackend::Sparse,
+            ..TransientOptions::default()
+        });
+        let original = chain(false);
+        let mut ws = TransientWorkspace::for_circuit(&original, analysis.options()).unwrap();
+        assert!(analysis.run_with(&original, &mut ws).is_ok());
+        let rewired = chain(true);
+        assert!(matches!(
+            analysis.run_with(&rewired, &mut ws),
+            Err(MnaError::InvalidOptions(_))
+        ));
+    }
+
+    #[test]
+    fn residual_tolerance_accepts_stalled_but_balanced_steps() {
+        let (c, out) = rc_circuit();
+        // One Newton iteration is enough to *solve* this linear circuit but
+        // not enough to satisfy the delta criterion, so acceptance must come
+        // from the residual criterion.
+        let accepted = TransientAnalysis::new(TransientOptions {
+            t_stop: 1e-5,
+            dt: 1e-6,
+            max_newton_iterations: 1,
+            residual_tolerance: f64::INFINITY,
+            min_dt: 1e-9,
+            ..TransientOptions::default()
+        })
+        .run(&c);
+        assert!(accepted.is_ok());
+        assert!(accepted.unwrap().final_voltage(out).is_finite());
+        // With a tiny residual tolerance the same budget fails the step.
+        let rejected = TransientAnalysis::new(TransientOptions {
+            t_stop: 1e-5,
+            dt: 1e-6,
+            max_newton_iterations: 1,
+            residual_tolerance: 1e-30,
+            min_dt: 1e-9,
+            ..TransientOptions::default()
+        })
+        .run(&c);
+        assert!(matches!(rejected, Err(MnaError::StepFailed { .. })));
+    }
+
+    #[test]
+    fn result_layout_is_unchanged_by_flat_history_storage() {
+        let (c, out) = rc_circuit();
+        let result = TransientAnalysis::new(TransientOptions {
+            t_stop: 1e-4,
+            dt: 1e-6,
+            ..TransientOptions::default()
+        })
+        .run(&c)
+        .unwrap();
+        // One sample per accepted step plus the initial state.
+        assert_eq!(result.len(), result.statistics().accepted_steps + 1);
+        assert_eq!(result.times()[0], 0.0);
+        // Every per-unknown series has exactly one value per sample.
+        assert_eq!(result.voltage(out).len(), result.len());
+        assert_eq!(result.probe("V", "i").unwrap().len(), result.len());
+        assert_eq!(result.voltage_by_name("out").unwrap().len(), result.len());
+        // The initial sample is the all-zero operating point.
+        assert_eq!(result.voltage(out)[0], 0.0);
+        assert_eq!(result.probe("V", "i").unwrap()[0], 0.0);
+        // Interior samples are genuine per-step values, not aliases.
+        let v = result.voltage(out);
+        assert!(v[1] < v[result.len() - 1]);
+    }
+
+    #[test]
+    fn default_stamp_pattern_falls_back_to_a_dense_pattern() {
+        /// A device that does not override `stamp_pattern`.
+        struct OpaqueConductor {
+            a: NodeId,
+            b: NodeId,
+        }
+        impl crate::device::Device for OpaqueConductor {
+            fn name(&self) -> &str {
+                "opaque"
+            }
+            fn stamp(&self, ctx: &mut StampContext<'_>) {
+                ctx.stamp_conductance(self.a, self.b, 1e-2);
+            }
+        }
+        let mut c = Circuit::new();
+        let vin = c.node("in");
+        let out = c.node("out");
+        c.add(VoltageSource::new(
+            "V",
+            vin,
+            Circuit::GROUND,
+            Waveform::dc(1.0),
+        ));
+        c.add(OpaqueConductor { a: vin, b: out });
+        c.add(Resistor::new("R", out, Circuit::GROUND, 100.0));
+        let result = TransientAnalysis::new(TransientOptions {
+            t_stop: 1e-5,
+            dt: 1e-6,
+            backend: SolverBackend::Sparse,
+            ..TransientOptions::default()
+        })
+        .run(&c)
+        .unwrap();
+        // Voltage divider: 100 Ω over (100 Ω + 100 Ω).
+        assert!((result.final_voltage(out) - 0.5).abs() < 1e-9);
     }
 }

@@ -1,0 +1,226 @@
+//! Golden regression tests: the dense and sparse solver backends must
+//! produce the same transient traces on every fixture circuit, and the
+//! workspace-reuse machinery must not change how many steps a run takes.
+
+use harvester_mna::circuit::{Circuit, NodeId};
+use harvester_mna::devices::{
+    Capacitor, CurrentSource, Diode, IdealTransformer, Inductor, Resistor, TimedSwitch,
+    VoltageSource,
+};
+use harvester_mna::transient::{
+    SolverBackend, TransientAnalysis, TransientOptions, TransientResult,
+};
+use harvester_mna::waveform::Waveform;
+
+const TRACE_TOLERANCE: f64 = 1e-8;
+
+fn run_backend(
+    circuit: &Circuit,
+    mut options: TransientOptions,
+    backend: SolverBackend,
+) -> TransientResult {
+    options.backend = backend;
+    TransientAnalysis::new(options)
+        .run(circuit)
+        .expect("fixture circuit must simulate on both backends")
+}
+
+/// Runs `circuit` on both backends and asserts every node-voltage trace and
+/// the step counters agree.
+fn assert_backends_agree(circuit: &Circuit, options: TransientOptions, nodes: &[NodeId]) {
+    let dense = run_backend(circuit, options, SolverBackend::Dense);
+    let sparse = run_backend(circuit, options, SolverBackend::Sparse);
+
+    assert_eq!(dense.len(), sparse.len(), "sample counts must match");
+    assert_eq!(
+        dense.statistics().accepted_steps,
+        sparse.statistics().accepted_steps,
+        "accepted step counts must match"
+    );
+    assert_eq!(
+        dense.statistics().rejected_steps,
+        sparse.statistics().rejected_steps,
+        "rejected step counts must match"
+    );
+    for (td, ts) in dense.times().iter().zip(sparse.times().iter()) {
+        assert_eq!(td, ts, "recorded time grids must be identical");
+    }
+    for &node in nodes {
+        let vd = dense.voltage(node);
+        let vs = sparse.voltage(node);
+        for (k, (d, s)) in vd.iter().zip(vs.iter()).enumerate() {
+            assert!(
+                (d - s).abs() <= TRACE_TOLERANCE,
+                "node {node} sample {k}: dense {d} vs sparse {s}"
+            );
+        }
+    }
+    // The sparse run must actually be exploiting the fixed pattern: at most
+    // a handful of full (symbolic) factorisations over the whole run.
+    let stats = sparse.statistics();
+    assert!(
+        stats.full_factorizations * 10 <= stats.linear_solves.max(10),
+        "sparse backend must reuse its symbolic factorisation: {} full of {} solves",
+        stats.full_factorizations,
+        stats.linear_solves
+    );
+}
+
+#[test]
+fn rc_chain_traces_match_across_backends() {
+    let mut c = Circuit::new();
+    let vin = c.node("in");
+    let out = c.node("out");
+    c.add(VoltageSource::new(
+        "V",
+        vin,
+        Circuit::GROUND,
+        Waveform::dc(1.0),
+    ));
+    c.add(Resistor::new("R", vin, out, 1000.0));
+    c.add(Capacitor::new("C", out, Circuit::GROUND, 1e-6));
+    let options = TransientOptions {
+        t_stop: 2e-3,
+        dt: 1e-6,
+        ..TransientOptions::default()
+    };
+    assert_backends_agree(&c, options, &[vin, out]);
+}
+
+#[test]
+fn diode_rectifier_traces_match_across_backends() {
+    let mut c = Circuit::new();
+    let vin = c.node("in");
+    let out = c.node("out");
+    c.add(VoltageSource::new(
+        "V",
+        vin,
+        Circuit::GROUND,
+        Waveform::sine(5.0, 50.0),
+    ));
+    c.add(Diode::new("D", vin, out));
+    c.add(Capacitor::new("Csmooth", out, Circuit::GROUND, 4.7e-6));
+    c.add(Resistor::new("RL", out, Circuit::GROUND, 10_000.0));
+    let options = TransientOptions {
+        t_stop: 0.04,
+        dt: 1e-5,
+        ..TransientOptions::default()
+    };
+    assert_backends_agree(&c, options, &[vin, out]);
+}
+
+#[test]
+fn transformer_with_rlc_traces_match_across_backends() {
+    let mut c = Circuit::new();
+    let vin = c.node("in");
+    let prim = c.node("prim");
+    let sec = c.node("sec");
+    let out = c.node("out");
+    c.add(VoltageSource::new(
+        "V",
+        vin,
+        Circuit::GROUND,
+        Waveform::sine(1.0, 100.0),
+    ));
+    c.add(Resistor::new("Rp", vin, prim, 50.0));
+    c.add(IdealTransformer::new(
+        "T",
+        prim,
+        Circuit::GROUND,
+        sec,
+        Circuit::GROUND,
+        3.0,
+    ));
+    c.add(Resistor::new("Rs", sec, out, 200.0));
+    c.add(Inductor::new("L", out, Circuit::GROUND, 0.1));
+    c.add(Capacitor::new("C", out, Circuit::GROUND, 1e-6));
+    c.add(TimedSwitch::new("S", sec, Circuit::GROUND, 0.015, 0.02));
+    c.add(CurrentSource::new(
+        "I",
+        Circuit::GROUND,
+        out,
+        Waveform::dc(1e-4),
+    ));
+    let options = TransientOptions {
+        t_stop: 0.02,
+        dt: 1e-5,
+        ..TransientOptions::default()
+    };
+    assert_backends_agree(&c, options, &[vin, prim, sec, out]);
+}
+
+/// Builds an RC ladder with `sections` series resistors each with a shunt
+/// capacitor — the scalable fixture for backend crossover behaviour.
+fn rc_ladder(sections: usize) -> (Circuit, Vec<NodeId>) {
+    let mut c = Circuit::new();
+    let vin = c.node("in");
+    c.add(VoltageSource::new(
+        "V",
+        vin,
+        Circuit::GROUND,
+        Waveform::sine(1.0, 1000.0),
+    ));
+    let mut nodes = vec![vin];
+    let mut prev = vin;
+    for k in 0..sections {
+        let node = c.node(&format!("n{k}"));
+        c.add(Resistor::new(&format!("R{k}"), prev, node, 100.0));
+        c.add(Capacitor::new(
+            &format!("C{k}"),
+            node,
+            Circuit::GROUND,
+            1e-7,
+        ));
+        nodes.push(node);
+        prev = node;
+    }
+    (c, nodes)
+}
+
+#[test]
+fn large_rc_ladder_traces_match_across_backends() {
+    // 40 sections → 42 unknowns: Auto resolves to sparse here, so this is
+    // the configuration the paper-scale sweeps actually run.
+    let (c, nodes) = rc_ladder(40);
+    let options = TransientOptions {
+        t_stop: 2e-3,
+        dt: 2e-6,
+        record_interval: Some(2e-5),
+        ..TransientOptions::default()
+    };
+    assert_backends_agree(&c, options, &nodes);
+}
+
+#[test]
+fn probe_traces_match_across_backends() {
+    let mut c = Circuit::new();
+    let vin = c.node("in");
+    let mid = c.node("mid");
+    c.add(VoltageSource::new(
+        "V",
+        vin,
+        Circuit::GROUND,
+        Waveform::dc(1.0),
+    ));
+    c.add(Resistor::new("R", vin, mid, 10.0));
+    c.add(Inductor::new("L", mid, Circuit::GROUND, 1e-3));
+    let options = TransientOptions {
+        t_stop: 5e-4,
+        dt: 1e-6,
+        ..TransientOptions::default()
+    };
+    let dense = run_backend(&c, options, SolverBackend::Dense);
+    let sparse = run_backend(&c, options, SolverBackend::Sparse);
+    for probe in [("V", "i"), ("L", "i")] {
+        let pd = dense.probe(probe.0, probe.1).unwrap();
+        let ps = sparse.probe(probe.0, probe.1).unwrap();
+        for (d, s) in pd.iter().zip(ps.iter()) {
+            assert!(
+                (d - s).abs() <= TRACE_TOLERANCE,
+                "probe {}.{}: dense {d} vs sparse {s}",
+                probe.0,
+                probe.1
+            );
+        }
+    }
+}

@@ -5,8 +5,13 @@
 //! device models are built on:
 //!
 //! * [`linalg`] — dense matrices/vectors and LU factorisation with partial
-//!   pivoting (the systems assembled by modified nodal analysis are small and
-//!   dense, so a dense solver is both simplest and fastest here).
+//!   pivoting (the fastest backend for the small systems assembled by modified
+//!   nodal analysis of a single harvester).
+//! * [`sparse`] — COO → CSR sparse matrices and a fill-pattern-reusing sparse
+//!   LU ([`sparse::SparseLu`]): the symbolic analysis (pivot order, fill
+//!   pattern, scatter map) is computed once and reused across the thousands of
+//!   numerically-different but structurally-identical Jacobians a transient
+//!   analysis produces.
 //! * [`newton`] — damped Newton–Raphson for systems of nonlinear equations.
 //! * [`ode`] — explicit and implicit initial-value-problem integrators
 //!   (forward Euler, RK4, adaptive RKF45, semi-implicit Euler, backward Euler
@@ -41,6 +46,7 @@ pub mod linalg;
 pub mod newton;
 pub mod ode;
 pub mod roots;
+pub mod sparse;
 pub mod stats;
 
 mod error;

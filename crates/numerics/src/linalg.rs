@@ -163,51 +163,40 @@ impl Matrix {
                 found: format!("{}x{}", self.rows, self.cols),
             });
         }
-        let n = self.rows;
-        let mut lu = self.clone();
-        let mut perm: Vec<usize> = (0..n).collect();
-        let mut sign = 1.0f64;
-        let scale = self.inf_norm().max(f64::MIN_POSITIVE);
-        let tol = 1e-14 * scale;
+        let mut factors = LuFactors {
+            lu: self.clone(),
+            perm: (0..self.rows).collect(),
+            sign: 1.0,
+        };
+        factorize_in_place(&mut factors)?;
+        Ok(factors)
+    }
 
-        for k in 0..n {
-            // Find the pivot row.
-            let mut pivot_row = k;
-            let mut pivot_val = lu[(k, k)].abs();
-            for i in (k + 1)..n {
-                let v = lu[(i, k)].abs();
-                if v > pivot_val {
-                    pivot_val = v;
-                    pivot_row = i;
-                }
-            }
-            if pivot_val <= tol {
-                return Err(NumericsError::SingularMatrix {
-                    column: k,
-                    pivot: pivot_val,
-                });
-            }
-            if pivot_row != k {
-                for j in 0..n {
-                    let a = lu[(k, j)];
-                    let b = lu[(pivot_row, j)];
-                    lu[(k, j)] = b;
-                    lu[(pivot_row, j)] = a;
-                }
-                perm.swap(k, pivot_row);
-                sign = -sign;
-            }
-            let pivot = lu[(k, k)];
-            for i in (k + 1)..n {
-                let factor = lu[(i, k)] / pivot;
-                lu[(i, k)] = factor;
-                for j in (k + 1)..n {
-                    let delta = factor * lu[(k, j)];
-                    lu[(i, j)] -= delta;
-                }
-            }
+    /// LU factorisation into an existing [`LuFactors`], reusing its storage.
+    ///
+    /// Repeated factorisations of same-sized matrices (one per Newton
+    /// iteration in a transient analysis) then perform no allocation.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Matrix::lu`].
+    pub fn lu_into(&self, factors: &mut LuFactors) -> Result<(), NumericsError> {
+        if !self.is_square() {
+            return Err(NumericsError::DimensionMismatch {
+                expected: "square matrix".to_string(),
+                found: format!("{}x{}", self.rows, self.cols),
+            });
         }
-        Ok(LuFactors { lu, perm, sign })
+        let n = self.rows;
+        if factors.lu.rows == n && factors.lu.cols == n {
+            factors.lu.data.copy_from_slice(&self.data);
+        } else {
+            factors.lu = self.clone();
+        }
+        factors.perm.clear();
+        factors.perm.extend(0..n);
+        factors.sign = 1.0;
+        factorize_in_place(factors)
     }
 
     /// Solves `A·x = b` by LU factorisation.
@@ -308,6 +297,54 @@ impl Mul for &Matrix {
     }
 }
 
+/// Gaussian elimination with partial pivoting on pre-initialised factors
+/// (`lu` holds the matrix to factor, `perm` the identity, `sign` 1.0).
+fn factorize_in_place(factors: &mut LuFactors) -> Result<(), NumericsError> {
+    let lu = &mut factors.lu;
+    let n = lu.rows;
+    let scale = lu.inf_norm().max(f64::MIN_POSITIVE);
+    let tol = 1e-14 * scale;
+
+    for k in 0..n {
+        // Find the pivot row.
+        let mut pivot_row = k;
+        let mut pivot_val = lu[(k, k)].abs();
+        for i in (k + 1)..n {
+            let v = lu[(i, k)].abs();
+            if v > pivot_val {
+                pivot_val = v;
+                pivot_row = i;
+            }
+        }
+        if pivot_val <= tol {
+            return Err(NumericsError::SingularMatrix {
+                column: k,
+                pivot: pivot_val,
+            });
+        }
+        if pivot_row != k {
+            for j in 0..n {
+                let a = lu[(k, j)];
+                let b = lu[(pivot_row, j)];
+                lu[(k, j)] = b;
+                lu[(pivot_row, j)] = a;
+            }
+            factors.perm.swap(k, pivot_row);
+            factors.sign = -factors.sign;
+        }
+        let pivot = lu[(k, k)];
+        for i in (k + 1)..n {
+            let factor = lu[(i, k)] / pivot;
+            lu[(i, k)] = factor;
+            for j in (k + 1)..n {
+                let delta = factor * lu[(k, j)];
+                lu[(i, j)] -= delta;
+            }
+        }
+    }
+    Ok(())
+}
+
 /// The result of an LU factorisation with partial pivoting.
 ///
 /// Stores the combined L (unit lower triangular) and U factors plus the row
@@ -326,6 +363,18 @@ impl LuFactors {
     ///
     /// Returns [`NumericsError::DimensionMismatch`] if `b` has the wrong length.
     pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, NumericsError> {
+        let mut x = Vec::new();
+        self.solve_into(b, &mut x)?;
+        Ok(x)
+    }
+
+    /// Solves `A·x = b` into a caller-provided buffer (no allocation when
+    /// `x` already has capacity for the solution).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::DimensionMismatch`] if `b` has the wrong length.
+    pub fn solve_into(&self, b: &[f64], x: &mut Vec<f64>) -> Result<(), NumericsError> {
         let n = self.lu.rows;
         if b.len() != n {
             return Err(NumericsError::DimensionMismatch {
@@ -334,7 +383,8 @@ impl LuFactors {
             });
         }
         // Apply the permutation, then forward/backward substitution.
-        let mut x: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
+        x.clear();
+        x.extend(self.perm.iter().map(|&p| b[p]));
         for i in 1..n {
             let mut acc = x[i];
             for (j, &xj) in x.iter().enumerate().take(i) {
@@ -349,7 +399,7 @@ impl LuFactors {
             }
             x[i] = acc / self.lu[(i, i)];
         }
-        Ok(x)
+        Ok(())
     }
 
     /// Determinant of the factored matrix.
@@ -520,6 +570,31 @@ mod tests {
         let r2 = a.mul_vec(&x2).unwrap();
         assert!((r1[0] - 10.0).abs() < 1e-12 && (r1[1] - 12.0).abs() < 1e-12);
         assert!((r2[0] - 1.0).abs() < 1e-12 && (r2[1]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lu_into_reuses_buffers_across_factorisations() {
+        let a = Matrix::from_rows(&[&[4.0, 3.0], &[6.0, 3.0]]);
+        let mut factors = a.lu().unwrap();
+        let b = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]);
+        b.lu_into(&mut factors).unwrap();
+        let mut x = Vec::new();
+        factors.solve_into(&[4.0, 7.0], &mut x).unwrap();
+        let y = b.mul_vec(&x).unwrap();
+        assert!((y[0] - 4.0).abs() < 1e-12 && (y[1] - 7.0).abs() < 1e-12);
+        // A singular refill reports the error without poisoning the API.
+        let s = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        assert!(matches!(
+            s.lu_into(&mut factors),
+            Err(NumericsError::SingularMatrix { .. })
+        ));
+        // Dimension changes are handled by reallocation.
+        let c = Matrix::identity(3);
+        c.lu_into(&mut factors).unwrap();
+        factors.solve_into(&[1.0, 2.0, 3.0], &mut x).unwrap();
+        assert_eq!(x, vec![1.0, 2.0, 3.0]);
+        assert!(Matrix::zeros(2, 3).lu_into(&mut factors).is_err());
+        assert!(factors.solve_into(&[1.0], &mut x).is_err());
     }
 
     #[test]

@@ -1,0 +1,984 @@
+//! Sparse matrices (COO triplet assembly → CSR) and a fill-pattern-reusing
+//! sparse LU factorisation.
+//!
+//! Modified nodal analysis produces Jacobians whose **sparsity pattern is
+//! fixed per circuit**: every Newton iteration and every time step stamps the
+//! same `(row, col)` positions, only the values change. [`SparseLu`] exploits
+//! this the same way production circuit simulators (KLU, Sparse 1.3) do:
+//!
+//! 1. The **first** factorisation performs partial pivoting and records the
+//!    row permutation, the merged L/U fill pattern and a scatter map from the
+//!    matrix's CSR entries into the factor storage.
+//! 2. Every **subsequent** factorisation ([`SparseLu::refactor`]) reuses that
+//!    symbolic analysis: values are scattered into the fixed pattern and
+//!    eliminated along the stored pivot order with no searching, no
+//!    allocation and no pattern bookkeeping.
+//!
+//! If a reused pivot order goes numerically stale (a stored pivot becomes
+//! tiny), [`SparseLu::update`] falls back to a fresh fully-pivoted
+//! factorisation transparently.
+
+use crate::linalg::Matrix;
+use crate::NumericsError;
+
+/// Relative pivot-breakdown threshold, matching the dense LU in
+/// [`crate::linalg`].
+const PIVOT_RTOL: f64 = 1e-14;
+
+/// Triplet (COO) accumulator used to assemble a [`SparseMatrix`].
+///
+/// Duplicate coordinates are allowed and are **summed** during conversion to
+/// CSR — exactly the semantics MNA stamping needs. Explicitly pushed zeros
+/// are kept, so a zero-valued triplet reserves a slot in the sparsity
+/// pattern.
+///
+/// # Example
+///
+/// ```
+/// # use harvester_numerics::sparse::TripletMatrix;
+/// let mut t = TripletMatrix::new(2, 2);
+/// t.push(0, 0, 1.0);
+/// t.push(0, 0, 1.0); // duplicates accumulate
+/// t.push(1, 1, 3.0);
+/// let csr = t.to_csr();
+/// assert_eq!(csr.nnz(), 2);
+/// assert_eq!(csr.get(0, 0), 2.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TripletMatrix {
+    rows: usize,
+    cols: usize,
+    triplets: Vec<(usize, usize, f64)>,
+}
+
+impl TripletMatrix {
+    /// Creates an empty `rows × cols` triplet accumulator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` or `cols` is zero.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be non-zero");
+        TripletMatrix {
+            rows,
+            cols,
+            triplets: Vec::new(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored triplets (before duplicate coalescing).
+    pub fn nnz(&self) -> usize {
+        self.triplets.len()
+    }
+
+    /// Appends `value` at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are out of bounds.
+    pub fn push(&mut self, row: usize, col: usize, value: f64) {
+        assert!(
+            row < self.rows && col < self.cols,
+            "triplet ({row}, {col}) out of bounds for {}x{} matrix",
+            self.rows,
+            self.cols
+        );
+        self.triplets.push((row, col, value));
+    }
+
+    /// Converts the accumulated triplets into CSR form, summing duplicates.
+    pub fn to_csr(&self) -> SparseMatrix {
+        SparseMatrix::from_triplets(self.rows, self.cols, &self.triplets)
+    }
+}
+
+/// A sparse matrix in compressed-sparse-row (CSR) form.
+///
+/// Built from COO triplets (see [`TripletMatrix`]); once built, the sparsity
+/// pattern is fixed and values can be updated in place with
+/// [`SparseMatrix::fill_zero`] + [`SparseMatrix::add_at`] — the stamping
+/// cycle the MNA engine uses.
+///
+/// # Example
+///
+/// ```
+/// # use harvester_numerics::sparse::SparseMatrix;
+/// # fn main() -> Result<(), harvester_numerics::NumericsError> {
+/// let a = SparseMatrix::from_triplets(2, 2, &[(0, 0, 4.0), (0, 1, 1.0), (1, 1, 3.0)]);
+/// let x = a.solve(&[9.0, 6.0])?;
+/// assert!((x[0] - 1.75).abs() < 1e-12);
+/// assert!((x[1] - 2.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SparseMatrix {
+    rows: usize,
+    cols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl SparseMatrix {
+    /// Builds a CSR matrix from COO triplets, summing duplicate coordinates.
+    /// Explicit zeros are kept as pattern entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` or `cols` is zero or any triplet is out of bounds.
+    pub fn from_triplets(rows: usize, cols: usize, triplets: &[(usize, usize, f64)]) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be non-zero");
+        let mut sorted: Vec<(usize, usize, f64)> = triplets.to_vec();
+        for &(r, c, _) in &sorted {
+            assert!(
+                r < rows && c < cols,
+                "triplet ({r}, {c}) out of bounds for {rows}x{cols} matrix"
+            );
+        }
+        sorted.sort_by_key(|t| (t.0, t.1));
+
+        // Per-row entry counts first, then a prefix sum into row pointers.
+        let mut row_ptr = vec![0usize; rows + 1];
+        let mut col_idx = Vec::with_capacity(sorted.len());
+        let mut values = Vec::with_capacity(sorted.len());
+        let mut last: Option<(usize, usize)> = None;
+        for &(r, c, v) in &sorted {
+            if last == Some((r, c)) {
+                *values.last_mut().expect("coalesce follows a push") += v;
+            } else {
+                col_idx.push(c);
+                values.push(v);
+                row_ptr[r + 1] += 1;
+                last = Some((r, c));
+            }
+        }
+        for r in 0..rows {
+            row_ptr[r + 1] += row_ptr[r];
+        }
+        SparseMatrix {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+
+    /// Builds a sparse matrix from a dense one, dropping exact zeros.
+    pub fn from_dense(dense: &Matrix) -> Self {
+        let mut triplets = Vec::new();
+        for i in 0..dense.rows() {
+            for j in 0..dense.cols() {
+                let v = dense[(i, j)];
+                if v != 0.0 {
+                    triplets.push((i, j, v));
+                }
+            }
+        }
+        // A fully zero matrix still needs valid (empty) CSR structure.
+        SparseMatrix::from_triplets(dense.rows(), dense.cols(), &triplets)
+    }
+
+    /// Converts to a dense [`Matrix`].
+    pub fn to_dense(&self) -> Matrix {
+        let mut dense = Matrix::zeros(self.rows, self.cols);
+        for r in 0..self.rows {
+            for k in self.row_ptr[r]..self.row_ptr[r + 1] {
+                dense[(r, self.col_idx[k])] += self.values[k];
+            }
+        }
+        dense
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Returns `true` if the matrix is square.
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Number of stored entries (pattern slots, including explicit zeros).
+    pub fn nnz(&self) -> usize {
+        self.col_idx.len()
+    }
+
+    /// Value at `(row, col)`; positions outside the pattern read as zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds.
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        assert!(
+            row < self.rows && col < self.cols,
+            "index ({row}, {col}) out of bounds"
+        );
+        match self.position(row, col) {
+            Some(k) => self.values[k],
+            None => 0.0,
+        }
+    }
+
+    /// Iterates over the stored entries as `(row, col, value)`.
+    pub fn entries(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        (0..self.rows).flat_map(move |r| {
+            (self.row_ptr[r]..self.row_ptr[r + 1])
+                .map(move |k| (r, self.col_idx[k], self.values[k]))
+        })
+    }
+
+    /// Sets every stored value to zero, keeping the sparsity pattern — the
+    /// start of each MNA assembly cycle.
+    pub fn fill_zero(&mut self) {
+        for v in &mut self.values {
+            *v = 0.0;
+        }
+    }
+
+    /// Adds `value` to the entry at `(row, col)` (the MNA stamping
+    /// primitive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `(row, col)` is not part of the sparsity pattern: stamping
+    /// outside the pattern declared at assembly time is a programming error
+    /// in the device model, not a recoverable condition.
+    pub fn add_at(&mut self, row: usize, col: usize, value: f64) {
+        match self.position(row, col) {
+            Some(k) => self.values[k] += value,
+            None => panic!("entry ({row}, {col}) is not in the sparsity pattern"),
+        }
+    }
+
+    /// Returns `true` if `(row, col)` is part of the sparsity pattern.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds.
+    pub fn contains(&self, row: usize, col: usize) -> bool {
+        assert!(
+            row < self.rows && col < self.cols,
+            "index ({row}, {col}) out of bounds"
+        );
+        self.position(row, col).is_some()
+    }
+
+    fn position(&self, row: usize, col: usize) -> Option<usize> {
+        let lo = self.row_ptr[row];
+        let hi = self.row_ptr[row + 1];
+        self.col_idx[lo..hi]
+            .binary_search(&col)
+            .ok()
+            .map(|p| lo + p)
+    }
+
+    /// Matrix–vector product `A·x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::DimensionMismatch`] if `x.len() != self.cols()`.
+    pub fn mul_vec(&self, x: &[f64]) -> Result<Vec<f64>, NumericsError> {
+        if x.len() != self.cols {
+            return Err(NumericsError::DimensionMismatch {
+                expected: format!("vector of length {}", self.cols),
+                found: format!("vector of length {}", x.len()),
+            });
+        }
+        let mut y = vec![0.0; self.rows];
+        for (r, yr) in y.iter_mut().enumerate() {
+            let mut acc = 0.0;
+            for k in self.row_ptr[r]..self.row_ptr[r + 1] {
+                acc += self.values[k] * x[self.col_idx[k]];
+            }
+            *yr = acc;
+        }
+        Ok(y)
+    }
+
+    /// Infinity norm (maximum absolute row sum).
+    pub fn inf_norm(&self) -> f64 {
+        (0..self.rows)
+            .map(|r| {
+                (self.row_ptr[r]..self.row_ptr[r + 1])
+                    .map(|k| self.values[k].abs())
+                    .sum::<f64>()
+            })
+            .fold(0.0, f64::max)
+    }
+
+    /// Performs the first (fully pivoted, symbolic + numeric) LU
+    /// factorisation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::SingularMatrix`] for numerically singular
+    /// matrices and [`NumericsError::DimensionMismatch`] for non-square ones.
+    pub fn lu(&self) -> Result<SparseLu, NumericsError> {
+        SparseLu::new(self)
+    }
+
+    /// Solves `A·x = b` by sparse LU factorisation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from [`SparseMatrix::lu`] and returns a dimension
+    /// mismatch if `b` has the wrong length.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, NumericsError> {
+        self.lu()?.solve(b)
+    }
+}
+
+/// Sparse LU factors with a reusable symbolic analysis.
+///
+/// Created by [`SparseMatrix::lu`]. The first factorisation records the row
+/// permutation (partial pivoting), the merged L/U fill pattern and a scatter
+/// map; [`SparseLu::refactor`] then refactors a **same-pattern** matrix in
+/// `O(nnz(L+U))` with no allocation, and [`SparseLu::update`] adds an
+/// automatic fallback to a fresh pivoted factorisation if the stored pivot
+/// order has gone numerically stale.
+///
+/// # Example
+///
+/// ```
+/// # use harvester_numerics::sparse::SparseMatrix;
+/// # fn main() -> Result<(), harvester_numerics::NumericsError> {
+/// let mut a = SparseMatrix::from_triplets(2, 2, &[(0, 0, 4.0), (0, 1, 1.0), (1, 1, 3.0)]);
+/// let mut lu = a.lu()?;
+/// let x1 = lu.solve(&[9.0, 6.0])?;
+/// assert!((x1[0] - 1.75).abs() < 1e-12);
+///
+/// // New values, same pattern: cheap refactorisation, no symbolic work.
+/// a.fill_zero();
+/// a.add_at(0, 0, 2.0);
+/// a.add_at(0, 1, 1.0);
+/// a.add_at(1, 1, 1.0);
+/// lu.refactor(&a)?;
+/// let x2 = lu.solve(&[4.0, 2.0])?;
+/// assert!((x2[0] - 1.0).abs() < 1e-12);
+/// assert!((x2[1] - 2.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SparseLu {
+    n: usize,
+    /// `perm[i]` = original row stored as factor row `i`.
+    perm: Vec<usize>,
+    /// Combined L/U rows: `cols[row_start[i]..row_start[i + 1]]` ascending.
+    row_start: Vec<usize>,
+    cols: Vec<usize>,
+    vals: Vec<f64>,
+    /// Flat index of the diagonal entry of each factor row.
+    diag: Vec<usize>,
+    /// Maps each CSR entry of the factored matrix to its slot in `vals`.
+    scatter: Vec<usize>,
+    /// The CSR structure this factorisation was built from; `refactor`
+    /// verifies a supplied matrix against it before reusing the analysis.
+    pattern_row_ptr: Vec<usize>,
+    pattern_cols: Vec<usize>,
+}
+
+impl SparseLu {
+    /// Performs the first factorisation of `a`: partial pivoting, symbolic
+    /// fill discovery and numeric elimination in one pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::DimensionMismatch`] if `a` is not square and
+    /// [`NumericsError::SingularMatrix`] if a pivot smaller than
+    /// `1e-14 × inf-norm` is encountered.
+    pub fn new(a: &SparseMatrix) -> Result<Self, NumericsError> {
+        if !a.is_square() {
+            return Err(NumericsError::DimensionMismatch {
+                expected: "square matrix".to_string(),
+                found: format!("{}x{}", a.rows, a.cols),
+            });
+        }
+        let n = a.rows;
+        let tol = PIVOT_RTOL * a.inf_norm().max(f64::MIN_POSITIVE);
+
+        // Working rows as sorted (col, value) lists, eliminated in place.
+        let mut work: Vec<Vec<(usize, f64)>> = (0..n)
+            .map(|r| {
+                (a.row_ptr[r]..a.row_ptr[r + 1])
+                    .map(|k| (a.col_idx[k], a.values[k]))
+                    .collect()
+            })
+            .collect();
+        let mut perm: Vec<usize> = (0..n).collect();
+
+        for k in 0..n {
+            // Partial pivoting: largest |entry| in column k among the
+            // not-yet-eliminated rows.
+            let mut pivot_row = usize::MAX;
+            let mut pivot_val = 0.0f64;
+            for (i, row) in work.iter().enumerate().skip(k) {
+                if let Ok(p) = row.binary_search_by_key(&k, |e| e.0) {
+                    let v = row[p].1.abs();
+                    if v > pivot_val {
+                        pivot_val = v;
+                        pivot_row = i;
+                    }
+                }
+            }
+            if pivot_row == usize::MAX || pivot_val <= tol {
+                return Err(NumericsError::SingularMatrix {
+                    column: k,
+                    pivot: pivot_val,
+                });
+            }
+            work.swap(k, pivot_row);
+            perm.swap(k, pivot_row);
+
+            let (top, bottom) = work.split_at_mut(k + 1);
+            let pivot_row = &top[k];
+            let pivot_pos = pivot_row
+                .binary_search_by_key(&k, |e| e.0)
+                .expect("pivot entry exists by construction");
+            let pivot = pivot_row[pivot_pos].1;
+            let updates = &pivot_row[pivot_pos + 1..];
+            for row in bottom.iter_mut() {
+                if let Ok(p) = row.binary_search_by_key(&k, |e| e.0) {
+                    let factor = row[p].1 / pivot;
+                    row[p].1 = factor; // the L multiplier, stored in place
+                    merge_axpy(row, updates, factor);
+                }
+            }
+        }
+
+        // Flatten the combined L/U rows.
+        let total: usize = work.iter().map(Vec::len).sum();
+        let mut row_start = Vec::with_capacity(n + 1);
+        let mut cols = Vec::with_capacity(total);
+        let mut vals = Vec::with_capacity(total);
+        let mut diag = Vec::with_capacity(n);
+        row_start.push(0);
+        for (i, row) in work.iter().enumerate() {
+            for &(c, v) in row {
+                if c == i {
+                    diag.push(cols.len());
+                }
+                cols.push(c);
+                vals.push(v);
+            }
+            row_start.push(cols.len());
+        }
+        debug_assert_eq!(diag.len(), n, "every factor row has a diagonal");
+
+        // Scatter map: CSR entry k of A lands at scatter[k] in `vals`.
+        let mut scatter = vec![0usize; a.nnz()];
+        for (i, &orig) in perm.iter().enumerate() {
+            let lo = row_start[i];
+            let hi = row_start[i + 1];
+            for (k, &c) in a
+                .col_idx
+                .iter()
+                .enumerate()
+                .take(a.row_ptr[orig + 1])
+                .skip(a.row_ptr[orig])
+            {
+                let p = cols[lo..hi]
+                    .binary_search(&c)
+                    .expect("factor pattern contains every entry of A");
+                scatter[k] = lo + p;
+            }
+        }
+
+        Ok(SparseLu {
+            n,
+            perm,
+            row_start,
+            cols,
+            vals,
+            diag,
+            scatter,
+            pattern_row_ptr: a.row_ptr.clone(),
+            pattern_cols: a.col_idx.clone(),
+        })
+    }
+
+    /// Dimension of the factored system.
+    pub fn dimension(&self) -> usize {
+        self.n
+    }
+
+    /// Number of stored factor entries (L + U combined) — a measure of
+    /// fill-in.
+    pub fn factor_nnz(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Refactors a matrix with the **same sparsity pattern** as the one this
+    /// factorisation was created from, reusing the stored pivot order and
+    /// fill pattern. No allocation, no searching: `O(nnz(L+U))` work.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::DimensionMismatch`] if `a` has a different
+    /// shape or entry count, [`NumericsError::InvalidArgument`] if the
+    /// sparsity pattern itself differs from the factored one, and
+    /// [`NumericsError::SingularMatrix`] if a pivot along the stored order
+    /// became numerically tiny (the caller can recover with
+    /// [`SparseLu::update`] or a fresh [`SparseLu::new`]).
+    pub fn refactor(&mut self, a: &SparseMatrix) -> Result<(), NumericsError> {
+        if a.rows != self.n || a.cols != self.n || a.nnz() != self.pattern_cols.len() {
+            return Err(NumericsError::DimensionMismatch {
+                expected: format!(
+                    "{0}x{0} matrix with {1} entries",
+                    self.n,
+                    self.pattern_cols.len()
+                ),
+                found: format!("{}x{} matrix with {} entries", a.rows, a.cols, a.nnz()),
+            });
+        }
+        if a.row_ptr != self.pattern_row_ptr || a.col_idx != self.pattern_cols {
+            return Err(NumericsError::InvalidArgument(
+                "sparsity pattern does not match the factored pattern; \
+                 use SparseLu::new for a structurally different matrix"
+                    .to_string(),
+            ));
+        }
+        let tol = PIVOT_RTOL * a.inf_norm().max(f64::MIN_POSITIVE);
+
+        for v in &mut self.vals {
+            *v = 0.0;
+        }
+        for (k, &v) in a.values.iter().enumerate() {
+            self.vals[self.scatter[k]] += v;
+        }
+
+        // Numeric elimination over the fixed pattern (up-looking, IKJ): the
+        // pattern recorded by `new` is closed under this update order, so
+        // every target position exists.
+        for i in 0..self.n {
+            let row_end = self.row_start[i + 1];
+            for pos in self.row_start[i]..self.diag[i] {
+                let j = self.cols[pos];
+                let pivot = self.vals[self.diag[j]];
+                if pivot.abs() <= tol {
+                    return Err(NumericsError::SingularMatrix {
+                        column: j,
+                        pivot: pivot.abs(),
+                    });
+                }
+                let factor = self.vals[pos] / pivot;
+                self.vals[pos] = factor;
+                if factor == 0.0 {
+                    continue;
+                }
+                let mut t = pos + 1;
+                for q in (self.diag[j] + 1)..self.row_start[j + 1] {
+                    let c = self.cols[q];
+                    while t < row_end && self.cols[t] < c {
+                        t += 1;
+                    }
+                    if t >= row_end || self.cols[t] != c {
+                        return Err(NumericsError::InvalidArgument(format!(
+                            "sparsity pattern of the supplied matrix does not match the \
+                             factored pattern (missing fill at ({i}, {c}))"
+                        )));
+                    }
+                    self.vals[t] -= factor * self.vals[q];
+                }
+            }
+            let d = self.vals[self.diag[i]];
+            if d.abs() <= tol {
+                return Err(NumericsError::SingularMatrix {
+                    column: i,
+                    pivot: d.abs(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Refactors `a`, falling back to a fresh fully-pivoted factorisation if
+    /// the stored pivot order has gone numerically stale.
+    ///
+    /// # Errors
+    ///
+    /// Returns the fallback's error if `a` cannot be factored at all (truly
+    /// singular).
+    pub fn update(&mut self, a: &SparseMatrix) -> Result<(), NumericsError> {
+        match self.refactor(a) {
+            Ok(()) => Ok(()),
+            Err(_) => {
+                *self = SparseLu::new(a)?;
+                Ok(())
+            }
+        }
+    }
+
+    /// Solves `A·x = b` using the stored factors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::DimensionMismatch`] if `b` has the wrong
+    /// length.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, NumericsError> {
+        let mut x = Vec::new();
+        self.solve_into(b, &mut x)?;
+        Ok(x)
+    }
+
+    /// Solves `A·x = b` into a caller-provided buffer (no allocation when
+    /// `x` already has capacity `n`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::DimensionMismatch`] if `b` has the wrong
+    /// length.
+    pub fn solve_into(&self, b: &[f64], x: &mut Vec<f64>) -> Result<(), NumericsError> {
+        let n = self.n;
+        if b.len() != n {
+            return Err(NumericsError::DimensionMismatch {
+                expected: format!("vector of length {n}"),
+                found: format!("vector of length {}", b.len()),
+            });
+        }
+        x.clear();
+        x.extend(self.perm.iter().map(|&p| b[p]));
+        // Forward substitution (L is unit lower triangular).
+        for i in 0..n {
+            let mut acc = x[i];
+            for pos in self.row_start[i]..self.diag[i] {
+                acc -= self.vals[pos] * x[self.cols[pos]];
+            }
+            x[i] = acc;
+        }
+        // Backward substitution.
+        for i in (0..n).rev() {
+            let mut acc = x[i];
+            for pos in (self.diag[i] + 1)..self.row_start[i + 1] {
+                acc -= self.vals[pos] * x[self.cols[pos]];
+            }
+            x[i] = acc / self.vals[self.diag[i]];
+        }
+        Ok(())
+    }
+}
+
+/// Computes `row ← row − factor·updates`, merging the sorted column lists
+/// and inserting fill-in as needed. `updates` columns are all strictly
+/// greater than any column `row` has been eliminated at so far.
+fn merge_axpy(row: &mut Vec<(usize, f64)>, updates: &[(usize, f64)], factor: f64) {
+    if updates.is_empty() {
+        return;
+    }
+    let mut out = Vec::with_capacity(row.len() + updates.len());
+    let mut i = 0;
+    let mut j = 0;
+    while i < row.len() && j < updates.len() {
+        let (rc, rv) = row[i];
+        let (uc, uv) = updates[j];
+        match rc.cmp(&uc) {
+            std::cmp::Ordering::Less => {
+                out.push((rc, rv));
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push((uc, -factor * uv));
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push((rc, rv - factor * uv));
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&row[i..]);
+    out.extend(updates[j..].iter().map(|&(c, v)| (c, -factor * v)));
+    *row = out;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dense_of(triplets: &[(usize, usize, f64)], n: usize) -> Matrix {
+        let mut m = Matrix::zeros(n, n);
+        for &(r, c, v) in triplets {
+            m[(r, c)] += v;
+        }
+        m
+    }
+
+    #[test]
+    fn triplet_roundtrip_coalesces_duplicates() {
+        let mut t = TripletMatrix::new(3, 3);
+        t.push(0, 0, 1.0);
+        t.push(2, 1, 4.0);
+        t.push(0, 0, 2.0);
+        t.push(1, 2, -1.0);
+        assert_eq!(t.nnz(), 4);
+        assert_eq!(t.rows(), 3);
+        assert_eq!(t.cols(), 3);
+        let csr = t.to_csr();
+        assert_eq!(csr.nnz(), 3);
+        assert_eq!(csr.get(0, 0), 3.0);
+        assert_eq!(csr.get(2, 1), 4.0);
+        assert_eq!(csr.get(1, 2), -1.0);
+        assert_eq!(csr.get(1, 1), 0.0);
+        let dense = csr.to_dense();
+        assert_eq!(dense[(0, 0)], 3.0);
+        assert_eq!(dense[(2, 1)], 4.0);
+    }
+
+    #[test]
+    fn from_dense_roundtrip() {
+        let dense = Matrix::from_rows(&[&[1.0, 0.0, 2.0], &[0.0, 0.0, 0.0], &[3.0, 4.0, 0.0]]);
+        let sparse = SparseMatrix::from_dense(&dense);
+        assert_eq!(sparse.nnz(), 4);
+        assert_eq!(sparse.to_dense(), dense);
+        let entries: Vec<_> = sparse.entries().collect();
+        assert_eq!(entries.len(), 4);
+        assert!(entries.contains(&(2, 1, 4.0)));
+    }
+
+    #[test]
+    fn empty_rows_are_handled() {
+        let sparse = SparseMatrix::from_triplets(4, 4, &[(0, 0, 1.0), (3, 3, 2.0)]);
+        assert_eq!(sparse.nnz(), 2);
+        assert_eq!(sparse.get(1, 1), 0.0);
+        assert_eq!(sparse.get(3, 3), 2.0);
+        let y = sparse.mul_vec(&[1.0, 1.0, 1.0, 1.0]).unwrap();
+        assert_eq!(y, vec![1.0, 0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn mul_vec_checks_dimensions() {
+        let sparse = SparseMatrix::from_triplets(2, 2, &[(0, 0, 1.0)]);
+        assert!(matches!(
+            sparse.mul_vec(&[1.0]),
+            Err(NumericsError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn fill_zero_and_add_at_keep_the_pattern() {
+        let mut sparse = SparseMatrix::from_triplets(2, 2, &[(0, 0, 1.0), (1, 1, 2.0)]);
+        sparse.fill_zero();
+        assert_eq!(sparse.nnz(), 2);
+        assert_eq!(sparse.get(0, 0), 0.0);
+        sparse.add_at(0, 0, 5.0);
+        sparse.add_at(0, 0, 1.0);
+        assert_eq!(sparse.get(0, 0), 6.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in the sparsity pattern")]
+    fn add_at_outside_pattern_panics() {
+        let mut sparse = SparseMatrix::from_triplets(2, 2, &[(0, 0, 1.0)]);
+        sparse.add_at(0, 1, 1.0);
+    }
+
+    #[test]
+    fn solve_matches_dense_on_a_known_system() {
+        let triplets = [
+            (0, 0, 2.0),
+            (0, 1, 1.0),
+            (0, 2, -1.0),
+            (1, 0, -3.0),
+            (1, 1, -1.0),
+            (1, 2, 2.0),
+            (2, 0, -2.0),
+            (2, 1, 1.0),
+            (2, 2, 2.0),
+        ];
+        let sparse = SparseMatrix::from_triplets(3, 3, &triplets);
+        let b = [8.0, -11.0, -3.0];
+        let x = sparse.solve(&b).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+        assert!((x[2] - -1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_requires_pivoting() {
+        let sparse = SparseMatrix::from_triplets(2, 2, &[(0, 1, 1.0), (1, 0, 1.0)]);
+        let x = sparse.solve(&[3.0, 7.0]).unwrap();
+        assert!((x[0] - 7.0).abs() < 1e-14);
+        assert!((x[1] - 3.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn singular_matrix_is_detected() {
+        let sparse = SparseMatrix::from_triplets(
+            2,
+            2,
+            &[(0, 0, 1.0), (0, 1, 2.0), (1, 0, 2.0), (1, 1, 4.0)],
+        );
+        let err = sparse.solve(&[1.0, 2.0]).unwrap_err();
+        assert!(matches!(err, NumericsError::SingularMatrix { .. }));
+        // Structurally singular: an empty row.
+        let sparse = SparseMatrix::from_triplets(2, 2, &[(0, 0, 1.0)]);
+        assert!(matches!(
+            sparse.solve(&[1.0, 1.0]),
+            Err(NumericsError::SingularMatrix { .. })
+        ));
+    }
+
+    #[test]
+    fn non_square_lu_is_rejected() {
+        let sparse = SparseMatrix::from_triplets(2, 3, &[(0, 0, 1.0)]);
+        assert!(matches!(
+            sparse.lu(),
+            Err(NumericsError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn refactor_matches_fresh_factorisation() {
+        let pattern = [
+            (0, 0, 4.0),
+            (0, 2, 1.0),
+            (1, 1, 3.0),
+            (1, 2, -1.0),
+            (2, 0, 1.0),
+            (2, 2, 5.0),
+        ];
+        let mut a = SparseMatrix::from_triplets(3, 3, &pattern);
+        let mut lu = a.lu().unwrap();
+        assert_eq!(lu.dimension(), 3);
+        assert!(lu.factor_nnz() >= a.nnz());
+
+        // Same pattern, new values.
+        a.fill_zero();
+        for &(r, c, v) in &pattern {
+            a.add_at(r, c, 2.0 * v + 1.0);
+        }
+        lu.refactor(&a).unwrap();
+        let b = [1.0, 2.0, 3.0];
+        let x_re = lu.solve(&b).unwrap();
+        let x_fresh = a.to_dense().solve(&b).unwrap();
+        for (r, f) in x_re.iter().zip(x_fresh.iter()) {
+            assert!((r - f).abs() < 1e-12, "refactor {r} vs fresh {f}");
+        }
+    }
+
+    #[test]
+    fn refactor_rejects_pattern_mismatch() {
+        let a = SparseMatrix::from_triplets(2, 2, &[(0, 0, 1.0), (1, 1, 1.0)]);
+        let other = SparseMatrix::from_triplets(3, 3, &[(0, 0, 1.0), (1, 1, 1.0), (2, 2, 1.0)]);
+        let mut lu = a.lu().unwrap();
+        assert!(matches!(
+            lu.refactor(&other),
+            Err(NumericsError::DimensionMismatch { .. })
+        ));
+        // Same shape and entry count, different pattern: must be rejected,
+        // not silently scattered into the wrong slots.
+        let anti = SparseMatrix::from_triplets(2, 2, &[(0, 1, 1.0), (1, 0, 1.0)]);
+        assert!(matches!(
+            lu.refactor(&anti),
+            Err(NumericsError::InvalidArgument(_))
+        ));
+        // The factors survive a rejected refactor untouched.
+        let x = lu.solve(&[3.0, 4.0]).unwrap();
+        assert!((x[0] - 3.0).abs() < 1e-12 && (x[1] - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn update_falls_back_when_the_pivot_order_goes_stale() {
+        // First factorisation on a diagonally comfortable matrix keeps the
+        // natural row order; the second value set makes that order's first
+        // pivot numerically tiny, forcing the fallback repivot.
+        let pattern = [(0, 0, 4.0), (0, 1, 1.0), (1, 0, 1.0), (1, 1, 3.0)];
+        let mut a = SparseMatrix::from_triplets(2, 2, &pattern);
+        let mut lu = a.lu().unwrap();
+        a.fill_zero();
+        a.add_at(0, 0, 1e-30);
+        a.add_at(0, 1, 1.0);
+        a.add_at(1, 0, 1.0);
+        a.add_at(1, 1, 1.0);
+        assert!(matches!(
+            lu.refactor(&a),
+            Err(NumericsError::SingularMatrix { .. })
+        ));
+        lu.update(&a).unwrap();
+        let x = lu.solve(&[1.0, 2.0]).unwrap();
+        let y = a.mul_vec(&x).unwrap();
+        assert!((y[0] - 1.0).abs() < 1e-10 && (y[1] - 2.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn update_propagates_truly_singular_matrices() {
+        let pattern = [(0, 0, 1.0), (0, 1, 2.0), (1, 0, 2.0), (1, 1, 4.0)];
+        let good = SparseMatrix::from_triplets(
+            2,
+            2,
+            &[(0, 0, 1.0), (0, 1, 0.0), (1, 0, 0.0), (1, 1, 1.0)],
+        );
+        let mut lu = good.lu().unwrap();
+        let singular = SparseMatrix::from_triplets(2, 2, &pattern);
+        assert!(matches!(
+            lu.update(&singular),
+            Err(NumericsError::SingularMatrix { .. })
+        ));
+    }
+
+    #[test]
+    fn solve_into_reuses_the_buffer() {
+        let a = SparseMatrix::from_triplets(2, 2, &[(0, 0, 2.0), (1, 1, 4.0)]);
+        let lu = a.lu().unwrap();
+        let mut x = Vec::with_capacity(2);
+        lu.solve_into(&[2.0, 8.0], &mut x).unwrap();
+        assert_eq!(x, vec![1.0, 2.0]);
+        lu.solve_into(&[4.0, 4.0], &mut x).unwrap();
+        assert_eq!(x, vec![2.0, 1.0]);
+        assert!(lu.solve(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn random_pattern_agrees_with_dense() {
+        // Deterministic pseudo-random fill; diagonal dominance guarantees a
+        // well-conditioned system.
+        let n = 12;
+        let mut triplets = Vec::new();
+        let mut seed = 0x2545_f491_4f6c_dd1du64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            (seed >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for i in 0..n {
+            let mut row_sum = 0.0;
+            for j in 0..n {
+                if i != j && next() < 0.3 {
+                    let v = 2.0 * next() - 1.0;
+                    triplets.push((i, j, v));
+                    row_sum += v.abs();
+                }
+            }
+            triplets.push((i, i, row_sum + 1.0 + next()));
+        }
+        let sparse = SparseMatrix::from_triplets(n, n, &triplets);
+        let dense = dense_of(&triplets, n);
+        let b: Vec<f64> = (0..n).map(|i| (i as f64) - 3.0).collect();
+        let xs = sparse.solve(&b).unwrap();
+        let xd = dense.solve(&b).unwrap();
+        for (s, d) in xs.iter().zip(xd.iter()) {
+            assert!((s - d).abs() < 1e-10, "sparse {s} vs dense {d}");
+        }
+        assert!((sparse.inf_norm() - dense.inf_norm()).abs() < 1e-12);
+    }
+}

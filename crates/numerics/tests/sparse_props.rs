@@ -1,0 +1,175 @@
+//! Property tests for the sparse solver stack: the sparse path must agree
+//! with the dense path on every well-conditioned system, round-trip its
+//! storage formats, and fail loudly (never with NaNs) on singular input.
+
+use harvester_numerics::linalg::Matrix;
+use harvester_numerics::sparse::SparseMatrix;
+use harvester_numerics::NumericsError;
+use proptest::prelude::*;
+
+const MAX_N: usize = 13;
+
+/// Builds a random sparse, strictly diagonally dominant (hence
+/// well-conditioned and nonsingular) system from a pool of uniform values.
+fn diagonally_dominant(n: usize, pool: &[f64]) -> Vec<(usize, usize, f64)> {
+    let mut triplets = Vec::new();
+    let mut cursor = 0usize;
+    let mut next = |lo: f64, hi: f64| {
+        let u = (pool[cursor % pool.len()] + 1.0) / 2.0; // pool is in [-1, 1)
+        cursor += 1;
+        lo + u * (hi - lo)
+    };
+    for i in 0..n {
+        let mut row_sum = 0.0;
+        for j in 0..n {
+            if i != j && next(0.0, 1.0) < 0.35 {
+                let v = next(-1.0, 1.0);
+                triplets.push((i, j, v));
+                row_sum += v.abs();
+            }
+        }
+        triplets.push((i, i, row_sum + 0.5 + next(0.0, 1.0)));
+    }
+    triplets
+}
+
+fn dense_of(triplets: &[(usize, usize, f64)], n: usize) -> Matrix {
+    let mut m = Matrix::zeros(n, n);
+    for &(r, c, v) in triplets {
+        m[(r, c)] += v;
+    }
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Sparse LU and dense LU agree within 1e-9 on random well-conditioned
+    /// systems.
+    #[test]
+    fn sparse_lu_agrees_with_dense_lu(
+        n in 2usize..MAX_N,
+        pool in proptest::collection::vec(-1.0f64..1.0, 4 * MAX_N * MAX_N),
+        rhs in proptest::collection::vec(-5.0f64..5.0, MAX_N),
+    ) {
+        let triplets = diagonally_dominant(n, &pool);
+        let sparse = SparseMatrix::from_triplets(n, n, &triplets);
+        let dense = dense_of(&triplets, n);
+        let b = &rhs[..n];
+        let xs = sparse.solve(b).expect("diagonally dominant systems factor");
+        let xd = dense.solve(b).expect("diagonally dominant systems factor");
+        for (s, d) in xs.iter().zip(xd.iter()) {
+            prop_assert!(s.is_finite());
+            prop_assert!(
+                (s - d).abs() <= 1e-9 * (1.0 + d.abs()),
+                "sparse {s} vs dense {d} (n = {n})"
+            );
+        }
+    }
+
+    /// COO → CSR → dense round-trips exactly (duplicates coalesce to the sum
+    /// the dense accumulation produces, modulo floating-point ordering).
+    #[test]
+    fn coo_csr_dense_roundtrip(
+        n in 1usize..MAX_N,
+        pool in proptest::collection::vec(-1.0f64..1.0, 4 * MAX_N * MAX_N),
+        duplicates in 0usize..20,
+    ) {
+        let mut triplets = diagonally_dominant(n, &pool);
+        // Duplicate a few existing coordinates so coalescing is exercised.
+        for k in 0..duplicates {
+            let (r, c, v) = triplets[k % triplets.len()];
+            triplets.push((r, c, 0.5 * v));
+        }
+        let sparse = SparseMatrix::from_triplets(n, n, &triplets);
+        let dense = dense_of(&triplets, n);
+        let roundtrip = sparse.to_dense();
+        for i in 0..n {
+            for j in 0..n {
+                prop_assert!(
+                    (roundtrip[(i, j)] - dense[(i, j)]).abs() <= 1e-12,
+                    "entry ({i}, {j}): {} vs {}",
+                    roundtrip[(i, j)],
+                    dense[(i, j)]
+                );
+            }
+        }
+        // And CSR → dense → CSR preserves the stored values.
+        let back = SparseMatrix::from_dense(&roundtrip);
+        prop_assert!(back.nnz() <= sparse.nnz());
+        for (r, c, v) in back.entries() {
+            prop_assert!((sparse.get(r, c) - v).abs() <= 1e-12);
+        }
+    }
+
+    /// Singular matrices are reported as `NumericsError::SingularMatrix` by
+    /// both paths — never silently as NaN solutions.
+    #[test]
+    fn singular_systems_error_on_both_paths(
+        n in 2usize..MAX_N,
+        pool in proptest::collection::vec(-1.0f64..1.0, 4 * MAX_N * MAX_N),
+        dup_from in 0usize..MAX_N,
+        dup_to in 0usize..MAX_N,
+    ) {
+        let src = dup_from % n;
+        let dst = (dup_to % (n - 1) + src + 1) % n; // distinct from src
+        prop_assume!(src != dst);
+        let base = diagonally_dominant(n, &pool);
+        // Overwrite row `dst` with an exact copy of row `src`: rank < n.
+        let mut triplets: Vec<(usize, usize, f64)> = base
+            .iter()
+            .copied()
+            .filter(|&(r, _, _)| r != dst)
+            .collect();
+        let copied: Vec<(usize, usize, f64)> = base
+            .iter()
+            .copied()
+            .filter(|&(r, _, _)| r == src)
+            .map(|(_, c, v)| (dst, c, v))
+            .collect();
+        triplets.extend(copied);
+        let sparse = SparseMatrix::from_triplets(n, n, &triplets);
+        let dense = dense_of(&triplets, n);
+        let b = vec![1.0; n];
+        let sparse_err = sparse.solve(&b);
+        let dense_err = dense.solve(&b);
+        prop_assert!(
+            matches!(sparse_err, Err(NumericsError::SingularMatrix { .. })),
+            "sparse path must detect singularity, got {sparse_err:?}"
+        );
+        prop_assert!(
+            matches!(dense_err, Err(NumericsError::SingularMatrix { .. })),
+            "dense path must detect singularity, got {dense_err:?}"
+        );
+    }
+
+    /// Pattern-reusing refactorisation agrees with a from-scratch
+    /// factorisation of the new values.
+    #[test]
+    fn refactor_agrees_with_fresh_factorisation(
+        n in 2usize..MAX_N,
+        pool in proptest::collection::vec(-1.0f64..1.0, 4 * MAX_N * MAX_N),
+        scale in 0.25f64..4.0,
+        rhs in proptest::collection::vec(-5.0f64..5.0, MAX_N),
+    ) {
+        let triplets = diagonally_dominant(n, &pool);
+        let mut sparse = SparseMatrix::from_triplets(n, n, &triplets);
+        let mut lu = sparse.lu().expect("first factorisation succeeds");
+        // New values on the identical pattern (scaling preserves diagonal
+        // dominance, so the stored pivot order stays numerically valid).
+        sparse.fill_zero();
+        for &(r, c, v) in &triplets {
+            sparse.add_at(r, c, scale * v);
+        }
+        lu.refactor(&sparse).expect("refactorisation succeeds");
+        let b = &rhs[..n];
+        let x_re = lu.solve(b).unwrap();
+        let x_fresh = sparse.to_dense().solve(b).unwrap();
+        for (r, f) in x_re.iter().zip(x_fresh.iter()) {
+            prop_assert!(
+                (r - f).abs() <= 1e-9 * (1.0 + f.abs()),
+                "refactor {r} vs fresh {f}"
+            );
+        }
+    }
+}

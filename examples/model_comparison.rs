@@ -38,6 +38,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 detail_dt: 1e-4,
                 horizon: 1800.0,
                 output_points: 100,
+                backend: Default::default(),
             },
         }
     };

@@ -53,6 +53,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 measure_cycles: 6.0,
                 detail_dt: 1e-4,
                 reference_voltage: 1.0,
+                backend: Default::default(),
             },
         }
     };
@@ -85,6 +86,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             detail_dt: 1e-4,
             horizon: 9000.0,
             output_points: 120,
+            backend: Default::default(),
         }
     };
     println!();

@@ -80,6 +80,7 @@ fn envelope_matches_detailed_simulation_on_a_short_scenario() {
             detail_dt: 1e-4,
             horizon,
             output_points: 60,
+            backend: Default::default(),
         },
     );
     let v_envelope = envelope.charge_curve().unwrap().final_voltage();
