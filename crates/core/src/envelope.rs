@@ -24,7 +24,7 @@ use crate::system::HarvesterConfig;
 use harvester_mna::circuit::Circuit;
 use harvester_mna::devices::{Resistor, VoltageSource};
 use harvester_mna::transient::{
-    SolverBackend, TransientAnalysis, TransientOptions, TransientResult,
+    SolverBackend, TransientAnalysis, TransientOptions, TransientResult, TransientWorkspace,
 };
 use harvester_mna::waveform::Waveform;
 use harvester_mna::MnaError;
@@ -128,6 +128,38 @@ impl ChargingCharacteristic {
     }
 }
 
+/// Reusable scratch for repeated envelope measurements.
+///
+/// A fitness evaluation inside an optimisation loop runs several detailed
+/// transients (one per storage-voltage grid point), each of which needs a
+/// [`TransientWorkspace`] — matrices, factorisation, history buffers. This
+/// wrapper keeps that workspace alive across measurements so sweep and
+/// optimisation loops (one `EnvelopeWorkspace` per evaluator worker) stop
+/// reallocating per solve; the workspace is rebuilt automatically whenever
+/// the circuit layout changes.
+///
+/// Determinism: at the start of every measurement the cached numeric
+/// factorisation is dropped
+/// ([`TransientWorkspace::invalidate_factors`]), so each measurement is a
+/// pure function of the design being measured — bit-identical whichever
+/// worker's workspace it lands on, and bit-identical to a fresh workspace.
+#[derive(Debug, Default)]
+pub struct EnvelopeWorkspace {
+    transient: Option<TransientWorkspace>,
+}
+
+impl EnvelopeWorkspace {
+    /// Creates an empty workspace (buffers are built on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `true` once a transient workspace has been materialised.
+    pub fn is_initialised(&self) -> bool {
+        self.transient.is_some()
+    }
+}
+
 /// Envelope-following simulator for a harvester configuration.
 #[derive(Debug, Clone)]
 pub struct EnvelopeSimulator {
@@ -158,16 +190,39 @@ impl EnvelopeSimulator {
     ///
     /// Propagates transient-engine failures.
     pub fn measure_characteristic(&self) -> Result<ChargingCharacteristic, MnaError> {
+        self.measure_characteristic_with(&mut EnvelopeWorkspace::default())
+    }
+
+    /// As [`EnvelopeSimulator::measure_characteristic`], but reusing an
+    /// externally owned [`EnvelopeWorkspace`] — the entry point for
+    /// optimisation loops that measure thousands of designs and want the
+    /// transient-simulation buffers allocated once per worker, not once per
+    /// design. The result is bit-identical to the workspace-free path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transient-engine failures.
+    pub fn measure_characteristic_with(
+        &self,
+        workspace: &mut EnvelopeWorkspace,
+    ) -> Result<ChargingCharacteristic, MnaError> {
         let opts = &self.options;
         let period = 1.0 / self.config.vibration.frequency_hz;
         let t_settle = opts.settle_cycles * period;
         let t_stop = t_settle + opts.measure_cycles * period;
 
+        // A measurement must be a pure function of the design: drop any
+        // pivot order inherited from previously measured designs (buffers
+        // and the symbolic pattern stay allocated).
+        if let Some(ws) = workspace.transient.as_mut() {
+            ws.invalidate_factors();
+        }
+
         let mut voltages = Vec::with_capacity(opts.voltage_points);
         let mut currents = Vec::with_capacity(opts.voltage_points);
         for k in 0..opts.voltage_points {
             let v = opts.max_voltage * k as f64 / (opts.voltage_points - 1).max(1) as f64;
-            let result = self.run_clamped(v, t_stop)?;
+            let result = self.run_clamped(v, t_stop, workspace)?;
             let i = clamp_charging_current(&result, t_settle);
             voltages.push(v);
             currents.push(i);
@@ -213,7 +268,12 @@ impl EnvelopeSimulator {
         }
     }
 
-    fn run_clamped(&self, clamp_voltage: f64, t_stop: f64) -> Result<TransientResult, MnaError> {
+    fn run_clamped(
+        &self,
+        clamp_voltage: f64,
+        t_stop: f64,
+        workspace: &mut EnvelopeWorkspace,
+    ) -> Result<TransientResult, MnaError> {
         // Rebuild the netlist but with a DC source clamping the storage node.
         // The super-capacitor the builder adds is made inert (pre-charged to
         // the clamp voltage, no leakage, no series resistance) so the clamp
@@ -253,7 +313,22 @@ impl EnvelopeSimulator {
             backend: self.options.backend,
             ..TransientOptions::default()
         };
-        TransientAnalysis::new(options).run(&circuit)
+        let analysis = TransientAnalysis::new(options);
+        let rebuild = match &workspace.transient {
+            Some(ws) => !ws.fits(&circuit, analysis.options()),
+            None => true,
+        };
+        if rebuild {
+            workspace.transient = Some(TransientWorkspace::for_circuit(
+                &circuit,
+                analysis.options(),
+            )?);
+        }
+        let ws = workspace
+            .transient
+            .as_mut()
+            .expect("workspace was just built");
+        analysis.run_with(&circuit, ws)
     }
 }
 
@@ -359,6 +434,39 @@ mod tests {
         assert!(mid > 0.0 && mid <= curve.final_voltage() + 1e-9);
         assert_eq!(curve.voltage_at(-1.0), curve.voltages[0]);
         assert_eq!(curve.voltage_at(1e9), curve.final_voltage());
+    }
+
+    #[test]
+    fn reused_workspace_measurements_are_bit_identical() {
+        let mut config = HarvesterConfig::unoptimised();
+        config.generator.damping *= 3.0;
+        let sim = EnvelopeSimulator::new(config.clone(), quick_envelope_options());
+        let fresh = sim.measure_characteristic().unwrap();
+
+        let mut workspace = EnvelopeWorkspace::new();
+        assert!(!workspace.is_initialised());
+        let first = sim.measure_characteristic_with(&mut workspace).unwrap();
+        assert!(workspace.is_initialised());
+
+        // Pollute the workspace with a *different* design, then re-measure
+        // the original: the result must not depend on workspace history.
+        let mut other = config.clone();
+        other.generator.coil_resistance *= 2.0;
+        other.generator.coil_turns *= 1.3;
+        let other_sim = EnvelopeSimulator::new(other, quick_envelope_options());
+        let _ = other_sim
+            .measure_characteristic_with(&mut workspace)
+            .unwrap();
+        let second = sim.measure_characteristic_with(&mut workspace).unwrap();
+
+        for ((va, ia), ((vb, ib), (vc, ic))) in
+            fresh.points().zip(first.points().zip(second.points()))
+        {
+            assert_eq!(va, vb);
+            assert_eq!(va, vc);
+            assert_eq!(ia, ib, "fresh vs reused workspace must agree bit-for-bit");
+            assert_eq!(ia, ic, "workspace history must not leak into results");
+        }
     }
 
     #[test]

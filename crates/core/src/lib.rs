@@ -63,7 +63,7 @@ pub mod storage;
 pub mod system;
 
 pub use booster::BoosterConfig;
-pub use envelope::{ChargingCurve, EnvelopeOptions, EnvelopeSimulator};
+pub use envelope::{ChargingCurve, EnvelopeOptions, EnvelopeSimulator, EnvelopeWorkspace};
 pub use generator::GeneratorModel;
 pub use params::{
     MicroGeneratorParams, StorageParams, TransformerBoosterParams, Vibration, VillardParams,

@@ -9,7 +9,7 @@
 use crate::design_space::{encode, paper_bounds, FitnessBudget, HarvesterObjective};
 use crate::report::Table;
 use harvester_core::system::HarvesterConfig;
-use harvester_optim::{GaOptions, GeneticAlgorithm, Optimizer};
+use harvester_optim::{GaOptions, GeneticAlgorithm, Optimizer, ParallelEvaluator};
 use std::time::Instant;
 
 /// Options for the CPU-time split measurement.
@@ -21,8 +21,9 @@ pub struct CpuTimeOptions {
     pub generations: usize,
     /// Simulation budget of each chromosome evaluation, including the
     /// solver backend ([`FitnessBudget::backend`]) every fitness transient
-    /// runs on — the knob that moves the simulation side of the paper's
-    /// CPU-time split.
+    /// runs on and the [`FitnessBudget::parallelism`] the chromosome batches
+    /// are sharded with — the two knobs that move the simulation side of the
+    /// paper's CPU-time split.
     pub fitness: FitnessBudget,
 }
 
@@ -62,6 +63,9 @@ pub struct CpuTimeBreakdown {
     pub ga_only_seconds: f64,
     /// Number of objective evaluations in the simulation-only measurement.
     pub evaluations: usize,
+    /// Worker threads the simulation batches were sharded over (resolved
+    /// from [`FitnessBudget::parallelism`] for one population-sized batch).
+    pub workers: usize,
 }
 
 impl CpuTimeBreakdown {
@@ -99,11 +103,18 @@ impl CpuTimeBreakdown {
             "chromosome evaluations".to_string(),
             format!("{}", self.evaluations),
         ]);
+        table.push_row(vec![
+            "evaluator workers".to_string(),
+            format!("{}", self.workers),
+        ]);
         table
     }
 }
 
-/// Measures the CPU-time split for the given base design.
+/// Measures the CPU-time split for the given base design. Both measured
+/// halves — the GA run and the bare chromosome batch — go through the same
+/// [`ParallelEvaluator`] with per-worker simulation workspaces, so the
+/// breakdown reflects the parallel engine the real optimisation loop uses.
 pub fn run_cpu_split(base: &HarvesterConfig, options: &CpuTimeOptions) -> CpuTimeBreakdown {
     let bounds = paper_bounds();
     let objective = HarvesterObjective::new(base.clone(), options.fitness);
@@ -111,30 +122,43 @@ pub fn run_cpu_split(base: &HarvesterConfig, options: &CpuTimeOptions) -> CpuTim
         population_size: options.population_size,
         ..GaOptions::paper()
     });
+    let evaluator = ParallelEvaluator::new(options.fitness.parallelism);
+    let pooled = objective.thread_local();
 
     // (1) GA driving the real simulation-backed objective.
     let start = Instant::now();
-    let with_sim = ga.optimise(&objective, &bounds, options.generations, 7);
+    let with_sim = ga.optimise_with(&evaluator, &pooled, &bounds, options.generations, 7);
     let with_simulation_seconds = start.elapsed().as_secs_f64();
 
-    // (2) The same number of chromosome simulations without any GA logic.
+    // (2) The same number of chromosome simulations without any GA logic,
+    // sharded through the same evaluator.
     let evaluations = with_sim.evaluations;
     let template = encode(base);
+    let batch: Vec<Vec<f64>> = (0..evaluations)
+        .map(|k| {
+            // Small deterministic perturbation so the simulator cannot
+            // short-circuit identical designs.
+            let mut genes = template.clone();
+            genes[1] += (k % 7) as f64;
+            genes
+        })
+        .collect();
     let start = Instant::now();
-    let mut checksum = 0.0;
-    for k in 0..evaluations {
-        // Small deterministic perturbation so the simulator cannot
-        // short-circuit identical designs.
-        let mut genes = template.clone();
-        genes[1] += (k % 7) as f64;
-        checksum += objective_eval(&objective, &genes);
-    }
+    let checksum: f64 = evaluator
+        .evaluate(&pooled, &batch)
+        .iter()
+        .map(|e| e.fitness())
+        .sum();
     let simulation_only_seconds = start.elapsed().as_secs_f64();
-    assert!(checksum.is_finite());
+    // The checksum only exists so the simulations cannot be elided; a failed
+    // design scores -inf, which must not abort the timing experiment.
+    std::hint::black_box(checksum);
 
-    // (3) The GA machinery alone on a trivially cheap objective.
+    // (3) The GA machinery alone on a trivially cheap objective (kept
+    // strictly serial so no thread overhead is attributed to the GA).
     let start = Instant::now();
-    let _ = ga.optimise(
+    let _ = ga.optimise_with(
+        &ParallelEvaluator::serial(),
         &|genes: &[f64]| -genes.iter().map(|g| g * g).sum::<f64>(),
         &bounds,
         options.generations,
@@ -147,12 +171,11 @@ pub fn run_cpu_split(base: &HarvesterConfig, options: &CpuTimeOptions) -> CpuTim
         simulation_only_seconds,
         ga_only_seconds,
         evaluations,
+        workers: options
+            .fitness
+            .parallelism
+            .worker_count(options.population_size),
     }
-}
-
-fn objective_eval(objective: &HarvesterObjective, genes: &[f64]) -> f64 {
-    use harvester_optim::Objective;
-    objective.evaluate(genes)
 }
 
 #[cfg(test)]
@@ -181,6 +204,7 @@ mod tests {
             simulation_only_seconds: 0.0,
             ga_only_seconds: 0.0,
             evaluations: 0,
+            workers: 1,
         };
         assert_eq!(b.ga_fraction(), 0.0);
     }

@@ -17,7 +17,15 @@
 //!
 //! The seven-gene design space of the paper's chromosome lives in
 //! [`design_space`], together with the simulation-backed
-//! [`design_space::HarvesterObjective`].
+//! [`design_space::HarvesterObjective`] and the two-gene fitness-landscape
+//! sweep [`design_space::sweep_design_space`].
+//!
+//! Every population-level loop (the GA's generations, the design-space
+//! sweep, the CPU-split batches) shards its simulations over worker threads
+//! according to [`design_space::FitnessBudget::parallelism`], with one
+//! reusable simulation workspace per worker
+//! ([`HarvesterObjective::thread_local`]); results are bit-identical for any
+//! worker count.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -30,7 +38,8 @@ pub mod report;
 
 pub use cpu_time::{run_cpu_split, CpuTimeBreakdown, CpuTimeOptions};
 pub use design_space::{
-    decode, encode, paper_bounds, FitnessBudget, HarvesterObjective, GENE_COUNT,
+    decode, encode, paper_bounds, sweep_design_space, FitnessBudget, Gene, HarvesterObjective,
+    HarvesterWorker, SweepOptions, SweepResult, GENE_COUNT,
 };
 pub use model_comparison::{run_fig5, run_fig7, Fig5Options, Fig5Result, Fig7Options, Fig7Result};
 pub use optimisation::{

@@ -10,7 +10,9 @@ use harvester_core::metrics::improvement_percent;
 use harvester_core::system::HarvesterConfig;
 use harvester_mna::transient::TransientOptions;
 use harvester_mna::MnaError;
-use harvester_optim::{GaOptions, GeneticAlgorithm, OptimisationResult, Optimizer};
+use harvester_optim::{
+    GaOptions, GeneticAlgorithm, OptimisationResult, Optimizer, ParallelEvaluator,
+};
 
 /// Options for the integrated optimisation experiment.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -21,7 +23,10 @@ pub struct OptimisationOptions {
     pub generations: usize,
     /// RNG seed (the experiment is deterministic per seed).
     pub seed: u64,
-    /// Simulation budget of each fitness evaluation.
+    /// Simulation budget of each fitness evaluation, including the
+    /// [`FitnessBudget::parallelism`] policy the GA's generations are
+    /// sharded with (worker count never affects the result bits, only the
+    /// wall-clock time).
     pub fitness: FitnessBudget,
 }
 
@@ -137,6 +142,10 @@ fn transformer(config: &HarvesterConfig) -> harvester_core::params::TransformerB
 
 /// Runs the integrated optimisation loop of Fig. 8: GA over the seven-gene
 /// design space with the coupled-simulation objective.
+///
+/// Each generation's chromosomes are simulated in parallel according to
+/// [`FitnessBudget::parallelism`], with one reusable simulation workspace
+/// per worker; the outcome is bit-identical for any worker count.
 pub fn run_optimisation(
     base: &HarvesterConfig,
     options: &OptimisationOptions,
@@ -144,7 +153,15 @@ pub fn run_optimisation(
     let objective = HarvesterObjective::new(base.clone(), options.fitness);
     let bounds = paper_bounds();
     let ga = GeneticAlgorithm::new(options.ga);
-    let ga_result = ga.optimise(&objective, &bounds, options.generations, options.seed);
+    let evaluator = ParallelEvaluator::new(options.fitness.parallelism);
+    let pooled = objective.thread_local();
+    let ga_result = ga.optimise_with(
+        &evaluator,
+        &pooled,
+        &bounds,
+        options.generations,
+        options.seed,
+    );
 
     let unoptimised_fitness = objective.charging_current(base);
     let optimised = decode(base, &ga_result.best_genes);

@@ -1,0 +1,127 @@
+//! Parallel-evaluation determinism on the *real* harvester objective: the
+//! acceptance bar for the batch engine is that `Parallelism::Threads(n)`
+//! reproduces `Parallelism::Serial` bit for bit on the coupled-simulation
+//! fixture, not just on analytic toys. (The tests spawn their own evaluator
+//! workers, so they pass under any `--test-threads` setting.)
+
+use harvester_core::system::HarvesterConfig;
+use harvester_experiments::{
+    encode, paper_bounds, run_optimisation, sweep_design_space, FitnessBudget, HarvesterObjective,
+    OptimisationOptions, SweepOptions,
+};
+use harvester_optim::{
+    GaOptions, GeneticAlgorithm, Objective, OptimisationResult, Optimizer, ParallelEvaluator,
+    Parallelism,
+};
+
+fn bits(values: &[f64]) -> Vec<u64> {
+    values.iter().map(|v| v.to_bits()).collect()
+}
+
+fn assert_bit_identical(a: &OptimisationResult, b: &OptimisationResult, context: &str) {
+    assert_eq!(bits(&a.best_genes), bits(&b.best_genes), "{context}");
+    assert_eq!(
+        a.best_fitness.to_bits(),
+        b.best_fitness.to_bits(),
+        "{context}"
+    );
+    assert_eq!(bits(&a.history), bits(&b.history), "{context}");
+    assert_eq!(a.evaluations, b.evaluations, "{context}");
+}
+
+/// A small GA on the harvester fixture, with the budget's parallelism knob.
+fn ga_run(parallelism: Parallelism) -> OptimisationResult {
+    let base = HarvesterConfig::unoptimised();
+    let objective =
+        HarvesterObjective::new(base, FitnessBudget::coarse().with_parallelism(parallelism));
+    let pooled = objective.thread_local();
+    let ga = GeneticAlgorithm::new(GaOptions {
+        population_size: 8,
+        ..GaOptions::paper()
+    });
+    ga.optimise_with(
+        &ParallelEvaluator::new(parallelism),
+        &pooled,
+        &paper_bounds(),
+        2,
+        2008,
+    )
+}
+
+#[test]
+fn ga_on_the_harvester_fixture_is_bit_identical_across_worker_counts() {
+    let serial = ga_run(Parallelism::Serial);
+    assert!(
+        serial.best_fitness.is_finite() && serial.best_fitness > 0.0,
+        "fixture must charge, got {}",
+        serial.best_fitness
+    );
+    let two = ga_run(Parallelism::Threads(2));
+    assert_bit_identical(&serial, &two, "Threads(2) vs Serial");
+    let four = ga_run(Parallelism::Threads(4));
+    assert_bit_identical(&serial, &four, "Threads(4) vs Serial");
+}
+
+#[test]
+fn run_optimisation_honours_the_budget_parallelism_knob() {
+    let base = HarvesterConfig::unoptimised();
+    let mut options = OptimisationOptions::coarse();
+    options.generations = 2;
+    options.ga.population_size = 6;
+    options.fitness = options.fitness.with_parallelism(Parallelism::Serial);
+    let serial = run_optimisation(&base, &options);
+    options.fitness = options.fitness.with_parallelism(Parallelism::Threads(3));
+    let threads = run_optimisation(&base, &options);
+    assert_bit_identical(
+        &serial.ga_result,
+        &threads.ga_result,
+        "run_optimisation Threads(3) vs Serial",
+    );
+    assert_eq!(
+        serial.optimised_fitness.to_bits(),
+        threads.optimised_fitness.to_bits()
+    );
+}
+
+#[test]
+fn design_space_sweep_is_bit_identical_across_worker_counts() {
+    let base = HarvesterConfig::unoptimised();
+    let mut options = SweepOptions::coarse();
+    options.fitness = options.fitness.with_parallelism(Parallelism::Serial);
+    let serial = sweep_design_space(&base, &options);
+    options.fitness = options.fitness.with_parallelism(Parallelism::Threads(2));
+    let threads = sweep_design_space(&base, &options);
+    assert_eq!(bits(&serial.fitness), bits(&threads.fitness));
+    assert_eq!(serial.values_a, threads.values_a);
+    assert_eq!(serial.values_b, threads.values_b);
+    assert_eq!(serial.best_point(), threads.best_point());
+}
+
+#[test]
+fn pooled_worker_path_matches_the_allocating_path_bitwise() {
+    // The workspace-reusing worker (one `EnvelopeWorkspace` kept across
+    // candidates) must agree bit-for-bit with the plain per-call objective —
+    // including after evaluating *different* designs in between, which is
+    // exactly what happens inside a shuffled parallel batch.
+    let base = HarvesterConfig::unoptimised();
+    let objective = HarvesterObjective::new(base.clone(), FitnessBudget::coarse());
+    let pooled = objective.thread_local();
+    let paper = encode(&base);
+    let mut perturbed = paper.clone();
+    perturbed[1] += 150.0;
+    perturbed[6] -= 400.0;
+
+    let plain_paper = objective.evaluate(&paper);
+    let plain_perturbed = objective.evaluate(&perturbed);
+    let pooled_paper_first = pooled.evaluate(&paper);
+    let pooled_perturbed = pooled.evaluate(&perturbed);
+    let pooled_paper_again = pooled.evaluate(&paper);
+
+    assert_eq!(plain_paper.to_bits(), pooled_paper_first.to_bits());
+    assert_eq!(plain_perturbed.to_bits(), pooled_perturbed.to_bits());
+    assert_eq!(
+        plain_paper.to_bits(),
+        pooled_paper_again.to_bits(),
+        "workspace history must not leak between candidates"
+    );
+}

@@ -501,6 +501,38 @@ impl TransientWorkspace {
         entries.iter().all(|&(r, c)| matrix.contains(r, c))
     }
 
+    /// Returns `true` when this workspace can be reused for `circuit` under
+    /// `options` without rebuilding: the layout matches, the resolved solver
+    /// backend is the same and (on the sparse backend) the stored sparsity
+    /// pattern covers every stamp the circuit declares. This is exactly the
+    /// precondition [`TransientAnalysis::run_with`] enforces, exposed so
+    /// sweep/optimisation loops can decide between reuse and rebuild without
+    /// provoking an error.
+    pub fn fits(&self, circuit: &Circuit, options: &TransientOptions) -> bool {
+        self.matches(circuit)
+            && self.backend == options.backend.resolve(self.layout.n)
+            && self.pattern_covers(circuit)
+    }
+
+    /// Drops the cached numeric factorisation (and, on the sparse backend,
+    /// the stored pivot order), keeping the matrices and buffers allocated.
+    ///
+    /// The sparse LU reuses the pivot order of the *first* matrix it
+    /// factored, falling back to a fresh pivot search only when that order
+    /// goes numerically stale — so the bit-exact result of a run can depend
+    /// on which matrices the workspace factored before it. Loops that
+    /// require each run to be a pure function of its own inputs (e.g. the
+    /// parallel optimisation engine, which shards candidates over workers
+    /// with per-worker workspaces in nondeterministic order) call this at
+    /// every logical boundary; the first solve after the call performs one
+    /// full pivoted factorisation, exactly as a fresh workspace would.
+    pub fn invalidate_factors(&mut self) {
+        match &mut self.jacobian {
+            JacobianStorage::Dense { factors, .. } => *factors = None,
+            JacobianStorage::Sparse { factors, .. } => *factors = None,
+        }
+    }
+
     /// Resets the solution, device states and history for a fresh run.
     fn reset(&mut self, circuit: &Circuit) {
         self.x.iter_mut().for_each(|v| *v = 0.0);
@@ -1162,6 +1194,46 @@ mod tests {
         }
         // The second run needs no fresh symbolic factorisation at all.
         assert_eq!(second.statistics().full_factorizations, 0);
+    }
+
+    #[test]
+    fn fits_reports_reusability_and_invalidate_factors_restores_purity() {
+        let (c, out) = rc_circuit();
+        let sparse_opts = TransientOptions {
+            t_stop: 2e-4,
+            dt: 1e-6,
+            backend: SolverBackend::Sparse,
+            ..TransientOptions::default()
+        };
+        let analysis = TransientAnalysis::new(sparse_opts);
+        let mut ws = TransientWorkspace::for_circuit(&c, analysis.options()).unwrap();
+        assert!(ws.fits(&c, analysis.options()));
+        let dense_opts = TransientOptions {
+            backend: SolverBackend::Dense,
+            ..sparse_opts
+        };
+        assert!(
+            !ws.fits(&c, &dense_opts),
+            "a sparse workspace must not claim to fit a dense request"
+        );
+        let mut other = Circuit::new();
+        let a = other.node("a");
+        other.add(Resistor::new("R", a, Circuit::GROUND, 1.0));
+        assert!(!ws.fits(&other, analysis.options()));
+
+        // After invalidation the next run redoes the full factorisation and
+        // reproduces a fresh workspace's result bit for bit.
+        let fresh = analysis.run(&c).unwrap();
+        let _ = analysis.run_with(&c, &mut ws).unwrap();
+        ws.invalidate_factors();
+        let rerun = analysis.run_with(&c, &mut ws).unwrap();
+        assert_eq!(
+            rerun.statistics().full_factorizations,
+            fresh.statistics().full_factorizations
+        );
+        for (a, b) in fresh.voltage(out).iter().zip(rerun.voltage(out)) {
+            assert_eq!(*a, b, "invalidated workspace must behave like a fresh one");
+        }
     }
 
     #[test]

@@ -1,8 +1,15 @@
 //! Real-coded genetic algorithm, configured as in the paper: population of
 //! 100 chromosomes, 7 genes, crossover rate 0.8, mutation rate 0.02,
 //! tournament selection with elitism.
+//!
+//! Each generation's offspring are generated serially (so the RNG stream is
+//! independent of the worker count) and then evaluated as one batch through
+//! the [`ParallelEvaluator`]; elites carry their fitness over and are never
+//! re-evaluated, so [`OptimisationResult::evaluations`] counts exactly the
+//! objective calls made.
 
-use crate::{Bounds, Objective, OptimisationResult, Optimizer};
+use crate::evaluate::{best_index, is_better, nan_last_desc};
+use crate::{BatchObjective, Bounds, OptimisationResult, Optimizer, ParallelEvaluator};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -68,9 +75,10 @@ impl Optimizer for GeneticAlgorithm {
         "genetic-algorithm"
     }
 
-    fn optimise(
+    fn optimise_with(
         &self,
-        objective: &dyn Objective,
+        evaluator: &ParallelEvaluator,
+        objective: &dyn BatchObjective,
         bounds: &Bounds,
         iterations: usize,
         seed: u64,
@@ -88,24 +96,33 @@ impl Optimizer for GeneticAlgorithm {
         let dimension = bounds.dimension();
         let widths = bounds.widths();
 
-        // Initial population: uniform random inside the bounds.
+        // Initial population: uniform random inside the bounds, evaluated as
+        // one batch.
         let mut population: Vec<Vec<f64>> = (0..opts.population_size)
             .map(|_| bounds.sample(&mut rng))
             .collect();
-        let mut fitness: Vec<f64> = population
+        let mut fitness: Vec<f64> = evaluator
+            .evaluate(objective, &population)
             .iter()
-            .map(|genes| objective.evaluate(genes))
+            .map(|e| e.fitness())
             .collect();
         let mut evaluations = opts.population_size;
 
+        // Track the best-ever individual explicitly (not via the final
+        // population): with `elite_count: 0` breeding may lose the best
+        // chromosome, and the reported genes must always pair with the
+        // reported fitness.
         let mut history = Vec::with_capacity(iterations + 1);
-        let mut best_index = argmax(&fitness);
-        history.push(fitness[best_index]);
+        let mut best = best_index(&fitness);
+        let mut best_genes = population[best].clone();
+        let mut best_fitness = fitness[best];
+        history.push(best_fitness);
 
         for _generation in 0..iterations {
-            // Rank for elitism.
+            // Rank for elitism (NaN fitness sorts last, so a failed
+            // simulation can never be copied forward as an elite).
             let mut order: Vec<usize> = (0..population.len()).collect();
-            order.sort_by(|&a, &b| fitness[b].partial_cmp(&fitness[a]).unwrap());
+            order.sort_by(|&a, &b| nan_last_desc(fitness[a], fitness[b]));
 
             let mut next_population: Vec<Vec<f64>> = order
                 .iter()
@@ -118,7 +135,11 @@ impl Optimizer for GeneticAlgorithm {
                 .map(|&i| fitness[i])
                 .collect();
 
-            while next_population.len() < opts.population_size {
+            // Breed the full offspring batch serially (the RNG stream must
+            // not depend on the evaluator's worker count) ...
+            let mut offspring: Vec<Vec<f64>> =
+                Vec::with_capacity(opts.population_size - next_population.len());
+            while next_population.len() + offspring.len() < opts.population_size {
                 let parent_a = tournament(&fitness, opts.tournament_size, &mut rng);
                 let parent_b = tournament(&fitness, opts.tournament_size, &mut rng);
                 let mut child = if rng.gen_bool(opts.crossover_rate) {
@@ -132,50 +153,40 @@ impl Optimizer for GeneticAlgorithm {
                     }
                 }
                 bounds.clamp(&mut child);
-                let f = objective.evaluate(&child);
-                evaluations += 1;
-                next_population.push(child);
-                next_fitness.push(f);
+                offspring.push(child);
             }
+            // ... then simulate the whole generation in parallel.
+            let offspring_fitness = evaluator.evaluate(objective, &offspring);
+            evaluations += offspring.len();
+            next_fitness.extend(offspring_fitness.iter().map(|e| e.fitness()));
+            next_population.append(&mut offspring);
+
             debug_assert_eq!(next_population.len(), opts.population_size);
             debug_assert!(next_population.iter().all(|c| c.len() == dimension));
             population = next_population;
             fitness = next_fitness;
-            best_index = argmax(&fitness);
-            let best_so_far = history
-                .last()
-                .copied()
-                .unwrap_or(f64::NEG_INFINITY)
-                .max(fitness[best_index]);
-            history.push(best_so_far);
+            best = best_index(&fitness);
+            if is_better(fitness[best], best_fitness) {
+                best_fitness = fitness[best];
+                best_genes = population[best].clone();
+            }
+            history.push(best_fitness);
         }
 
-        // The elite guarantees the best individual is still in the population.
-        best_index = argmax(&fitness);
         OptimisationResult {
-            best_genes: population[best_index].clone(),
-            best_fitness: fitness[best_index].max(*history.last().unwrap()),
+            best_genes,
+            best_fitness,
             history,
             evaluations,
         }
     }
 }
 
-fn argmax(values: &[f64]) -> usize {
-    let mut best = 0;
-    for (i, v) in values.iter().enumerate() {
-        if *v > values[best] {
-            best = i;
-        }
-    }
-    best
-}
-
 fn tournament<R: Rng>(fitness: &[f64], size: usize, rng: &mut R) -> usize {
     let mut best = rng.gen_range(0..fitness.len());
     for _ in 1..size.max(1) {
         let challenger = rng.gen_range(0..fitness.len());
-        if fitness[challenger] > fitness[best] {
+        if is_better(fitness[challenger], fitness[best]) {
             best = challenger;
         }
     }
@@ -300,6 +311,52 @@ mod tests {
         assert!(result.best_genes[1] >= -3.0 && result.best_genes[1] <= -2.0);
         // The optimum of g0 - g1 in the box is (1.0, -3.0).
         assert!(result.best_fitness > 3.8);
+    }
+
+    #[test]
+    fn a_nan_fitness_does_not_panic_the_ranking() {
+        // The north-east quadrant fails to "converge"; the optimum at the
+        // origin sits on its boundary, so NaN handling is exercised in every
+        // generation.
+        let spiky = |g: &[f64]| {
+            if g[0] > 0.1 && g[1] > 0.1 {
+                f64::NAN
+            } else {
+                sphere(g)
+            }
+        };
+        let ga = GeneticAlgorithm::new(GaOptions {
+            population_size: 24,
+            ..GaOptions::default()
+        });
+        let bounds = Bounds::uniform(2, -2.0, 2.0);
+        let result = ga.optimise(&spiky, &bounds, 40, 11);
+        assert!(
+            result.best_fitness > -0.5 && !result.best_fitness.is_nan(),
+            "GA must rank around NaN candidates, got {}",
+            result.best_fitness
+        );
+        assert!(result.history.iter().skip(1).all(|h| !h.is_nan()));
+    }
+
+    #[test]
+    fn without_elitism_best_genes_still_pair_with_best_fitness() {
+        // With no elites the best chromosome can be bred away; the result
+        // must still report the best-ever individual, consistently.
+        let ga = GeneticAlgorithm::new(GaOptions {
+            elite_count: 0,
+            population_size: 12,
+            mutation_rate: 0.3,
+            ..GaOptions::default()
+        });
+        let bounds = Bounds::uniform(3, -3.0, 3.0);
+        let result = ga.optimise(&sphere, &bounds, 25, 13);
+        assert_eq!(
+            sphere(&result.best_genes),
+            result.best_fitness,
+            "reported genes must reproduce the reported fitness"
+        );
+        assert_eq!(result.best_fitness, *result.history.last().unwrap());
     }
 
     #[test]

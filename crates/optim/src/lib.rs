@@ -13,10 +13,23 @@
 //! The objective is abstract ([`Objective`]); the experiment crate provides
 //! the concrete harvester-simulation objective.
 //!
+//! # Parallel batch evaluation
+//!
+//! Each generation of a population-based optimiser evaluates its candidates
+//! through a [`ParallelEvaluator`] (see [`evaluate`]): the generation is
+//! sharded across [`Parallelism`] worker threads, results come back in
+//! candidate order, and `Threads(n)` runs are **bit-identical** to `Serial`
+//! runs for the same seed — parallelism trades wall-clock time only, never
+//! reproducibility. Fitness values are error-aware ([`Evaluation`]): a NaN
+//! objective (e.g. a simulation that failed to converge) ranks below every
+//! real fitness instead of panicking the run, and bounds may be degenerate
+//! (`lo == hi`) to freeze a design parameter.
+//!
 //! # Example
 //!
 //! ```
 //! use harvester_optim::{Bounds, GaOptions, GeneticAlgorithm, Objective, Optimizer};
+//! use harvester_optim::{ParallelEvaluator, Parallelism};
 //!
 //! /// Maximise the negative sphere function (optimum at the origin).
 //! struct Sphere;
@@ -30,16 +43,46 @@
 //! let ga = GeneticAlgorithm::new(GaOptions { population_size: 40, ..GaOptions::default() });
 //! let result = ga.optimise(&Sphere, &bounds, 60, 42);
 //! assert!(result.best_fitness > -0.5);
+//!
+//! // The same run sharded over two worker threads is bit-identical.
+//! let two = ga.optimise_with(
+//!     &ParallelEvaluator::new(Parallelism::Threads(2)),
+//!     &Sphere,
+//!     &bounds,
+//!     60,
+//!     42,
+//! );
+//! assert_eq!(result.best_genes, two.best_genes);
+//! assert_eq!(result.history, two.history);
+//! ```
+//!
+//! A batch objective can also be driven directly — useful for design-space
+//! sweeps outside any optimiser:
+//!
+//! ```
+//! use harvester_optim::{ParallelEvaluator, Parallelism};
+//!
+//! let sphere = |genes: &[f64]| -genes.iter().map(|g| g * g).sum::<f64>();
+//! let grid: Vec<Vec<f64>> = (0..10).map(|k| vec![k as f64 / 10.0]).collect();
+//! let evaluator = ParallelEvaluator::new(Parallelism::Threads(2));
+//! let fitness = evaluator.evaluate(&sphere, &grid);
+//! assert_eq!(fitness.len(), grid.len());
+//! assert_eq!(fitness[0].fitness(), 0.0);
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod evaluate;
 pub mod ga;
 pub mod nelder_mead;
 pub mod pso;
 pub mod random_search;
 
+pub use evaluate::{
+    best_index, is_better, nan_aware_max, nan_last_desc, BatchObjective, Evaluation, ObjectiveMut,
+    ParallelEvaluator, Parallelism, ThreadLocalObjective,
+};
 pub use ga::{GaOptions, GeneticAlgorithm};
 pub use nelder_mead::{NelderMead, NelderMeadOptions};
 pub use pso::{ParticleSwarm, PsoOptions};
@@ -49,7 +92,9 @@ pub use random_search::RandomSearch;
 ///
 /// Implementations are expected to be deterministic for a given gene vector;
 /// the harvester objective satisfies this because the underlying transient
-/// simulation is deterministic.
+/// simulation is deterministic. A NaN return value is interpreted as a
+/// failed evaluation and ranked below every real fitness (see
+/// [`evaluate::nan_last_desc`]).
 pub trait Objective {
     /// Evaluates the fitness of a candidate gene vector.
     fn evaluate(&self, genes: &[f64]) -> f64;
@@ -65,6 +110,10 @@ where
 }
 
 /// Box constraints on the gene vector.
+///
+/// A gene's interval may be degenerate (`lo == hi`), which freezes that
+/// design parameter: sampling always returns `lo`, and every optimiser keeps
+/// the gene pinned there.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Bounds {
     lower: Vec<f64>,
@@ -77,13 +126,13 @@ impl Bounds {
     /// # Panics
     ///
     /// Panics if the list is empty or any lower bound exceeds its upper
-    /// bound.
+    /// bound (`lo == hi` is allowed and freezes the gene).
     pub fn new(limits: &[(f64, f64)]) -> Self {
         assert!(!limits.is_empty(), "bounds must cover at least one gene");
         for (i, (lo, hi)) in limits.iter().enumerate() {
             assert!(
-                lo < hi,
-                "gene {i}: lower bound {lo} must be below upper bound {hi}"
+                lo <= hi,
+                "gene {i}: lower bound {lo} must not exceed upper bound {hi}"
             );
         }
         Bounds {
@@ -96,7 +145,7 @@ impl Bounds {
     ///
     /// # Panics
     ///
-    /// Panics if `dimension` is zero or `lower >= upper`.
+    /// Panics if `dimension` is zero or `lower > upper`.
     pub fn uniform(dimension: usize, lower: f64, upper: f64) -> Self {
         assert!(dimension > 0, "dimension must be positive");
         Self::new(&vec![(lower, upper); dimension])
@@ -127,16 +176,23 @@ impl Bounds {
         }
     }
 
-    /// Draws a uniformly random point inside the box.
+    /// Draws a uniformly random point inside the box (degenerate genes are
+    /// pinned to their frozen value and consume no randomness).
     pub fn sample<R: rand::Rng>(&self, rng: &mut R) -> Vec<f64> {
         self.lower
             .iter()
             .zip(self.upper.iter())
-            .map(|(lo, hi)| rng.gen_range(*lo..*hi))
+            .map(|(lo, hi)| {
+                if hi > lo {
+                    rng.gen_range(*lo..*hi)
+                } else {
+                    *lo
+                }
+            })
             .collect()
     }
 
-    /// Width of each gene's interval.
+    /// Width of each gene's interval (zero for frozen genes).
     pub fn widths(&self) -> Vec<f64> {
         self.lower
             .iter()
@@ -154,23 +210,59 @@ pub struct OptimisationResult {
     pub best_genes: Vec<f64>,
     /// Fitness of the best gene vector.
     pub best_fitness: f64,
-    /// Best fitness after each generation (monotone non-decreasing).
+    /// Best fitness after each generation (monotone non-decreasing under the
+    /// NaN-last ordering; entry 0 is the initial population/point, so the
+    /// length is always `iterations + 1`).
     pub history: Vec<f64>,
-    /// Total number of objective evaluations performed.
+    /// Total number of objective evaluations performed (exactly the number
+    /// of times the objective function was called).
     pub evaluations: usize,
 }
 
 /// Common interface of all optimisers in this crate.
 pub trait Optimizer {
-    /// Runs the optimiser for `iterations` generations/iterations with the
-    /// given RNG `seed` and returns the best design found.
-    fn optimise(
+    /// Runs the optimiser, evaluating populations through `evaluator`.
+    ///
+    /// For a deterministic objective the result is bit-identical for any
+    /// [`Parallelism`] choice — candidate generation consumes the RNG stream
+    /// on the calling thread only, and batch results keep candidate order.
+    /// (Nelder–Mead is inherently sequential and ignores the evaluator's
+    /// parallelism.)
+    fn optimise_with(
         &self,
-        objective: &dyn Objective,
+        evaluator: &ParallelEvaluator,
+        objective: &dyn BatchObjective,
         bounds: &Bounds,
         iterations: usize,
         seed: u64,
     ) -> OptimisationResult;
+
+    /// Runs the optimiser for `iterations` generations/iterations with the
+    /// given RNG `seed` and returns the best design found, evaluating
+    /// serially on the calling thread.
+    ///
+    /// Parallelism is a deliberate opt-in via [`Optimizer::optimise_with`]
+    /// (or, at the experiment level, `FitnessBudget::parallelism`): a serial
+    /// default keeps cheap objectives, nested fan-outs (e.g. seed sweeps
+    /// that already occupy every core) and historical benchmark baselines
+    /// free of surprise worker threads — and since `Threads(n)` is
+    /// bit-identical to `Serial` anyway, opting in changes nothing but the
+    /// wall-clock time.
+    fn optimise(
+        &self,
+        objective: &dyn BatchObjective,
+        bounds: &Bounds,
+        iterations: usize,
+        seed: u64,
+    ) -> OptimisationResult {
+        self.optimise_with(
+            &ParallelEvaluator::serial(),
+            objective,
+            bounds,
+            iterations,
+            seed,
+        )
+    }
 
     /// Human-readable name used in experiment reports.
     fn name(&self) -> &'static str;
@@ -203,6 +295,21 @@ mod tests {
             assert_eq!(s.len(), 4);
             assert!(s.iter().all(|&g| (-1.0..3.0).contains(&g)));
         }
+    }
+
+    #[test]
+    fn degenerate_bounds_freeze_a_gene() {
+        let b = Bounds::new(&[(0.0, 1.0), (0.7, 0.7)]);
+        assert_eq!(b.widths()[1], 0.0);
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..20 {
+            let s = b.sample(&mut rng);
+            assert_eq!(s[1], 0.7, "frozen gene must stay at its pinned value");
+            assert!((0.0..1.0).contains(&s[0]));
+        }
+        let mut genes = vec![0.5, 3.0];
+        b.clamp(&mut genes);
+        assert_eq!(genes[1], 0.7);
     }
 
     #[test]

@@ -3,10 +3,19 @@
 //! One of the "other optimisation algorithms" the paper notes can be plugged
 //! into the integrated model; used by the ablation benches to compare against
 //! the GA.
+//!
+//! The simplex update is inherently sequential — each trial point depends on
+//! the previous one — so this optimiser ignores the evaluator's parallelism
+//! and evaluates candidates one at a time; it still shares the error-aware
+//! [`Evaluation`] fitness type and NaN-last ordering with the
+//! population-based optimisers, so a failed simulation contracts the simplex
+//! instead of panicking the vertex sort.
 
-use crate::{Bounds, Objective, OptimisationResult, Optimizer};
+use crate::evaluate::{nan_aware_max, Evaluation};
+use crate::{BatchObjective, Bounds, OptimisationResult, Optimizer, ParallelEvaluator};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::cmp::Ordering;
 
 /// Configuration of the Nelder–Mead simplex.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -53,9 +62,10 @@ impl Optimizer for NelderMead {
         "nelder-mead"
     }
 
-    fn optimise(
+    fn optimise_with(
         &self,
-        objective: &dyn Objective,
+        _evaluator: &ParallelEvaluator,
+        objective: &dyn BatchObjective,
         bounds: &Bounds,
         iterations: usize,
         seed: u64,
@@ -74,15 +84,16 @@ impl Optimizer for NelderMead {
             bounds.clamp(&mut vertex);
             simplex.push(vertex);
         }
-        let mut values: Vec<f64> = simplex.iter().map(|v| objective.evaluate(v)).collect();
+        let mut values: Vec<Evaluation> =
+            simplex.iter().map(|v| objective.evaluate_one(v)).collect();
         let mut evaluations = simplex.len();
         let mut history = Vec::with_capacity(iterations + 1);
-        history.push(values.iter().cloned().fold(f64::NEG_INFINITY, f64::max));
+        history.push(best_of(&values));
 
         for _ in 0..iterations {
-            // Sort descending by fitness (maximisation).
+            // Sort descending by fitness (maximisation), NaN vertices last.
             let mut order: Vec<usize> = (0..simplex.len()).collect();
-            order.sort_by(|&a, &b| values[b].partial_cmp(&values[a]).unwrap());
+            order.sort_by(|&a, &b| values[a].compare(values[b]));
             simplex = order.iter().map(|&i| simplex[i].clone()).collect();
             values = order.iter().map(|&i| values[i]).collect();
 
@@ -106,30 +117,30 @@ impl Optimizer for NelderMead {
             };
 
             let reflected = make_point(opts.reflection);
-            let f_reflected = objective.evaluate(&reflected);
+            let f_reflected = objective.evaluate_one(&reflected);
             evaluations += 1;
 
-            if f_reflected > values[0] {
+            if beats(f_reflected, values[0]) {
                 // Try to expand further.
                 let expanded = make_point(opts.expansion);
-                let f_expanded = objective.evaluate(&expanded);
+                let f_expanded = objective.evaluate_one(&expanded);
                 evaluations += 1;
-                if f_expanded > f_reflected {
+                if beats(f_expanded, f_reflected) {
                     simplex[worst] = expanded;
                     values[worst] = f_expanded;
                 } else {
                     simplex[worst] = reflected;
                     values[worst] = f_reflected;
                 }
-            } else if f_reflected > values[worst - 1] {
+            } else if beats(f_reflected, values[worst - 1]) {
                 simplex[worst] = reflected;
                 values[worst] = f_reflected;
             } else {
                 // Contract towards the centroid.
                 let contracted = make_point(-opts.contraction);
-                let f_contracted = objective.evaluate(&contracted);
+                let f_contracted = objective.evaluate_one(&contracted);
                 evaluations += 1;
-                if f_contracted > values[worst] {
+                if beats(f_contracted, values[worst]) {
                     simplex[worst] = contracted;
                     values[worst] = f_contracted;
                 } else {
@@ -140,28 +151,43 @@ impl Optimizer for NelderMead {
                             *v = b + opts.shrink * (*v - b);
                         }
                         bounds.clamp(vertex);
-                        *value = objective.evaluate(vertex);
+                        *value = objective.evaluate_one(vertex);
                         evaluations += 1;
                     }
                 }
             }
-            let best_now = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-            history.push(history.last().unwrap().max(best_now));
+            let best_now = best_of(&values);
+            history.push(nan_aware_max(*history.last().unwrap(), best_now));
         }
 
         let best_index = values
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .min_by(|a, b| a.1.compare(*b.1))
             .map(|(i, _)| i)
             .unwrap_or(0);
         OptimisationResult {
             best_genes: simplex[best_index].clone(),
-            best_fitness: values[best_index],
+            best_fitness: values[best_index].fitness(),
             history,
             evaluations,
         }
     }
+}
+
+/// `true` when `candidate` strictly beats `incumbent` under the NaN-last
+/// ordering.
+fn beats(candidate: Evaluation, incumbent: Evaluation) -> bool {
+    candidate.compare(incumbent) == Ordering::Less
+}
+
+/// Best fitness in the simplex under the NaN-last ordering (NaN only if
+/// every vertex failed).
+fn best_of(values: &[Evaluation]) -> f64 {
+    values
+        .iter()
+        .map(|e| e.fitness())
+        .fold(f64::NAN, nan_aware_max)
 }
 
 #[cfg(test)]
@@ -206,5 +232,24 @@ mod tests {
         }
         assert!(result.evaluations >= 50);
         assert_eq!(nm.name(), "nelder-mead");
+    }
+
+    #[test]
+    fn nan_vertices_sort_last_instead_of_panicking() {
+        let spiky = |g: &[f64]| {
+            if g[0] > 0.5 {
+                f64::NAN
+            } else {
+                sphere(g)
+            }
+        };
+        let nm = NelderMead::default();
+        let bounds = Bounds::uniform(2, -1.0, 1.0);
+        let result = nm.optimise(&spiky, &bounds, 60, 7);
+        assert!(
+            !result.best_fitness.is_nan(),
+            "simplex must converge away from the NaN region"
+        );
+        assert!(result.best_fitness > -0.5);
     }
 }

@@ -1,7 +1,13 @@
 //! Particle-swarm optimisation — another "other algorithm" that can drive the
 //! integrated harvester model; used by the optimiser-comparison ablation.
+//!
+//! Velocity/position updates consume the RNG serially, then the whole swarm
+//! is evaluated as one batch through the [`ParallelEvaluator`] — so the
+//! trajectory is independent of the worker count. Personal and global bests
+//! use the NaN-last ordering: a failed simulation can never become a best.
 
-use crate::{Bounds, Objective, OptimisationResult, Optimizer};
+use crate::evaluate::{best_index, is_better};
+use crate::{BatchObjective, Bounds, OptimisationResult, Optimizer, ParallelEvaluator};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -50,9 +56,10 @@ impl Optimizer for ParticleSwarm {
         "particle-swarm"
     }
 
-    fn optimise(
+    fn optimise_with(
         &self,
-        objective: &dyn Objective,
+        evaluator: &ParallelEvaluator,
+        objective: &dyn BatchObjective,
         bounds: &Bounds,
         iterations: usize,
         seed: u64,
@@ -67,25 +74,39 @@ impl Optimizer for ParticleSwarm {
         let mut positions: Vec<Vec<f64>> = (0..opts.swarm_size)
             .map(|_| bounds.sample(&mut rng))
             .collect();
+        // A frozen gene (degenerate bound, zero width) gets zero velocity:
+        // sampling the empty range `-0.0..0.0` would panic, and the particle
+        // must not drift off the pinned value anyway.
         let mut velocities: Vec<Vec<f64>> = (0..opts.swarm_size)
             .map(|_| {
                 (0..n)
-                    .map(|j| rng.gen_range(-vmax[j]..vmax[j]))
+                    .map(|j| {
+                        if vmax[j] > 0.0 {
+                            rng.gen_range(-vmax[j]..vmax[j])
+                        } else {
+                            0.0
+                        }
+                    })
                     .collect::<Vec<f64>>()
             })
             .collect();
-        let mut fitness: Vec<f64> = positions.iter().map(|p| objective.evaluate(p)).collect();
+        let mut fitness: Vec<f64> = evaluator
+            .evaluate(objective, &positions)
+            .iter()
+            .map(|e| e.fitness())
+            .collect();
         let mut evaluations = opts.swarm_size;
 
         let mut personal_best = positions.clone();
         let mut personal_best_fitness = fitness.clone();
-        let mut global_best_index = argmax(&fitness);
+        let mut global_best_index = best_index(&fitness);
         let mut global_best = positions[global_best_index].clone();
         let mut global_best_fitness = fitness[global_best_index];
 
         let mut history = vec![global_best_fitness];
 
         for _ in 0..iterations {
+            // Move every particle first (serial RNG consumption) ...
             for i in 0..opts.swarm_size {
                 for j in 0..n {
                     let r1: f64 = rng.gen_range(0.0..1.0);
@@ -97,15 +118,22 @@ impl Optimizer for ParticleSwarm {
                     positions[i][j] += velocities[i][j];
                 }
                 bounds.clamp(&mut positions[i]);
-                fitness[i] = objective.evaluate(&positions[i]);
-                evaluations += 1;
-                if fitness[i] > personal_best_fitness[i] {
+            }
+            // ... then evaluate the whole swarm as one batch.
+            let evals = evaluator.evaluate(objective, &positions);
+            evaluations += opts.swarm_size;
+            for (i, evaluation) in evals.iter().enumerate() {
+                fitness[i] = evaluation.fitness();
+                if is_better(fitness[i], personal_best_fitness[i]) {
                     personal_best_fitness[i] = fitness[i];
                     personal_best[i] = positions[i].clone();
                 }
             }
-            global_best_index = argmax(&personal_best_fitness);
-            if personal_best_fitness[global_best_index] > global_best_fitness {
+            global_best_index = best_index(&personal_best_fitness);
+            if is_better(
+                personal_best_fitness[global_best_index],
+                global_best_fitness,
+            ) {
                 global_best_fitness = personal_best_fitness[global_best_index];
                 global_best = personal_best[global_best_index].clone();
             }
@@ -119,16 +147,6 @@ impl Optimizer for ParticleSwarm {
             evaluations,
         }
     }
-}
-
-fn argmax(values: &[f64]) -> usize {
-    let mut best = 0;
-    for (i, v) in values.iter().enumerate() {
-        if *v > values[best] {
-            best = i;
-        }
-    }
-    best
 }
 
 #[cfg(test)]
@@ -175,5 +193,44 @@ mod tests {
         let a = pso.optimise(&sphere, &bounds, 20, 5);
         let b = pso.optimise(&sphere, &bounds, 20, 5);
         assert_eq!(a.best_genes, b.best_genes);
+    }
+
+    #[test]
+    fn frozen_gene_keeps_zero_velocity() {
+        // Gene 1 is frozen at 0.4: velocity initialisation used to panic on
+        // the empty range `-0.0..0.0`.
+        let pso = ParticleSwarm::new(PsoOptions {
+            swarm_size: 10,
+            ..PsoOptions::default()
+        });
+        let bounds = Bounds::new(&[(-1.0, 1.0), (0.4, 0.4)]);
+        let result = pso.optimise(&sphere, &bounds, 30, 9);
+        assert_eq!(result.best_genes[1], 0.4);
+        assert!(
+            (result.best_fitness - sphere(&[result.best_genes[0], 0.4])).abs() < 1e-12,
+            "fitness must be consistent with the pinned gene"
+        );
+    }
+
+    #[test]
+    fn nan_fitness_never_becomes_a_best() {
+        let spiky = |g: &[f64]| {
+            if g[0] < 0.0 {
+                f64::NAN
+            } else {
+                -(g[0] - 0.5) * (g[0] - 0.5)
+            }
+        };
+        let pso = ParticleSwarm::new(PsoOptions {
+            swarm_size: 12,
+            ..PsoOptions::default()
+        });
+        let bounds = Bounds::uniform(1, -2.0, 2.0);
+        let result = pso.optimise(&spiky, &bounds, 40, 21);
+        assert!(
+            !result.best_fitness.is_nan(),
+            "a NaN candidate must never win"
+        );
+        assert!(result.best_fitness > -0.5);
     }
 }

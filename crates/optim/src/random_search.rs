@@ -1,8 +1,13 @@
 //! Uniform random search — the sanity-check baseline for the optimiser
 //! comparison ablation (any structured optimiser should beat it for the same
 //! evaluation budget).
+//!
+//! Each iteration's batch of candidates is drawn serially from the RNG and
+//! evaluated through the [`ParallelEvaluator`], so the sampled designs — and
+//! therefore the result — are bit-identical for any worker count.
 
-use crate::{Bounds, Objective, OptimisationResult, Optimizer};
+use crate::evaluate::is_better;
+use crate::{BatchObjective, Bounds, OptimisationResult, Optimizer, ParallelEvaluator};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -39,25 +44,28 @@ impl Optimizer for RandomSearch {
         "random-search"
     }
 
-    fn optimise(
+    fn optimise_with(
         &self,
-        objective: &dyn Objective,
+        evaluator: &ParallelEvaluator,
+        objective: &dyn BatchObjective,
         bounds: &Bounds,
         iterations: usize,
         seed: u64,
     ) -> OptimisationResult {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut best_genes = bounds.sample(&mut rng);
-        let mut best_fitness = objective.evaluate(&best_genes);
+        let mut best_fitness = objective.evaluate_one(&best_genes).fitness();
         let mut evaluations = 1;
         let mut history = vec![best_fitness];
         for _ in 0..iterations {
-            for _ in 0..self.batch_size {
-                let candidate = bounds.sample(&mut rng);
-                let fitness = objective.evaluate(&candidate);
-                evaluations += 1;
-                if fitness > best_fitness {
-                    best_fitness = fitness;
+            let batch: Vec<Vec<f64>> = (0..self.batch_size)
+                .map(|_| bounds.sample(&mut rng))
+                .collect();
+            let evals = evaluator.evaluate(objective, &batch);
+            evaluations += batch.len();
+            for (candidate, evaluation) in batch.into_iter().zip(evals) {
+                if is_better(evaluation.fitness(), best_fitness) {
+                    best_fitness = evaluation.fitness();
                     best_genes = candidate;
                 }
             }
@@ -99,6 +107,22 @@ mod tests {
             assert!(w[1] >= w[0]);
         }
         assert_eq!(rs.name(), "random-search");
+    }
+
+    #[test]
+    fn nan_candidates_never_replace_the_best() {
+        let spiky = |g: &[f64]| {
+            if g[0].abs() > 0.5 {
+                f64::NAN
+            } else {
+                sphere(g)
+            }
+        };
+        let rs = RandomSearch::new(25);
+        let bounds = Bounds::uniform(1, -1.0, 1.0);
+        let result = rs.optimise(&spiky, &bounds, 20, 6);
+        assert!(!result.best_fitness.is_nan());
+        assert!(result.best_genes[0].abs() <= 0.5);
     }
 
     #[test]

@@ -1,0 +1,283 @@
+//! Determinism and hardening suite for the batch-evaluation engine.
+//!
+//! * `Parallelism::Threads(n)` must return **bit-identical**
+//!   `OptimisationResult`s to `Parallelism::Serial` for a fixed seed — the
+//!   worker count trades wall-clock time only, never reproducibility. (The
+//!   suite spawns its own evaluator workers, so it passes under any
+//!   `--test-threads` setting of the test harness.)
+//! * NaN objective values must rank as worst-possible fitness everywhere
+//!   instead of panicking a sort or poisoning a best.
+//! * Degenerate bounds (`lo == hi`, a frozen design parameter) must be
+//!   accepted by all four optimisers.
+//! * `OptimisationResult::evaluations` must equal the number of objective
+//!   calls actually made, and `history` must have `iterations + 1` entries.
+
+use harvester_optim::{
+    BatchObjective, Bounds, GaOptions, GeneticAlgorithm, NelderMead, Objective, OptimisationResult,
+    Optimizer, ParallelEvaluator, Parallelism, ParticleSwarm, PsoOptions, RandomSearch,
+};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+fn sphere(genes: &[f64]) -> f64 {
+    -genes.iter().map(|g| g * g).sum::<f64>()
+}
+
+fn rastrigin(genes: &[f64]) -> f64 {
+    let n = genes.len() as f64;
+    -(10.0 * n
+        + genes
+            .iter()
+            .map(|g| g * g - 10.0 * (2.0 * std::f64::consts::PI * g).cos())
+            .sum::<f64>())
+}
+
+/// All four optimisers, sized so each test finishes quickly.
+fn optimisers() -> Vec<Box<dyn Optimizer>> {
+    vec![
+        Box::new(GeneticAlgorithm::new(GaOptions {
+            population_size: 16,
+            ..GaOptions::paper()
+        })),
+        Box::new(ParticleSwarm::new(PsoOptions {
+            swarm_size: 12,
+            ..PsoOptions::default()
+        })),
+        Box::new(NelderMead::default()),
+        Box::new(RandomSearch::new(14)),
+    ]
+}
+
+/// Bit-level equality of two optimisation results (`==` on f64 would treat
+/// NaN histories as unequal even when they are bitwise identical).
+fn assert_bit_identical(a: &OptimisationResult, b: &OptimisationResult, context: &str) {
+    assert_eq!(
+        a.best_genes.iter().map(|g| g.to_bits()).collect::<Vec<_>>(),
+        b.best_genes.iter().map(|g| g.to_bits()).collect::<Vec<_>>(),
+        "best_genes differ: {context}"
+    );
+    assert_eq!(
+        a.best_fitness.to_bits(),
+        b.best_fitness.to_bits(),
+        "best_fitness differs: {context}"
+    );
+    assert_eq!(
+        a.history.iter().map(|h| h.to_bits()).collect::<Vec<_>>(),
+        b.history.iter().map(|h| h.to_bits()).collect::<Vec<_>>(),
+        "history differs: {context}"
+    );
+    assert_eq!(
+        a.evaluations, b.evaluations,
+        "evaluations differ: {context}"
+    );
+}
+
+#[test]
+fn threads_are_bit_identical_to_serial_on_sphere_and_rastrigin() {
+    let bounds = Bounds::uniform(4, -5.12, 5.12);
+    let objectives: [(&str, &dyn BatchObjective); 2] =
+        [("sphere", &sphere), ("rastrigin", &rastrigin)];
+    for (obj_name, objective) in objectives {
+        for optimiser in optimisers() {
+            let serial =
+                optimiser.optimise_with(&ParallelEvaluator::serial(), objective, &bounds, 25, 2008);
+            for workers in [2, 3, 7] {
+                let parallel = optimiser.optimise_with(
+                    &ParallelEvaluator::new(Parallelism::Threads(workers)),
+                    objective,
+                    &bounds,
+                    25,
+                    2008,
+                );
+                assert_bit_identical(
+                    &serial,
+                    &parallel,
+                    &format!("{} on {obj_name} with {workers} workers", optimiser.name()),
+                );
+            }
+            let auto = optimiser.optimise_with(
+                &ParallelEvaluator::new(Parallelism::Auto),
+                objective,
+                &bounds,
+                25,
+                2008,
+            );
+            assert_bit_identical(
+                &serial,
+                &auto,
+                &format!("{} on {obj_name} with Auto", optimiser.name()),
+            );
+            // The plain `optimise` entry point is the serial path.
+            let default_run = optimiser.optimise(objective, &bounds, 25, 2008);
+            assert_bit_identical(
+                &serial,
+                &default_run,
+                &format!("{} on {obj_name} via optimise()", optimiser.name()),
+            );
+        }
+    }
+}
+
+#[test]
+fn nan_objectives_are_survivable_and_deterministic() {
+    // Half the search space "fails to converge"; the optimum sits in the
+    // good half, so every optimiser must rank around the failures.
+    let spiky = |g: &[f64]| {
+        if g[0] > 0.3 {
+            f64::NAN
+        } else {
+            sphere(g)
+        }
+    };
+    let bounds = Bounds::uniform(3, -2.0, 2.0);
+    for optimiser in optimisers() {
+        let serial = optimiser.optimise_with(&ParallelEvaluator::serial(), &spiky, &bounds, 20, 99);
+        assert!(
+            !serial.best_fitness.is_nan(),
+            "{}: a NaN candidate must never be reported best",
+            optimiser.name()
+        );
+        let parallel = optimiser.optimise_with(
+            &ParallelEvaluator::new(Parallelism::Threads(3)),
+            &spiky,
+            &bounds,
+            20,
+            99,
+        );
+        assert_bit_identical(&serial, &parallel, optimiser.name());
+    }
+}
+
+#[test]
+fn an_all_nan_objective_terminates_without_panicking() {
+    let always_nan = |_: &[f64]| f64::NAN;
+    let bounds = Bounds::uniform(2, 0.0, 1.0);
+    for optimiser in optimisers() {
+        let result = optimiser.optimise_with(
+            &ParallelEvaluator::new(Parallelism::Threads(2)),
+            &always_nan,
+            &bounds,
+            5,
+            1,
+        );
+        assert!(
+            result.best_fitness.is_nan(),
+            "{}: with no usable fitness the best can only be NaN",
+            optimiser.name()
+        );
+        assert_eq!(result.history.len(), 6);
+    }
+}
+
+#[test]
+fn frozen_parameters_are_respected_by_all_optimisers() {
+    // Gene 1 is frozen at 0.25 (degenerate bounds); PSO's velocity
+    // initialisation used to panic on the empty range, and every optimiser
+    // must keep the gene pinned.
+    let bounds = Bounds::new(&[(-1.0, 1.0), (0.25, 0.25), (-1.0, 1.0)]);
+    for optimiser in optimisers() {
+        let result = optimiser.optimise(&sphere, &bounds, 15, 7);
+        assert_eq!(
+            result.best_genes[1],
+            0.25,
+            "{}: frozen gene must stay pinned",
+            optimiser.name()
+        );
+        assert!(result.best_genes[0].abs() <= 1.0);
+        let serial = optimiser.optimise_with(&ParallelEvaluator::serial(), &sphere, &bounds, 15, 7);
+        let threads = optimiser.optimise_with(
+            &ParallelEvaluator::new(Parallelism::Threads(4)),
+            &sphere,
+            &bounds,
+            15,
+            7,
+        );
+        assert_bit_identical(&serial, &threads, optimiser.name());
+    }
+}
+
+/// Counts every objective call (atomically, because calls may come from
+/// evaluator worker threads).
+struct Counting {
+    calls: AtomicUsize,
+}
+
+impl Counting {
+    fn new() -> Self {
+        Counting {
+            calls: AtomicUsize::new(0),
+        }
+    }
+
+    fn calls(&self) -> usize {
+        self.calls.load(Ordering::Relaxed)
+    }
+}
+
+impl Objective for Counting {
+    fn evaluate(&self, genes: &[f64]) -> f64 {
+        self.calls.fetch_add(1, Ordering::Relaxed);
+        sphere(genes)
+    }
+}
+
+#[test]
+fn reported_evaluations_match_actual_objective_calls() {
+    let bounds = Bounds::uniform(3, -1.0, 1.0);
+    let iterations = 12;
+    for parallelism in [Parallelism::Serial, Parallelism::Threads(3)] {
+        let evaluator = ParallelEvaluator::new(parallelism);
+        for optimiser in optimisers() {
+            let objective = Counting::new();
+            let result = optimiser.optimise_with(&evaluator, &objective, &bounds, iterations, 42);
+            assert_eq!(
+                result.evaluations,
+                objective.calls(),
+                "{} under {parallelism:?}: reported evaluations must equal objective calls",
+                optimiser.name()
+            );
+            assert_eq!(
+                result.history.len(),
+                iterations + 1,
+                "{}: history holds the initial entry plus one per iteration",
+                optimiser.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn expected_evaluation_budgets_per_optimiser() {
+    // The exact budget formulae the experiment crate relies on when
+    // comparing optimisers at equal evaluation counts.
+    let bounds = Bounds::uniform(3, -1.0, 1.0);
+    let ga = GeneticAlgorithm::new(GaOptions {
+        population_size: 16,
+        elite_count: 2,
+        ..GaOptions::paper()
+    });
+    assert_eq!(
+        ga.optimise(&sphere, &bounds, 10, 1).evaluations,
+        16 + 10 * 14,
+        "GA evaluates the initial population plus the non-elite offspring"
+    );
+    let pso = ParticleSwarm::new(PsoOptions {
+        swarm_size: 12,
+        ..PsoOptions::default()
+    });
+    assert_eq!(
+        pso.optimise(&sphere, &bounds, 10, 1).evaluations,
+        12 + 10 * 12
+    );
+    let rs = RandomSearch::new(14);
+    assert_eq!(
+        rs.optimise(&sphere, &bounds, 10, 1).evaluations,
+        1 + 10 * 14
+    );
+    // Nelder–Mead's budget is adaptive (reflection/expansion/contraction/
+    // shrink differ per iteration) but bounded: at least one and at most
+    // n + 2 evaluations per iteration after the initial simplex.
+    let nm = NelderMead::default();
+    let result = nm.optimise(&sphere, &bounds, 10, 1);
+    assert!(result.evaluations >= 4 + 10);
+    assert!(result.evaluations <= 4 + 10 * 5);
+}

@@ -53,18 +53,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 measure_cycles: 6.0,
                 detail_dt: 1e-4,
                 reference_voltage: 1.0,
-                backend: Default::default(),
+                ..FitnessBudget::default()
             },
         }
     };
 
     println!("=== Integrated GA optimisation (Fig. 8) ===");
     println!(
-        "population {}, generations {}, crossover {}, mutation {}",
+        "population {}, generations {}, crossover {}, mutation {}, {} evaluation workers",
         options.ga.population_size,
         options.generations,
         options.ga.crossover_rate,
-        options.ga.mutation_rate
+        options.ga.mutation_rate,
+        options
+            .fitness
+            .parallelism
+            .worker_count(options.ga.population_size)
     );
     let outcome = run_optimisation(&base, &options);
     println!("{}", outcome.parameter_table());

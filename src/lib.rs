@@ -16,7 +16,9 @@
 //! * [`models`] — the harvester component models and system assembly
 //!   (micro-generator models of Fig. 2, boosters of Figs. 4 and 9, storage,
 //!   envelope acceleration, the synthetic experimental reference).
-//! * [`optim`] — the genetic algorithm and alternative optimisers.
+//! * [`optim`] — the genetic algorithm and alternative optimisers, plus the
+//!   parallel batch-evaluation engine that shards each generation's
+//!   simulations over worker threads with bit-identical results.
 //! * [`experiments`] — one entry point per table and figure of the paper's
 //!   evaluation.
 //!

@@ -15,6 +15,11 @@ fn documented_reexport_paths_resolve() {
     let _matrix = energy_harvester::numerics::linalg::Matrix::identity(2);
     let _ga_options = energy_harvester::optim::GaOptions::paper();
     let _bounds = energy_harvester::experiments::paper_bounds();
+    // The parallel batch-evaluation engine.
+    let _parallelism = energy_harvester::optim::Parallelism::Threads(4);
+    let _evaluator = energy_harvester::optim::ParallelEvaluator::serial();
+    let _sweep = energy_harvester::experiments::SweepOptions::coarse();
+    let _workspace = energy_harvester::models::EnvelopeWorkspace::new();
 }
 
 /// `encode` → `decode` reproduces the Table 1 design: the baseline genes lie
