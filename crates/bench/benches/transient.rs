@@ -1,0 +1,232 @@
+//! Fixed vs adaptive time-stepping benchmarks for the transient engine.
+//!
+//! Two layers:
+//!
+//! * criterion-style wall-time groups (`transient/<fixture>_{fixed,adaptive}`)
+//!   on the RC ladder, the half-wave diode rectifier, the Villard harvester
+//!   and the transformer harvester;
+//! * a deterministic work-count comparison on the two harvester **envelope
+//!   fixtures** (the hot loop of every optimisation run), written to
+//!   `BENCH_transient.json` so CI archives the perf trajectory across PRs:
+//!   accepted steps, Newton iterations, full factorisations, LTE rejections
+//!   and wall seconds per mode, plus the Newton-reduction ratio.
+//!
+//! The Villard envelope fixture is the PR's acceptance benchmark: adaptive
+//! stepping must cut total Newton iterations at least 3× at equal measured
+//! accuracy (also asserted, with slack, by `tests/adaptive_golden.rs` in
+//! release mode).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use harvester_bench::{write_bench_json, BenchRecord};
+use harvester_core::envelope::{EnvelopeOptions, EnvelopeSimulator};
+use harvester_core::system::HarvesterConfig;
+use harvester_core::GeneratorModel;
+use harvester_mna::circuit::{Circuit, NodeId};
+use harvester_mna::devices::{Capacitor, Diode, Resistor, VoltageSource};
+use harvester_mna::transient::{
+    RunStatistics, SolverBackend, StepControl, TransientAnalysis, TransientOptions,
+};
+use harvester_mna::waveform::Waveform;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+fn configure(group: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>) {
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(4));
+}
+
+fn rc_ladder(sections: usize) -> (Circuit, NodeId) {
+    let mut c = Circuit::new();
+    let vin = c.node("in");
+    c.add(VoltageSource::new(
+        "V",
+        vin,
+        Circuit::GROUND,
+        Waveform::sine(1.0, 1000.0),
+    ));
+    let mut prev = vin;
+    for k in 0..sections {
+        let node = c.node(&format!("n{k}"));
+        c.add(Resistor::new(&format!("R{k}"), prev, node, 100.0));
+        c.add(Capacitor::new(
+            &format!("C{k}"),
+            node,
+            Circuit::GROUND,
+            1e-7,
+        ));
+        prev = node;
+    }
+    (c, prev)
+}
+
+fn rectifier() -> (Circuit, NodeId) {
+    let mut c = Circuit::new();
+    let vin = c.node("in");
+    let out = c.node("out");
+    c.add(VoltageSource::new(
+        "V",
+        vin,
+        Circuit::GROUND,
+        Waveform::sine(3.0, 1000.0),
+    ));
+    c.add(Diode::new("D", vin, out));
+    c.add(Capacitor::new("C", out, Circuit::GROUND, 4.7e-7));
+    c.add(Resistor::new("Rload", out, Circuit::GROUND, 10e3));
+    (c, out)
+}
+
+fn options(step_control: StepControl) -> TransientOptions {
+    TransientOptions {
+        t_stop: 5e-3,
+        dt: 2e-6,
+        record_interval: Some(5e-5),
+        step_control,
+        ..TransientOptions::default()
+    }
+}
+
+fn step_control_comparison(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transient");
+    configure(&mut group);
+
+    let fixtures: Vec<(&str, Circuit, NodeId, TransientOptions)> = {
+        let (ladder, ladder_out) = rc_ladder(16);
+        let (rect, rect_out) = rectifier();
+        let mut villard = HarvesterConfig::model_comparison(GeneratorModel::Analytical);
+        villard.storage.capacitance = 100e-6;
+        let (villard_c, villard_nodes) = villard.build();
+        let mut transformer = HarvesterConfig::unoptimised();
+        transformer.storage.capacitance = 100e-6;
+        let (transformer_c, transformer_nodes) = transformer.build();
+        let harvester_options = TransientOptions {
+            t_stop: 0.1,
+            dt: 1e-4,
+            record_interval: Some(1e-3),
+            ..TransientOptions::default()
+        };
+        vec![
+            (
+                "rc_ladder16",
+                ladder,
+                ladder_out,
+                options(StepControl::Fixed),
+            ),
+            ("rectifier", rect, rect_out, options(StepControl::Fixed)),
+            (
+                "villard_harvester",
+                villard_c,
+                villard_nodes.storage,
+                harvester_options,
+            ),
+            (
+                "transformer_harvester",
+                transformer_c,
+                transformer_nodes.storage,
+                harvester_options,
+            ),
+        ]
+    };
+
+    for (name, circuit, probe, base_options) in &fixtures {
+        for (label, step_control) in [
+            ("fixed", StepControl::Fixed),
+            ("adaptive", StepControl::adaptive()),
+        ] {
+            let opts = TransientOptions {
+                step_control,
+                ..*base_options
+            };
+            group.bench_function(format!("{name}_{label}"), |b| {
+                b.iter(|| {
+                    let result = TransientAnalysis::new(opts)
+                        .run(circuit)
+                        .expect("bench fixture must simulate");
+                    black_box(result.final_voltage(*probe))
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn envelope_options(step_control: StepControl) -> EnvelopeOptions {
+    EnvelopeOptions {
+        voltage_points: 5,
+        max_voltage: 3.0,
+        settle_cycles: 30.0,
+        measure_cycles: 8.0,
+        detail_dt: 1e-4,
+        horizon: 600.0,
+        output_points: 50,
+        backend: SolverBackend::Auto,
+        step_control,
+    }
+}
+
+fn record(name: &str, stats: RunStatistics, wall: f64, current: f64) -> BenchRecord {
+    BenchRecord::new(name)
+        .metric("wall_seconds", wall)
+        .metric("accepted_steps", stats.accepted_steps as f64)
+        .metric("rejected_steps", stats.rejected_steps as f64)
+        .metric("newton_iterations", stats.newton_iterations as f64)
+        .metric("linear_solves", stats.linear_solves as f64)
+        .metric("full_factorizations", stats.full_factorizations as f64)
+        .metric("lte_rejections", stats.lte_rejections as f64)
+        .metric("predicted_steps", stats.predicted_steps as f64)
+        .metric("i_at_0v_amperes", current)
+}
+
+/// Deterministic work-count comparison on the harvester envelope fixtures,
+/// emitted as `BENCH_transient.json`.
+fn envelope_work_comparison(_c: &mut Criterion) {
+    println!("\ngroup: envelope-work (machine readable -> BENCH_transient.json)");
+    let mut records = Vec::new();
+    for (fixture, config) in [
+        (
+            "villard_envelope",
+            HarvesterConfig::model_comparison(GeneratorModel::Analytical),
+        ),
+        ("transformer_envelope", HarvesterConfig::unoptimised()),
+    ] {
+        let mut newton = [0usize; 2];
+        for (k, (label, control)) in [
+            ("fixed", StepControl::Fixed),
+            ("adaptive", StepControl::adaptive_averaging()),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let sim = EnvelopeSimulator::new(config.clone(), envelope_options(control));
+            let start = Instant::now();
+            let characteristic = sim
+                .measure_characteristic()
+                .expect("envelope fixture must simulate");
+            let wall = start.elapsed().as_secs_f64();
+            let stats = characteristic.statistics();
+            newton[k] = stats.newton_iterations;
+            println!(
+                "  envelope-work/{fixture}_{label}: {wall:.3}s, {} newton iterations, \
+                 {} accepted steps, {} LTE rejections",
+                stats.newton_iterations, stats.accepted_steps, stats.lte_rejections
+            );
+            records.push(record(
+                &format!("{fixture}_{label}"),
+                stats,
+                wall,
+                characteristic.current_at(0.0),
+            ));
+        }
+        let ratio = newton[0] as f64 / newton[1] as f64;
+        println!("  envelope-work/{fixture}: adaptive cuts Newton work {ratio:.2}x");
+        records
+            .push(BenchRecord::new(format!("{fixture}_ratio")).metric("newton_reduction", ratio));
+    }
+    // Anchor the artefact at the workspace root whatever cargo sets as the
+    // bench's working directory, so CI's `BENCH_*.json` upload finds it.
+    let path = format!("{}/../../BENCH_transient.json", env!("CARGO_MANIFEST_DIR"));
+    write_bench_json(&path, "transient", &records);
+}
+
+criterion_group!(transient, step_control_comparison, envelope_work_comparison);
+criterion_main!(transient);

@@ -24,7 +24,8 @@ use crate::system::HarvesterConfig;
 use harvester_mna::circuit::Circuit;
 use harvester_mna::devices::{Resistor, VoltageSource};
 use harvester_mna::transient::{
-    SolverBackend, TransientAnalysis, TransientOptions, TransientResult, TransientWorkspace,
+    RunStatistics, SolverBackend, StepControl, TransientAnalysis, TransientOptions,
+    TransientResult, TransientWorkspace,
 };
 use harvester_mna::waveform::Waveform;
 use harvester_mna::MnaError;
@@ -53,6 +54,16 @@ pub struct EnvelopeOptions {
     pub output_points: usize,
     /// Linear-solver backend used by the detailed transients.
     pub backend: SolverBackend,
+    /// Time-step control of the detailed transients. The default is
+    /// [`StepControl::adaptive_averaging`]: the measurement transients are
+    /// exactly the smooth-oscillation-with-occasional-diode-corner workload
+    /// LTE control is built for, and the cycle-averaged current they produce
+    /// is insensitive to pointwise trace differences far below the averaging
+    /// window. Under adaptive stepping the engine records on the uniform
+    /// `detail_dt` grid (dense interpolation), so the averaging semantics
+    /// match fixed stepping sample-for-sample; set [`StepControl::Fixed`] to
+    /// reproduce pre-adaptive results bit-for-bit.
+    pub step_control: StepControl,
 }
 
 impl Default for EnvelopeOptions {
@@ -66,6 +77,7 @@ impl Default for EnvelopeOptions {
             horizon: 150.0 * 60.0,
             output_points: 200,
             backend: SolverBackend::Auto,
+            step_control: StepControl::adaptive_averaging(),
         }
     }
 }
@@ -109,6 +121,7 @@ impl ChargingCurve {
 #[derive(Debug, Clone)]
 pub struct ChargingCharacteristic {
     interpolator: LinearInterpolator,
+    statistics: RunStatistics,
 }
 
 impl ChargingCharacteristic {
@@ -125,6 +138,14 @@ impl ChargingCharacteristic {
             .iter()
             .copied()
             .zip(self.interpolator.ys().iter().copied())
+    }
+
+    /// Aggregate work counters of every detailed transient behind this
+    /// measurement (one per storage-voltage grid point) — the simulation
+    /// budget the benchmark and CPU-split experiments track per design
+    /// evaluation.
+    pub fn statistics(&self) -> RunStatistics {
+        self.statistics
     }
 }
 
@@ -220,16 +241,21 @@ impl EnvelopeSimulator {
 
         let mut voltages = Vec::with_capacity(opts.voltage_points);
         let mut currents = Vec::with_capacity(opts.voltage_points);
+        let mut statistics = RunStatistics::default();
         for k in 0..opts.voltage_points {
             let v = opts.max_voltage * k as f64 / (opts.voltage_points - 1).max(1) as f64;
             let result = self.run_clamped(v, t_stop, workspace)?;
+            statistics.merge(&result.statistics());
             let i = clamp_charging_current(&result, t_settle);
             voltages.push(v);
             currents.push(i);
         }
         let interpolator =
             LinearInterpolator::new(voltages, currents).map_err(MnaError::Numerics)?;
-        Ok(ChargingCharacteristic { interpolator })
+        Ok(ChargingCharacteristic {
+            interpolator,
+            statistics,
+        })
     }
 
     /// Runs the full envelope simulation and returns the long-horizon
@@ -307,10 +333,22 @@ impl EnvelopeSimulator {
             Circuit::GROUND,
             Waveform::dc(clamp_voltage),
         ));
+        // Under adaptive stepping the accepted steps are non-uniform, so the
+        // engine is asked to record on the uniform `detail_dt` grid (dense
+        // interpolation): the cycle average over the recorded samples then
+        // has exactly the same meaning as under fixed stepping, where every
+        // accepted step *is* a grid point and nothing is recorded twice.
+        let record_interval = self
+            .options
+            .step_control
+            .is_adaptive()
+            .then_some(self.options.detail_dt);
         let options = TransientOptions {
             t_stop,
             dt: self.options.detail_dt,
             backend: self.options.backend,
+            record_interval,
+            step_control: self.options.step_control,
             ..TransientOptions::default()
         };
         let analysis = TransientAnalysis::new(options);
@@ -385,6 +423,7 @@ mod tests {
             horizon: 600.0,
             output_points: 50,
             backend: SolverBackend::Auto,
+            step_control: StepControl::adaptive_averaging(),
         }
     }
 
@@ -474,5 +513,41 @@ mod tests {
         let opts = EnvelopeOptions::default();
         assert_eq!(opts.horizon, 9000.0);
         assert!(opts.voltage_points >= 5);
+        // The envelope path runs on adaptive stepping by default.
+        assert!(opts.step_control.is_adaptive());
+    }
+
+    #[test]
+    fn adaptive_measurement_matches_fixed_with_less_newton_work() {
+        let mut config = HarvesterConfig::unoptimised();
+        config.generator.damping *= 3.0;
+        let fixed_opts = EnvelopeOptions {
+            step_control: StepControl::Fixed,
+            ..quick_envelope_options()
+        };
+        let fixed = EnvelopeSimulator::new(config.clone(), fixed_opts)
+            .measure_characteristic()
+            .unwrap();
+        let adaptive = EnvelopeSimulator::new(config, quick_envelope_options())
+            .measure_characteristic()
+            .unwrap();
+        let scale = fixed.points().map(|(_, i)| i.abs()).fold(0.0f64, f64::max);
+        for ((vf, cf), (va, ca)) in fixed.points().zip(adaptive.points()) {
+            assert_eq!(vf, va);
+            assert!(
+                (cf - ca).abs() <= 0.1 * scale + 1e-9,
+                "adaptive current at {va} V must track the fixed reference: {ca} vs {cf}"
+            );
+        }
+        let fs = fixed.statistics();
+        let as_ = adaptive.statistics();
+        assert!(
+            as_.newton_iterations < fs.newton_iterations,
+            "adaptive must beat fixed Newton work on this fixture: {} vs {}",
+            as_.newton_iterations,
+            fs.newton_iterations
+        );
+        assert!(as_.predicted_steps > 0);
+        assert_eq!(fs.lte_rejections, 0);
     }
 }

@@ -64,7 +64,10 @@ pub mod system;
 
 pub use booster::BoosterConfig;
 pub use envelope::{ChargingCurve, EnvelopeOptions, EnvelopeSimulator, EnvelopeWorkspace};
+// Re-exported so envelope/budget construction sites can name the simulation
+// kernel's step-control and backend policies without a direct mna dependency.
 pub use generator::GeneratorModel;
+pub use harvester_mna::transient::{SolverBackend, StepControl};
 pub use params::{
     MicroGeneratorParams, StorageParams, TransformerBoosterParams, Vibration, VillardParams,
 };

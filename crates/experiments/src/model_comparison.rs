@@ -14,7 +14,7 @@ use harvester_core::envelope::{ChargingCurve, EnvelopeOptions, EnvelopeSimulator
 use harvester_core::generator::GeneratorModel;
 use harvester_core::reference::ExperimentalReference;
 use harvester_core::system::HarvesterConfig;
-use harvester_mna::transient::{SolverBackend, TransientOptions};
+use harvester_mna::transient::{SolverBackend, StepControl, TransientOptions};
 use harvester_mna::MnaError;
 use harvester_numerics::stats::total_harmonic_distortion;
 
@@ -39,6 +39,7 @@ impl Fig5Options {
                 horizon: 600.0,
                 output_points: 60,
                 backend: SolverBackend::Auto,
+                step_control: StepControl::adaptive_averaging(),
             },
         }
     }
@@ -132,6 +133,12 @@ pub fn run_fig5(base: &HarvesterConfig, options: &Fig5Options) -> Result<Fig5Res
 }
 
 /// Options for the Fig. 7 waveform comparison.
+///
+/// This experiment deliberately runs on **fixed** stepping
+/// ([`StepControl::Fixed`]): its THD analysis windows the recorded waveform
+/// by sample count and feeds it to a harmonic estimator that assumes a
+/// uniform `dt` grid, which is exactly the workload the adaptive engine's
+/// README guidance lists as "stay on fixed stepping".
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Fig7Options {
     /// Number of steady-state excitation periods to analyse.

@@ -366,6 +366,7 @@ mod tests {
             horizon: 600.0,
             output_points: 50,
             backend: Default::default(),
+            step_control: harvester_core::StepControl::adaptive_averaging(),
         };
         let result = run_fig10(&unopt, &opt, envelope).unwrap();
         assert!(result.unoptimised_final_voltage() > 0.05);

@@ -98,6 +98,18 @@ pub trait Device {
     fn is_nonlinear(&self) -> bool {
         false
     }
+
+    /// Appends every time in `(0, t_stop)` at which the device forces a
+    /// discontinuity into the system (source waveform edges, switching
+    /// instants, …).
+    ///
+    /// The adaptive time stepper
+    /// ([`StepControl::Adaptive`](crate::transient::StepControl)) lands an
+    /// accepted step exactly on each reported breakpoint instead of
+    /// discovering the discontinuity through rejected steps. Devices with
+    /// time-continuous equations (the default) report nothing. Sources
+    /// delegate to [`Waveform::breakpoints`](crate::waveform::Waveform::breakpoints).
+    fn breakpoints(&self, _t_stop: f64, _out: &mut Vec<f64>) {}
 }
 
 /// Mutable view of the Jacobian being assembled, abstracting over the dense

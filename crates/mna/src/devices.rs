@@ -302,6 +302,10 @@ impl Device for VoltageSource {
         ctx.equation_derivative(0, Unknown::Node(self.a));
         ctx.equation_derivative(0, Unknown::Node(self.b));
     }
+
+    fn breakpoints(&self, t_stop: f64, out: &mut Vec<f64>) {
+        self.waveform.breakpoints(t_stop, out);
+    }
 }
 
 /// Independent current source driven by a [`Waveform`]; the current flows out
@@ -339,6 +343,10 @@ impl Device for CurrentSource {
 
     fn stamp_pattern(&self, _ctx: &mut PatternContext<'_>) {
         // Residual-only stamps: no Jacobian entries.
+    }
+
+    fn breakpoints(&self, t_stop: f64, out: &mut Vec<f64>) {
+        self.waveform.breakpoints(t_stop, out);
     }
 }
 
@@ -596,6 +604,14 @@ impl Device for TimedSwitch {
 
     fn stamp_pattern(&self, ctx: &mut PatternContext<'_>) {
         ctx.conductance(self.a, self.b);
+    }
+
+    fn breakpoints(&self, t_stop: f64, out: &mut Vec<f64>) {
+        for t in [self.t_on, self.t_off] {
+            if t > 0.0 && t < t_stop {
+                out.push(t);
+            }
+        }
     }
 }
 

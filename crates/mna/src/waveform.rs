@@ -43,6 +43,11 @@ pub enum Waveform {
 }
 
 impl Waveform {
+    /// Largest number of breakpoints one waveform reports to the adaptive
+    /// stepper (see [`Waveform::breakpoints`]). Edges beyond the cap are
+    /// simply not announced; the error controller still resolves them.
+    pub const MAX_BREAKPOINTS: usize = 4096;
+
     /// Constant waveform.
     pub fn dc(value: f64) -> Self {
         Waveform::Dc(value)
@@ -130,6 +135,70 @@ impl Waveform {
                     v1
                 } else {
                     v0 + (v1 - v0) * (t - t0) / (t1 - t0)
+                }
+            }
+        }
+    }
+
+    /// Appends every time in `(0, t_stop)` at which the waveform (or its
+    /// first derivative) is discontinuous: Pulse edges, PWL corners, the
+    /// start of a delayed Sine.
+    ///
+    /// The adaptive time stepper forces an accepted step to land **exactly**
+    /// on each of these breakpoints, so source discontinuities are resolved
+    /// by construction instead of being discovered through a cascade of
+    /// rejected steps. Times outside the open interval `(0, t_stop)` are not
+    /// reported — the engine always places steps at both endpoints anyway.
+    ///
+    /// The output is neither sorted nor deduplicated (the engine merges the
+    /// breakpoints of all sources before sorting once), and it is capped at
+    /// [`Waveform::MAX_BREAKPOINTS`] entries per waveform: breakpoints are a
+    /// step-placement *optimisation*, not a correctness requirement (the LTE
+    /// controller still resolves unannounced corners by rejection), so a
+    /// pathologically fast pulse train must not be allowed to allocate an
+    /// unbounded schedule before the run even starts.
+    pub fn breakpoints(&self, t_stop: f64, out: &mut Vec<f64>) {
+        let budget = out.len() + Self::MAX_BREAKPOINTS;
+        let push = |out: &mut Vec<f64>, t: f64| {
+            if t > 0.0 && t < t_stop && out.len() < budget {
+                out.push(t);
+            }
+        };
+        match self {
+            Waveform::Dc(_) => {}
+            Waveform::Sine { delay, .. } => push(out, *delay),
+            Waveform::Pulse {
+                delay,
+                rise,
+                fall,
+                width,
+                period,
+                ..
+            } => {
+                // Every period repeats the four corners of the trapezoid. A
+                // zero rise/fall time collapses two corners into one genuine
+                // discontinuity; the duplicate is harmless (deduplicated by
+                // the engine's merge). The periods scanned are bounded too:
+                // a denormal-small `period` can fail to advance `start` in
+                // floating point, and the scan must terminate even then.
+                let mut start = *delay;
+                for _ in 0..Self::MAX_BREAKPOINTS {
+                    push(out, start);
+                    push(out, start + rise);
+                    push(out, start + rise + width);
+                    push(out, start + rise + width + fall);
+                    if *period <= 0.0 || out.len() >= budget {
+                        break;
+                    }
+                    start += period;
+                    if start >= t_stop {
+                        break;
+                    }
+                }
+            }
+            Waveform::Pwl(points) => {
+                for &(t, _) in points {
+                    push(out, t);
                 }
             }
         }
@@ -234,5 +303,64 @@ mod tests {
         let w = Waveform::Pwl(vec![]);
         assert_eq!(w.value(1.0), 0.0);
         assert_eq!(w.peak(), 0.0);
+    }
+
+    fn collected_breakpoints(w: &Waveform, t_stop: f64) -> Vec<f64> {
+        let mut out = Vec::new();
+        w.breakpoints(t_stop, &mut out);
+        out.sort_by(f64::total_cmp);
+        out
+    }
+
+    #[test]
+    fn dc_and_undelayed_sine_have_no_breakpoints() {
+        assert!(collected_breakpoints(&Waveform::dc(1.0), 10.0).is_empty());
+        assert!(collected_breakpoints(&Waveform::sine(1.0, 50.0), 10.0).is_empty());
+    }
+
+    #[test]
+    fn delayed_sine_reports_its_start() {
+        let w = Waveform::Sine {
+            offset: 0.0,
+            amplitude: 1.0,
+            frequency_hz: 50.0,
+            phase_rad: 0.0,
+            delay: 0.3,
+        };
+        assert_eq!(collected_breakpoints(&w, 1.0), vec![0.3]);
+        // Outside the window nothing is reported.
+        assert!(collected_breakpoints(&w, 0.2).is_empty());
+    }
+
+    #[test]
+    fn pulse_reports_every_edge_of_every_period() {
+        let w = Waveform::Pulse {
+            low: 0.0,
+            high: 5.0,
+            delay: 1.0,
+            rise: 1.0,
+            fall: 1.0,
+            width: 2.0,
+            period: 10.0,
+        };
+        let bps = collected_breakpoints(&w, 16.0);
+        assert_eq!(bps, vec![1.0, 2.0, 4.0, 5.0, 11.0, 12.0, 14.0, 15.0]);
+        // Aperiodic pulse: one trapezoid only.
+        let once = Waveform::Pulse {
+            low: 0.0,
+            high: 5.0,
+            delay: 1.0,
+            rise: 1.0,
+            fall: 1.0,
+            width: 2.0,
+            period: 0.0,
+        };
+        assert_eq!(collected_breakpoints(&once, 16.0), vec![1.0, 2.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn pwl_reports_its_corners_inside_the_window() {
+        let w = Waveform::Pwl(vec![(0.0, 0.0), (1.0, 10.0), (2.0, -10.0), (5.0, 0.0)]);
+        assert_eq!(collected_breakpoints(&w, 3.0), vec![1.0, 2.0]);
     }
 }

@@ -19,6 +19,9 @@
 //!   as an independent cross-check of the circuit-level transient engine.
 //! * [`interp`] — linear and monotone-cubic (PCHIP) interpolation, used to
 //!   bridge the unspecified sections of the piecewise flux-linkage function.
+//! * [`extrap`] — Newton divided-difference polynomial extrapolation over
+//!   non-equidistant support points, the predictor of the adaptive
+//!   (LTE-controlled) transient time-stepper.
 //! * [`roots`] — scalar root bracketing (bisection, Brent), used e.g. to find
 //!   the mechanical resonance of a generator design.
 //! * [`stats`] — small statistics helpers (RMS, total harmonic distortion,
@@ -41,6 +44,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod extrap;
 pub mod interp;
 pub mod linalg;
 pub mod newton;

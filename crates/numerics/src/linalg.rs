@@ -154,7 +154,7 @@ impl Matrix {
     /// # Errors
     ///
     /// Returns [`NumericsError::SingularMatrix`] if a pivot smaller than
-    /// `1e-14 × inf-norm` is encountered, and
+    /// `1e-14 ×` the pivot column's own entry scale is encountered, and
     /// [`NumericsError::DimensionMismatch`] if the matrix is not square.
     pub fn lu(&self) -> Result<LuFactors, NumericsError> {
         if !self.is_square() {
@@ -167,6 +167,7 @@ impl Matrix {
             lu: self.clone(),
             perm: (0..self.rows).collect(),
             sign: 1.0,
+            col_scale: Vec::new(),
         };
         factorize_in_place(&mut factors)?;
         Ok(factors)
@@ -302,8 +303,23 @@ impl Mul for &Matrix {
 fn factorize_in_place(factors: &mut LuFactors) -> Result<(), NumericsError> {
     let lu = &mut factors.lu;
     let n = lu.rows;
-    let scale = lu.inf_norm().max(f64::MIN_POSITIVE);
-    let tol = 1e-14 * scale;
+    // Singularity is judged per column against the column's own entry scale,
+    // not against the global matrix norm: MNA matrices mix 1/dt-scaled
+    // companion conductances with unit-scale branch equations, and a global
+    // threshold would misdiagnose the well-posed small-scale columns as
+    // singular whenever the time step is small. The scale buffer lives in
+    // the factors so repeated `lu_into` calls stay allocation-free.
+    let col_scale = &mut factors.col_scale;
+    col_scale.clear();
+    col_scale.resize(n, 0.0);
+    for i in 0..n {
+        for (j, scale) in col_scale.iter_mut().enumerate() {
+            let v = lu[(i, j)].abs();
+            if v > *scale {
+                *scale = v;
+            }
+        }
+    }
 
     for k in 0..n {
         // Find the pivot row.
@@ -316,7 +332,7 @@ fn factorize_in_place(factors: &mut LuFactors) -> Result<(), NumericsError> {
                 pivot_row = i;
             }
         }
-        if pivot_val <= tol {
+        if pivot_val <= 1e-14 * col_scale[k].max(f64::MIN_POSITIVE) {
             return Err(NumericsError::SingularMatrix {
                 column: k,
                 pivot: pivot_val,
@@ -354,6 +370,10 @@ pub struct LuFactors {
     lu: Matrix,
     perm: Vec<usize>,
     sign: f64,
+    /// Per-column entry scales of the matrix being factored (pivot-breakdown
+    /// reference); kept as a reusable scratch so `lu_into` stays
+    /// allocation-free across repeated factorisations.
+    col_scale: Vec<f64>,
 }
 
 impl LuFactors {

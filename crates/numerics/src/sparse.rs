@@ -25,6 +25,32 @@ use crate::NumericsError;
 /// [`crate::linalg`].
 const PIVOT_RTOL: f64 = 1e-14;
 
+/// Largest absolute entry of each column (floored at `f64::MIN_POSITIVE` so
+/// a structurally empty column still reads as singular rather than dividing
+/// by zero). Pivot breakdown is judged against the pivot column's own scale:
+/// MNA matrices mix 1/dt-scaled companion conductances with unit-scale
+/// branch equations, and a global threshold would misdiagnose the well-posed
+/// small-scale columns as singular at small time steps.
+fn column_scales(a: &SparseMatrix) -> Vec<f64> {
+    let mut scales = Vec::new();
+    refill_column_scales(a, &mut scales);
+    scales
+}
+
+/// In-place variant of [`column_scales`] for the allocation-free
+/// `refactor` hot path.
+fn refill_column_scales(a: &SparseMatrix, scales: &mut Vec<f64>) {
+    scales.clear();
+    scales.resize(a.cols, f64::MIN_POSITIVE);
+    for (k, &v) in a.values.iter().enumerate() {
+        let c = a.col_idx[k];
+        let v = v.abs();
+        if v > scales[c] {
+            scales[c] = v;
+        }
+    }
+}
+
 /// Triplet (COO) accumulator used to assemble a [`SparseMatrix`].
 ///
 /// Duplicate coordinates are allowed and are **summed** during conversion to
@@ -394,6 +420,9 @@ pub struct SparseLu {
     /// verifies a supplied matrix against it before reusing the analysis.
     pattern_row_ptr: Vec<usize>,
     pattern_cols: Vec<usize>,
+    /// Reusable per-column entry-scale scratch (pivot-breakdown reference),
+    /// refilled by `refactor` so the O(nnz) hot path stays allocation-free.
+    col_scale: Vec<f64>,
 }
 
 impl SparseLu {
@@ -404,7 +433,9 @@ impl SparseLu {
     ///
     /// Returns [`NumericsError::DimensionMismatch`] if `a` is not square and
     /// [`NumericsError::SingularMatrix`] if a pivot smaller than
-    /// `1e-14 × inf-norm` is encountered.
+    /// `1e-14 ×` the pivot column's own entry scale is encountered (per-column
+    /// rather than global scaling, so the mixed 1/dt-conductance and
+    /// unit-scale rows of an MNA system are judged fairly).
     pub fn new(a: &SparseMatrix) -> Result<Self, NumericsError> {
         if !a.is_square() {
             return Err(NumericsError::DimensionMismatch {
@@ -413,7 +444,7 @@ impl SparseLu {
             });
         }
         let n = a.rows;
-        let tol = PIVOT_RTOL * a.inf_norm().max(f64::MIN_POSITIVE);
+        let col_scale = column_scales(a);
 
         // Working rows as sorted (col, value) lists, eliminated in place.
         let mut work: Vec<Vec<(usize, f64)>> = (0..n)
@@ -439,7 +470,7 @@ impl SparseLu {
                     }
                 }
             }
-            if pivot_row == usize::MAX || pivot_val <= tol {
+            if pivot_row == usize::MAX || pivot_val <= PIVOT_RTOL * col_scale[k] {
                 return Err(NumericsError::SingularMatrix {
                     column: k,
                     pivot: pivot_val,
@@ -512,6 +543,7 @@ impl SparseLu {
             scatter,
             pattern_row_ptr: a.row_ptr.clone(),
             pattern_cols: a.col_idx.clone(),
+            col_scale,
         })
     }
 
@@ -556,7 +588,7 @@ impl SparseLu {
                     .to_string(),
             ));
         }
-        let tol = PIVOT_RTOL * a.inf_norm().max(f64::MIN_POSITIVE);
+        refill_column_scales(a, &mut self.col_scale);
 
         for v in &mut self.vals {
             *v = 0.0;
@@ -573,7 +605,7 @@ impl SparseLu {
             for pos in self.row_start[i]..self.diag[i] {
                 let j = self.cols[pos];
                 let pivot = self.vals[self.diag[j]];
-                if pivot.abs() <= tol {
+                if pivot.abs() <= PIVOT_RTOL * self.col_scale[j] {
                     return Err(NumericsError::SingularMatrix {
                         column: j,
                         pivot: pivot.abs(),
@@ -600,7 +632,7 @@ impl SparseLu {
                 }
             }
             let d = self.vals[self.diag[i]];
-            if d.abs() <= tol {
+            if d.abs() <= PIVOT_RTOL * self.col_scale[i] {
                 return Err(NumericsError::SingularMatrix {
                     column: i,
                     pivot: d.abs(),

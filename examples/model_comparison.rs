@@ -16,6 +16,7 @@
 
 use energy_harvester::experiments::{run_fig5, run_fig7, Fig5Options, Fig7Options};
 use energy_harvester::models::envelope::EnvelopeOptions;
+use energy_harvester::models::StepControl;
 use energy_harvester::models::{GeneratorModel, HarvesterConfig, StorageParams};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -39,6 +40,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 horizon: 1800.0,
                 output_points: 100,
                 backend: Default::default(),
+                step_control: StepControl::adaptive_averaging(),
             },
         }
     };

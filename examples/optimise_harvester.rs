@@ -21,6 +21,7 @@ use energy_harvester::experiments::{
 };
 use energy_harvester::models::envelope::EnvelopeOptions;
 use energy_harvester::models::HarvesterConfig;
+use energy_harvester::models::StepControl;
 use energy_harvester::optim::GaOptions;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -91,6 +92,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             horizon: 9000.0,
             output_points: 120,
             backend: Default::default(),
+            step_control: StepControl::adaptive_averaging(),
         }
     };
     println!();
