@@ -1,0 +1,105 @@
+//! Shooting-Newton periodic steady state vs brute-force settling.
+//!
+//! The deterministic work-count comparison behind the PR's acceptance
+//! criterion, emitted as `BENCH_pss.json`: on the harvester envelope
+//! fixtures, the shooting engine must reproduce the steady-state charging
+//! characteristic of a *converged* settling reference while integrating a
+//! fraction of the excitation cycles the production settle-and-average
+//! budget spends (and a much smaller fraction still of what converged
+//! settling costs).
+//!
+//! Three measurements per fixture:
+//!
+//! * `<fixture>_settled` — the production brute-force budget
+//!   (`settle_cycles` + `measure_cycles` per grid point);
+//! * `<fixture>_reference` — fixed-step settling with a 20× settle budget
+//!   (converged to the orbit, used as the accuracy yardstick);
+//! * `<fixture>_shooting` — the PSS engine (warm-up + closure iterations).
+//!
+//! Plus a `<fixture>_ratio` record with the cycle-reduction factor and the
+//! worst per-grid-point current deviation of shooting vs the reference.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use harvester_bench::pss_acceptance_envelope as envelope_options;
+use harvester_bench::report::{self, BenchRecord};
+use harvester_core::envelope::{
+    ChargingCharacteristic, EnvelopeOptions, EnvelopeSimulator, SteadyState,
+};
+use harvester_core::system::HarvesterConfig;
+use harvester_core::GeneratorModel;
+use harvester_mna::transient::StepControl;
+use std::time::Instant;
+
+fn measure(config: &HarvesterConfig, options: EnvelopeOptions) -> (ChargingCharacteristic, f64) {
+    let start = Instant::now();
+    let characteristic = EnvelopeSimulator::new(config.clone(), options)
+        .measure_characteristic()
+        .expect("envelope fixture must simulate");
+    (characteristic, start.elapsed().as_secs_f64())
+}
+
+fn worst_deviation(a: &ChargingCharacteristic, b: &ChargingCharacteristic) -> f64 {
+    a.points()
+        .zip(b.points())
+        .map(|((_, ia), (_, ib))| (ia - ib).abs())
+        .fold(0.0f64, f64::max)
+}
+
+/// Deterministic comparison on the harvester envelope fixtures, emitted as
+/// `BENCH_pss.json`.
+fn pss_work_comparison(_c: &mut Criterion) {
+    println!("\ngroup: pss-work (machine readable -> BENCH_pss.json)");
+    let mut records: Vec<BenchRecord> = Vec::new();
+    for (fixture, config) in [
+        (
+            "villard_envelope",
+            HarvesterConfig::model_comparison(GeneratorModel::Analytical),
+        ),
+        ("transformer_envelope", HarvesterConfig::unoptimised()),
+    ] {
+        let (settled, settled_wall) = measure(&config, envelope_options(SteadyState::BruteForce));
+        let reference_options = EnvelopeOptions {
+            settle_cycles: 1200.0,
+            step_control: StepControl::Fixed,
+            ..envelope_options(SteadyState::BruteForce)
+        };
+        let (reference, reference_wall) = measure(&config, reference_options);
+        let (shooting, shooting_wall) = measure(&config, envelope_options(SteadyState::default()));
+
+        for (label, characteristic, wall) in [
+            ("settled", &settled, settled_wall),
+            ("reference", &reference, reference_wall),
+            ("shooting", &shooting, shooting_wall),
+        ] {
+            let stats = characteristic.statistics();
+            println!(
+                "  pss-work/{fixture}_{label}: {wall:.3}s, {} cycles, {} shooting iterations, \
+                 {} newton iterations",
+                stats.integrated_cycles, stats.shooting_iterations, stats.newton_iterations
+            );
+            records.push(
+                report::statistics_record(format!("{fixture}_{label}"), &stats, wall)
+                    .metric("i_at_0v_amperes", characteristic.current_at(0.0)),
+            );
+        }
+
+        let cycle_reduction = settled.statistics().integrated_cycles as f64
+            / shooting.statistics().integrated_cycles as f64;
+        let deviation = worst_deviation(&shooting, &reference);
+        println!(
+            "  pss-work/{fixture}: shooting integrates {cycle_reduction:.1}x fewer cycles than \
+             the production settling budget, worst deviation {deviation:.3e} A vs the 20x-settled \
+             reference"
+        );
+        records.push(
+            BenchRecord::new(format!("{fixture}_ratio"))
+                .metric("cycle_reduction", cycle_reduction)
+                .metric("worst_deviation_amperes", deviation)
+                .metric("wall_speedup", settled_wall / shooting_wall),
+        );
+    }
+    report::emit("pss", &records);
+}
+
+criterion_group!(pss, pss_work_comparison);
+criterion_main!(pss);

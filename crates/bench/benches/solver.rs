@@ -11,6 +11,7 @@
 //! sparse backend.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use harvester_bench::report::{self, BenchRecord};
 use harvester_core::system::HarvesterConfig;
 use harvester_core::GeneratorModel;
 use harvester_mna::circuit::{Circuit, NodeId};
@@ -140,5 +141,74 @@ fn workspace_reuse(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(solver, backend_comparison, workspace_reuse);
+/// Deterministic dense-vs-sparse work counts on the ladder and harvester
+/// fixtures, emitted as `BENCH_solver.json` through the shared report
+/// helper so CI can track the solver backends' perf trajectory alongside
+/// the transient and PSS artefacts.
+fn backend_work_comparison(_c: &mut Criterion) {
+    use std::time::Instant;
+    println!("\ngroup: solver-work (machine readable -> BENCH_solver.json)");
+    let mut records: Vec<BenchRecord> = Vec::new();
+    let fixtures: Vec<(String, Circuit, NodeId, TransientOptions)> = {
+        let (ladder, ladder_out) = rc_ladder(96);
+        let mut config = HarvesterConfig::model_comparison(GeneratorModel::Analytical);
+        config.storage.capacitance = 100e-6;
+        let (villard, nodes) = config.build();
+        vec![
+            ("ladder96".to_string(), ladder, ladder_out, ladder_options()),
+            (
+                "villard_harvester".to_string(),
+                villard,
+                nodes.storage,
+                TransientOptions {
+                    t_stop: 0.05,
+                    dt: 1e-4,
+                    record_interval: Some(1e-3),
+                    ..TransientOptions::default()
+                },
+            ),
+        ]
+    };
+    for (fixture, circuit, probe, base) in &fixtures {
+        let mut wall = [0.0f64; 2];
+        for (k, (label, backend)) in [
+            ("dense", SolverBackend::Dense),
+            ("sparse", SolverBackend::Sparse),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let start = Instant::now();
+            let result = TransientAnalysis::new(TransientOptions { backend, ..*base })
+                .run(circuit)
+                .expect("bench fixture must simulate");
+            wall[k] = start.elapsed().as_secs_f64();
+            let stats = result.statistics();
+            println!(
+                "  solver-work/{fixture}_{label}: {:.3}s, {} linear solves, \
+                 {} full + {} re-pivot factorisations",
+                wall[k],
+                stats.linear_solves,
+                stats.full_factorizations,
+                stats.repivot_factorizations
+            );
+            records.push(
+                report::statistics_record(format!("{fixture}_{label}"), &stats, wall[k])
+                    .metric("final_voltage", result.final_voltage(*probe)),
+            );
+        }
+        let speedup = wall[0] / wall[1];
+        println!("  solver-work/{fixture}: sparse is {speedup:.2}x vs dense");
+        records
+            .push(BenchRecord::new(format!("{fixture}_ratio")).metric("sparse_speedup", speedup));
+    }
+    report::emit("solver", &records);
+}
+
+criterion_group!(
+    solver,
+    backend_comparison,
+    workspace_reuse,
+    backend_work_comparison
+);
 criterion_main!(solver);

@@ -17,8 +17,8 @@
 //! release mode).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use harvester_bench::{write_bench_json, BenchRecord};
-use harvester_core::envelope::{EnvelopeOptions, EnvelopeSimulator};
+use harvester_bench::report::{self, BenchRecord};
+use harvester_core::envelope::{EnvelopeOptions, EnvelopeSimulator, SteadyState};
 use harvester_core::system::HarvesterConfig;
 use harvester_core::GeneratorModel;
 use harvester_mna::circuit::{Circuit, NodeId};
@@ -161,20 +161,14 @@ fn envelope_options(step_control: StepControl) -> EnvelopeOptions {
         output_points: 50,
         backend: SolverBackend::Auto,
         step_control,
+        // This bench isolates the time-stepper: both modes march the full
+        // settle window (the PSS engine has its own bench).
+        steady_state: SteadyState::BruteForce,
     }
 }
 
 fn record(name: &str, stats: RunStatistics, wall: f64, current: f64) -> BenchRecord {
-    BenchRecord::new(name)
-        .metric("wall_seconds", wall)
-        .metric("accepted_steps", stats.accepted_steps as f64)
-        .metric("rejected_steps", stats.rejected_steps as f64)
-        .metric("newton_iterations", stats.newton_iterations as f64)
-        .metric("linear_solves", stats.linear_solves as f64)
-        .metric("full_factorizations", stats.full_factorizations as f64)
-        .metric("lte_rejections", stats.lte_rejections as f64)
-        .metric("predicted_steps", stats.predicted_steps as f64)
-        .metric("i_at_0v_amperes", current)
+    report::statistics_record(name, &stats, wall).metric("i_at_0v_amperes", current)
 }
 
 /// Deterministic work-count comparison on the harvester envelope fixtures,
@@ -222,10 +216,7 @@ fn envelope_work_comparison(_c: &mut Criterion) {
         records
             .push(BenchRecord::new(format!("{fixture}_ratio")).metric("newton_reduction", ratio));
     }
-    // Anchor the artefact at the workspace root whatever cargo sets as the
-    // bench's working directory, so CI's `BENCH_*.json` upload finds it.
-    let path = format!("{}/../../BENCH_transient.json", env!("CARGO_MANIFEST_DIR"));
-    write_bench_json(&path, "transient", &records);
+    report::emit("transient", &records);
 }
 
 criterion_group!(transient, step_control_comparison, envelope_work_comparison);

@@ -1,0 +1,144 @@
+//! Non-blocking benchmark regression check.
+//!
+//! Compares freshly produced `BENCH_*.json` artefacts against the committed
+//! snapshots under `bench/baselines/` and prints a warning for every shared
+//! metric that regressed beyond a tolerance. The check never fails the build
+//! (hardware differences make wall-clock noisy and the work counters shift
+//! legitimately with algorithm changes); it exists so a perf regression is
+//! *visible* in the job summary, not silent.
+//!
+//! Usage: `compare_bench_baselines [baseline_dir] [fresh_dir]`
+//! (defaults: `bench/baselines` and the current directory).
+
+use harvester_bench::report::{parse_bench_json, ParsedBench};
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Metrics where a larger fresh value means a regression, with the relative
+/// slack allowed before a warning is printed. Wall clock gets a generous
+/// margin (different machines); deterministic work counters a tight one.
+const LOWER_IS_BETTER: &[(&str, f64)] = &[
+    ("wall_seconds", 0.50),
+    ("accepted_steps", 0.10),
+    ("rejected_steps", 0.25),
+    ("newton_iterations", 0.10),
+    ("linear_solves", 0.10),
+    ("full_factorizations", 0.10),
+    ("repivot_factorizations", 0.25),
+    ("lte_rejections", 0.25),
+    ("integrated_cycles", 0.10),
+    ("shooting_iterations", 0.25),
+    ("worst_deviation_amperes", 1.0),
+];
+
+/// Metrics where a smaller fresh value means a regression.
+const HIGHER_IS_BETTER: &[(&str, f64)] = &[
+    ("newton_reduction", 0.10),
+    ("cycle_reduction", 0.10),
+    ("sparse_speedup", 0.50),
+    ("wall_speedup", 0.50),
+];
+
+fn load(path: &Path) -> Option<ParsedBench> {
+    let text = std::fs::read_to_string(path).ok()?;
+    match parse_bench_json(&text) {
+        Ok(parsed) => Some(parsed),
+        Err(e) => {
+            println!("warning: cannot parse {}: {e}", path.display());
+            None
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let baseline_dir = args.get(1).map(String::as_str).unwrap_or("bench/baselines");
+    let fresh_dir = args.get(2).map(String::as_str).unwrap_or(".");
+
+    let mut summary = String::new();
+    let mut warnings = 0usize;
+    let mut compared = 0usize;
+
+    let entries = match std::fs::read_dir(baseline_dir) {
+        Ok(entries) => entries,
+        Err(e) => {
+            println!("no baseline directory {baseline_dir}: {e} (nothing to compare)");
+            return;
+        }
+    };
+    for entry in entries.flatten() {
+        let name = entry.file_name().to_string_lossy().to_string();
+        if !name.starts_with("BENCH_") || !name.ends_with(".json") {
+            continue;
+        }
+        let fresh_path = Path::new(fresh_dir).join(&name);
+        if !fresh_path.exists() {
+            println!("note: {name}: no fresh artefact (bench not run in this job), skipped");
+            continue;
+        }
+        let (Some(baseline), Some(fresh)) = (load(&entry.path()), load(&fresh_path)) else {
+            continue;
+        };
+        for base_record in &baseline.results {
+            let Some(fresh_record) = fresh.record(&base_record.name) else {
+                println!(
+                    "note: {name}/{}: record missing from fresh artefact",
+                    base_record.name
+                );
+                continue;
+            };
+            for &(metric, slack) in LOWER_IS_BETTER {
+                if let (Some(b), Some(f)) = (base_record.get(metric), fresh_record.get(metric)) {
+                    compared += 1;
+                    if b > 0.0 && f > b * (1.0 + slack) {
+                        warnings += 1;
+                        let _ = writeln!(
+                            summary,
+                            "- `{name}` `{}` **{metric}** regressed: {b:.4} -> {f:.4} \
+                             (+{:.0}%, slack {:.0}%)",
+                            base_record.name,
+                            100.0 * (f / b - 1.0),
+                            100.0 * slack
+                        );
+                    }
+                }
+            }
+            for &(metric, slack) in HIGHER_IS_BETTER {
+                if let (Some(b), Some(f)) = (base_record.get(metric), fresh_record.get(metric)) {
+                    compared += 1;
+                    if b > 0.0 && f < b * (1.0 - slack) {
+                        warnings += 1;
+                        let _ = writeln!(
+                            summary,
+                            "- `{name}` `{}` **{metric}** regressed: {b:.4} -> {f:.4} \
+                             (-{:.0}%, slack {:.0}%)",
+                            base_record.name,
+                            100.0 * (1.0 - f / b),
+                            100.0 * slack
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    let headline = if warnings == 0 {
+        format!("Bench baselines: {compared} metric comparisons, no regressions beyond tolerance.")
+    } else {
+        format!(
+            "Bench baselines: {warnings} possible regression(s) across {compared} comparisons \
+             (non-blocking):"
+        )
+    };
+    println!("{headline}");
+    print!("{summary}");
+
+    // Surface the same text in the GitHub job summary when available.
+    if let Ok(path) = std::env::var("GITHUB_STEP_SUMMARY") {
+        let mut text = format!("### {headline}\n\n");
+        text.push_str(&summary);
+        if let Err(e) = std::fs::write(&path, text) {
+            println!("warning: cannot write job summary: {e}");
+        }
+    }
+}

@@ -9,6 +9,7 @@
 #![warn(missing_docs)]
 
 use harvester_core::envelope::EnvelopeOptions;
+use harvester_core::envelope::SteadyState;
 use harvester_core::params::StorageParams;
 use harvester_core::system::HarvesterConfig;
 use harvester_core::GeneratorModel;
@@ -50,6 +51,7 @@ pub fn bench_envelope() -> EnvelopeOptions {
         output_points: 40,
         backend: SolverBackend::Auto,
         step_control: StepControl::adaptive_averaging(),
+        steady_state: SteadyState::default(),
     }
 }
 
@@ -58,70 +60,29 @@ pub fn bench_fitness() -> FitnessBudget {
     FitnessBudget::coarse()
 }
 
-/// One record of a machine-readable benchmark artefact: a benchmark name
-/// plus flat numeric metrics (wall seconds, work counters, ratios).
-#[derive(Debug, Clone, PartialEq)]
-pub struct BenchRecord {
-    /// Benchmark identifier, e.g. `"transient/villard_envelope_adaptive"`.
-    pub name: String,
-    /// Metric name/value pairs, emitted in order.
-    pub metrics: Vec<(String, f64)>,
-}
-
-impl BenchRecord {
-    /// Creates an empty record for `name`.
-    pub fn new(name: impl Into<String>) -> Self {
-        BenchRecord {
-            name: name.into(),
-            metrics: Vec::new(),
-        }
-    }
-
-    /// Appends one metric (builder style).
-    pub fn metric(mut self, key: impl Into<String>, value: f64) -> Self {
-        self.metrics.push((key.into(), value));
-        self
+/// The shooting-PSS acceptance fixture: the envelope configuration shared —
+/// as one definition, so they can never drift apart — by the `pss` bench
+/// (whose output is snapshotted under `bench/baselines/`), the release-mode
+/// golden suite in `tests/pss_golden.rs`, and the speed-up printout of
+/// `examples/optimise_harvester.rs`.
+pub fn pss_acceptance_envelope(steady_state: SteadyState) -> EnvelopeOptions {
+    EnvelopeOptions {
+        voltage_points: 5,
+        max_voltage: 3.0,
+        settle_cycles: 60.0,
+        measure_cycles: 10.0,
+        detail_dt: 1e-4,
+        horizon: 600.0,
+        output_points: 50,
+        backend: SolverBackend::Auto,
+        step_control: StepControl::adaptive_averaging(),
+        steady_state,
     }
 }
 
-/// Serialises `records` to `path` as a small self-contained JSON document
-/// (`{"bench": <name>, "results": [{"name": ..., <metric>: ...}, ...]}`),
-/// so the per-PR perf trajectory can be tracked by CI without pulling a
-/// serde dependency into the workspace. Non-finite values are emitted as
-/// `null` (JSON has no NaN/Infinity).
-///
-/// # Panics
-///
-/// Panics if the file cannot be written — a benchmark that cannot record
-/// its results should fail loudly, not silently.
-pub fn write_bench_json(path: &str, bench: &str, records: &[BenchRecord]) {
-    fn json_number(v: f64) -> String {
-        if v.is_finite() {
-            format!("{v}")
-        } else {
-            "null".to_string()
-        }
-    }
-    let mut out = String::new();
-    out.push_str(&format!(
-        "{{\n  \"bench\": \"{bench}\",\n  \"results\": [\n"
-    ));
-    for (k, record) in records.iter().enumerate() {
-        out.push_str(&format!("    {{\"name\": \"{}\"", record.name));
-        for (key, value) in &record.metrics {
-            out.push_str(&format!(", \"{key}\": {}", json_number(*value)));
-        }
-        out.push_str(if k + 1 == records.len() {
-            "}\n"
-        } else {
-            "},\n"
-        });
-    }
-    out.push_str("  ]\n}\n");
-    std::fs::write(path, out)
-        .unwrap_or_else(|e| panic!("cannot write benchmark artefact {path}: {e}"));
-    println!("wrote {path}");
-}
+pub mod report;
+
+pub use report::{write_bench_json, BenchRecord};
 
 #[cfg(test)]
 mod tests {
@@ -134,28 +95,5 @@ mod tests {
         assert!(bench_fig10_config().generator.is_valid());
         assert!(bench_envelope().voltage_points >= 2);
         assert!(bench_fitness().reference_voltage > 0.0);
-    }
-
-    #[test]
-    fn bench_json_is_well_formed() {
-        let path = std::env::temp_dir().join("BENCH_selftest.json");
-        let path = path.to_str().unwrap();
-        let records = vec![
-            BenchRecord::new("a").metric("x", 1.5).metric("y", 2.0),
-            BenchRecord::new("b").metric("x", f64::INFINITY),
-        ];
-        write_bench_json(path, "selftest", &records);
-        let text = std::fs::read_to_string(path).unwrap();
-        assert!(text.contains("\"bench\": \"selftest\""));
-        assert!(text.contains("{\"name\": \"a\", \"x\": 1.5, \"y\": 2}"));
-        assert!(text.contains("\"x\": null"));
-        // Balanced braces/brackets as a cheap well-formedness proxy.
-        assert_eq!(
-            text.matches('{').count(),
-            text.matches('}').count(),
-            "unbalanced JSON: {text}"
-        );
-        assert_eq!(text.matches('[').count(), text.matches(']').count());
-        std::fs::remove_file(path).ok();
     }
 }

@@ -1,0 +1,264 @@
+//! Shared machine-readable benchmark reporting.
+//!
+//! Every bench target that produces deterministic work counters emits a
+//! `BENCH_<name>.json` artefact at the workspace root through this module, so
+//! CI can archive the per-PR perf trajectory (and compare it against the
+//! committed snapshots under `bench/baselines/`) without pulling a serde
+//! dependency into the workspace. The format is deliberately tiny:
+//!
+//! ```json
+//! {
+//!   "bench": "pss",
+//!   "results": [
+//!     {"name": "villard_envelope_shooting", "wall_seconds": 0.1, ...}
+//!   ]
+//! }
+//! ```
+
+use harvester_mna::transient::RunStatistics;
+
+/// One record of a machine-readable benchmark artefact: a benchmark name
+/// plus flat numeric metrics (wall seconds, work counters, ratios).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRecord {
+    /// Benchmark identifier, e.g. `"transient/villard_envelope_adaptive"`.
+    pub name: String,
+    /// Metric name/value pairs, emitted in order.
+    pub metrics: Vec<(String, f64)>,
+}
+
+impl BenchRecord {
+    /// Creates an empty record for `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        BenchRecord {
+            name: name.into(),
+            metrics: Vec::new(),
+        }
+    }
+
+    /// Appends one metric (builder style).
+    pub fn metric(mut self, key: impl Into<String>, value: f64) -> Self {
+        self.metrics.push((key.into(), value));
+        self
+    }
+
+    /// Looks up a metric by name.
+    pub fn get(&self, key: &str) -> Option<f64> {
+        self.metrics.iter().find(|(k, _)| k == key).map(|(_, v)| *v)
+    }
+}
+
+/// Builds a record carrying every [`RunStatistics`] work counter plus the
+/// wall-clock seconds — the shared shape of the solver, transient and PSS
+/// artefacts, so baseline comparisons see the same metric names everywhere.
+pub fn statistics_record(name: impl Into<String>, stats: &RunStatistics, wall: f64) -> BenchRecord {
+    BenchRecord::new(name)
+        .metric("wall_seconds", wall)
+        .metric("accepted_steps", stats.accepted_steps as f64)
+        .metric("rejected_steps", stats.rejected_steps as f64)
+        .metric("newton_iterations", stats.newton_iterations as f64)
+        .metric("linear_solves", stats.linear_solves as f64)
+        .metric("full_factorizations", stats.full_factorizations as f64)
+        .metric(
+            "repivot_factorizations",
+            stats.repivot_factorizations as f64,
+        )
+        .metric("lte_rejections", stats.lte_rejections as f64)
+        .metric("predicted_steps", stats.predicted_steps as f64)
+        .metric("shooting_iterations", stats.shooting_iterations as f64)
+        .metric("integrated_cycles", stats.integrated_cycles as f64)
+}
+
+/// Absolute path of `file` anchored at the workspace root, whatever cargo
+/// sets as the bench's working directory — so CI's `BENCH_*.json` glob finds
+/// every artefact.
+pub fn workspace_file(file: &str) -> String {
+    format!("{}/../../{file}", env!("CARGO_MANIFEST_DIR"))
+}
+
+/// Emits `records` as `BENCH_<bench>.json` at the workspace root.
+///
+/// # Panics
+///
+/// Panics if the artefact cannot be written — a benchmark that cannot record
+/// its results should fail loudly, not silently.
+pub fn emit(bench: &str, records: &[BenchRecord]) {
+    let path = workspace_file(&format!("BENCH_{bench}.json"));
+    write_bench_json(&path, bench, records);
+}
+
+/// Serialises `records` to `path` as a small self-contained JSON document.
+/// Non-finite values are emitted as `null` (JSON has no NaN/Infinity).
+///
+/// # Panics
+///
+/// Panics if the file cannot be written.
+pub fn write_bench_json(path: &str, bench: &str, records: &[BenchRecord]) {
+    fn json_number(v: f64) -> String {
+        if v.is_finite() {
+            format!("{v}")
+        } else {
+            "null".to_string()
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{{\n  \"bench\": \"{bench}\",\n  \"results\": [\n"
+    ));
+    for (k, record) in records.iter().enumerate() {
+        out.push_str(&format!("    {{\"name\": \"{}\"", record.name));
+        for (key, value) in &record.metrics {
+            out.push_str(&format!(", \"{key}\": {}", json_number(*value)));
+        }
+        out.push_str(if k + 1 == records.len() {
+            "}\n"
+        } else {
+            "},\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(path, out)
+        .unwrap_or_else(|e| panic!("cannot write benchmark artefact {path}: {e}"));
+    println!("wrote {path}");
+}
+
+/// A parsed `BENCH_*.json` artefact.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedBench {
+    /// The artefact's bench name.
+    pub bench: String,
+    /// The parsed records (metrics with `null` values are dropped).
+    pub results: Vec<BenchRecord>,
+}
+
+impl ParsedBench {
+    /// Looks up a record by name.
+    pub fn record(&self, name: &str) -> Option<&BenchRecord> {
+        self.results.iter().find(|r| r.name == name)
+    }
+}
+
+/// Parses the exact JSON dialect [`write_bench_json`] emits (flat string/
+/// number objects, no escapes) — enough for the baseline comparator and for
+/// round-trip tests, without a serde dependency.
+///
+/// # Errors
+///
+/// Returns a human-readable description of the first malformed construct.
+pub fn parse_bench_json(text: &str) -> Result<ParsedBench, String> {
+    fn string_after<'a>(text: &'a str, key: &str, from: usize) -> Option<(&'a str, usize)> {
+        let pat = format!("\"{key}\":");
+        let at = text[from..].find(&pat)? + from + pat.len();
+        let open = text[at..].find('"')? + at + 1;
+        let close = text[open..].find('"')? + open;
+        Some((&text[open..close], close + 1))
+    }
+    let (bench, _) =
+        string_after(text, "bench", 0).ok_or_else(|| "missing \"bench\" field".to_string())?;
+    let results_at = text
+        .find("\"results\"")
+        .ok_or_else(|| "missing \"results\" field".to_string())?;
+    let mut results = Vec::new();
+    let mut cursor = results_at;
+    while let Some(open) = text[cursor..].find('{') {
+        let open = cursor + open;
+        let close = text[open..]
+            .find('}')
+            .map(|c| open + c)
+            .ok_or_else(|| "unterminated record object".to_string())?;
+        let body = &text[open + 1..close];
+        let (name, mut at) =
+            string_after(body, "name", 0).ok_or_else(|| "record without a name".to_string())?;
+        let mut record = BenchRecord::new(name);
+        // Remaining pairs are `"key": number` (or null, skipped).
+        while let Some(q) = body[at..].find('"') {
+            let key_open = at + q + 1;
+            let key_close = body[key_open..]
+                .find('"')
+                .map(|c| key_open + c)
+                .ok_or_else(|| format!("unterminated key in record '{name}'"))?;
+            let key = &body[key_open..key_close];
+            let colon = body[key_close..]
+                .find(':')
+                .map(|c| key_close + c)
+                .ok_or_else(|| format!("metric '{key}' in '{name}' has no value"))?;
+            let rest = body[colon + 1..].trim_start();
+            let end = rest.find([',', '}']).unwrap_or(rest.len());
+            let value = rest[..end].trim();
+            if value != "null" {
+                let parsed: f64 = value
+                    .parse()
+                    .map_err(|e| format!("metric '{key}' in '{name}': {e}"))?;
+                record.metrics.push((key.to_string(), parsed));
+            }
+            at = body.len() - rest.len() + end;
+        }
+        results.push(record);
+        cursor = close + 1;
+    }
+    Ok(ParsedBench {
+        bench: bench.to_string(),
+        results,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn statistics_record_carries_every_counter() {
+        let stats = RunStatistics {
+            accepted_steps: 1,
+            rejected_steps: 2,
+            newton_iterations: 3,
+            linear_solves: 4,
+            full_factorizations: 5,
+            repivot_factorizations: 6,
+            lte_rejections: 7,
+            predicted_steps: 8,
+            shooting_iterations: 9,
+            integrated_cycles: 10,
+        };
+        let record = statistics_record("r", &stats, 0.5);
+        assert_eq!(record.get("wall_seconds"), Some(0.5));
+        assert_eq!(record.get("accepted_steps"), Some(1.0));
+        assert_eq!(record.get("repivot_factorizations"), Some(6.0));
+        assert_eq!(record.get("shooting_iterations"), Some(9.0));
+        assert_eq!(record.get("integrated_cycles"), Some(10.0));
+        assert_eq!(record.get("nope"), None);
+    }
+
+    #[test]
+    fn emitted_artefacts_parse_back_losslessly() {
+        let records = vec![
+            BenchRecord::new("a").metric("x", 1.5).metric("y", -2.0),
+            BenchRecord::new("b")
+                .metric("x", f64::INFINITY)
+                .metric("z", 3.0),
+        ];
+        let path = std::env::temp_dir().join("BENCH_roundtrip.json");
+        let path = path.to_str().unwrap();
+        write_bench_json(path, "roundtrip", &records);
+        let text = std::fs::read_to_string(path).unwrap();
+        std::fs::remove_file(path).ok();
+        let parsed = parse_bench_json(&text).unwrap();
+        assert_eq!(parsed.bench, "roundtrip");
+        assert_eq!(parsed.results.len(), 2);
+        assert_eq!(parsed.record("a").unwrap().get("x"), Some(1.5));
+        assert_eq!(parsed.record("a").unwrap().get("y"), Some(-2.0));
+        // The non-finite metric was emitted as null and dropped on parse.
+        assert_eq!(parsed.record("b").unwrap().get("x"), None);
+        assert_eq!(parsed.record("b").unwrap().get("z"), Some(3.0));
+    }
+
+    #[test]
+    fn parser_reports_malformed_documents() {
+        assert!(parse_bench_json("{}").is_err());
+        assert!(parse_bench_json("{\"bench\": \"x\"}").is_err());
+        assert!(parse_bench_json(
+            "{\"bench\": \"x\", \"results\": [{\"name\": \"a\", \"k\": oops}]}"
+        )
+        .is_err());
+    }
+}

@@ -216,6 +216,19 @@ impl Device for ElectromechanicalGenerator {
         ctx.equation_derivative(2, Unknown::Extra(1));
         ctx.equation_derivative(2, Unknown::Extra(2));
     }
+
+    fn excitation_period(&self) -> Option<f64> {
+        // The only explicit time dependence is the sinusoidal base
+        // acceleration — the shooting engine must refuse any steady-state
+        // period not commensurate with the vibration.
+        if self.vibration.acceleration_amplitude == 0.0 {
+            Some(0.0)
+        } else if self.vibration.frequency_hz > 0.0 {
+            Some(1.0 / self.vibration.frequency_hz)
+        } else {
+            None
+        }
+    }
 }
 
 /// Steady-state velocity amplitude of the *unloaded* (open-circuit) linear
@@ -295,6 +308,14 @@ impl Device for IdealSourceGenerator {
 
     fn stamp_pattern(&self, ctx: &mut PatternContext<'_>) {
         self.inner.stamp_pattern(ctx);
+    }
+
+    fn breakpoints(&self, t_stop: f64, out: &mut Vec<f64>) {
+        self.inner.breakpoints(t_stop, out);
+    }
+
+    fn excitation_period(&self) -> Option<f64> {
+        self.inner.excitation_period()
     }
 }
 
@@ -473,4 +494,31 @@ mod tests {
         assert!(ideal.amplitude() > 0.0);
         assert_eq!(ideal.unknown_names(), vec!["i"]);
     }
+
+    #[test]
+    fn shooting_engine_refuses_incommensurate_periods() {
+        use harvester_mna::shooting::{SteadyStateAnalysis, SteadyStateOptions};
+        // Every generator model carries the sinusoidal base excitation, so
+        // the periodic steady-state engine must accept the vibration period
+        // (and its multiples) and refuse anything incommensurate — the
+        // contract `Device::excitation_period` exists to enforce.
+        let period = 1.0 / Vibration::paper_benchtop().frequency_hz;
+        for model in [
+            GeneratorModel::Analytical,
+            GeneratorModel::EquivalentCircuit,
+            GeneratorModel::IdealSource,
+        ] {
+            let (circuit, _) = loaded_generator(model, 1e3);
+            let commensurate = SteadyStateAnalysis::new(SteadyStateOptions::new(period));
+            assert!(commensurate.supports(&circuit), "{model:?} at 1x period");
+            let double = SteadyStateAnalysis::new(SteadyStateOptions::new(2.0 * period));
+            assert!(double.supports(&circuit), "{model:?} at 2x period");
+            let incommensurate = SteadyStateAnalysis::new(SteadyStateOptions::new(0.7 * period));
+            assert!(
+                !incommensurate.supports(&circuit),
+                "{model:?} must be refused at 0.7x period"
+            );
+        }
+    }
+
 }

@@ -63,7 +63,9 @@ pub mod storage;
 pub mod system;
 
 pub use booster::BoosterConfig;
-pub use envelope::{ChargingCurve, EnvelopeOptions, EnvelopeSimulator, EnvelopeWorkspace};
+pub use envelope::{
+    ChargingCurve, EnvelopeOptions, EnvelopeSimulator, EnvelopeWorkspace, SteadyState,
+};
 // Re-exported so envelope/budget construction sites can name the simulation
 // kernel's step-control and backend policies without a direct mna dependency.
 pub use generator::GeneratorModel;

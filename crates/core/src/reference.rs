@@ -153,6 +153,7 @@ mod tests {
             output_points: 30,
             backend: Default::default(),
             step_control: Default::default(),
+            steady_state: Default::default(),
         }
     }
 

@@ -11,7 +11,7 @@ use crate::report::Table;
 use harvester_core::booster::BoosterConfig;
 use harvester_core::params::TransformerBoosterParams;
 use harvester_core::system::HarvesterConfig;
-use harvester_core::{EnvelopeOptions, EnvelopeSimulator, EnvelopeWorkspace};
+use harvester_core::{EnvelopeOptions, EnvelopeSimulator, EnvelopeWorkspace, SteadyState};
 use harvester_mna::transient::{SolverBackend, StepControl};
 use harvester_optim::{
     Bounds, Objective, ObjectiveMut, ParallelEvaluator, Parallelism, ThreadLocalObjective,
@@ -162,6 +162,14 @@ pub struct FitnessBudget {
     /// worker threads. Results are bit-identical for every choice; this knob
     /// moves wall-clock time only.
     pub parallelism: Parallelism,
+    /// How each fitness measurement reaches its periodic steady state:
+    /// shooting-Newton closure by default (with automatic brute-force
+    /// fallback per grid point), or plain settling via
+    /// [`SteadyState::BruteForce`] to reproduce pre-shooting optimisation
+    /// runs. Shooting compounds with the parallel evaluator: every worker's
+    /// fitness transients shrink from `settle + measure` cycles to a
+    /// handful of shooting cycles.
+    pub steady_state: SteadyState,
 }
 
 impl Default for FitnessBudget {
@@ -174,6 +182,7 @@ impl Default for FitnessBudget {
             backend: SolverBackend::Auto,
             step_control: StepControl::adaptive_averaging(),
             parallelism: Parallelism::Auto,
+            steady_state: SteadyState::default(),
         }
     }
 }
@@ -192,6 +201,7 @@ impl FitnessBudget {
             backend: SolverBackend::Auto,
             step_control: StepControl::adaptive_averaging(),
             parallelism: Parallelism::Auto,
+            steady_state: SteadyState::default(),
         }
     }
 
@@ -255,6 +265,7 @@ impl HarvesterObjective {
             output_points: 2,
             backend: self.budget.backend,
             step_control: self.budget.step_control,
+            steady_state: self.budget.steady_state,
         };
         let sim = EnvelopeSimulator::new(config.clone(), envelope);
         match sim.measure_characteristic_with(workspace) {

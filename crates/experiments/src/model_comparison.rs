@@ -10,7 +10,7 @@
 //!   region.
 
 use crate::report::Table;
-use harvester_core::envelope::{ChargingCurve, EnvelopeOptions, EnvelopeSimulator};
+use harvester_core::envelope::{ChargingCurve, EnvelopeOptions, EnvelopeSimulator, SteadyState};
 use harvester_core::generator::GeneratorModel;
 use harvester_core::reference::ExperimentalReference;
 use harvester_core::system::HarvesterConfig;
@@ -40,6 +40,7 @@ impl Fig5Options {
                 output_points: 60,
                 backend: SolverBackend::Auto,
                 step_control: StepControl::adaptive_averaging(),
+                steady_state: SteadyState::default(),
             },
         }
     }

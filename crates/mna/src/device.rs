@@ -110,6 +110,26 @@ pub trait Device {
     /// time-continuous equations (the default) report nothing. Sources
     /// delegate to [`Waveform::breakpoints`](crate::waveform::Waveform::breakpoints).
     fn breakpoints(&self, _t_stop: f64, _out: &mut Vec<f64>) {}
+
+    /// The period of the device's explicit time dependence, as seen by the
+    /// periodic steady-state engine
+    /// ([`SteadyStateAnalysis`](crate::shooting::SteadyStateAnalysis)):
+    ///
+    /// * `Some(0.0)` — time-invariant (the default): compatible with any
+    ///   excitation period.
+    /// * `Some(T)` — the device's stamps are periodic in `ctx.time()` with
+    ///   period `T` seconds.
+    /// * `None` — aperiodic time dependence: a circuit containing this
+    ///   device has no periodic steady state and shooting refuses it.
+    ///
+    /// **Every device whose [`Device::stamp`] reads
+    /// [`StampContext::time`] must override this** — the time-invariant
+    /// default would otherwise let the shooting engine silently treat an
+    /// aperiodic circuit as periodic. Sources delegate to
+    /// [`Waveform::period`](crate::waveform::Waveform::period).
+    fn excitation_period(&self) -> Option<f64> {
+        Some(0.0)
+    }
 }
 
 /// Mutable view of the Jacobian being assembled, abstracting over the dense
@@ -245,7 +265,20 @@ pub struct StampContext<'a> {
     /// Whether this is the very first step of the transient (lets devices
     /// initialise their history consistently).
     first_step: bool,
+    /// Optional per-device record of which state slots [`StampContext::ddt`]
+    /// manages (the shooting engine's state-refresh probe):
+    /// [`DDT_VALUE_SLOT`] for the previous-value slot, [`DDT_DERIVATIVE_SLOT`]
+    /// for the previous-derivative slot.
+    ddt_mask: Option<&'a mut [u8]>,
 }
+
+/// Marker written into a ddt-slot mask for the slot holding a differentiated
+/// quantity's previous *value* (refreshed from the solution vector when the
+/// shooting engine restarts a period from an updated state).
+pub(crate) const DDT_VALUE_SLOT: u8 = 1;
+/// Marker for the slot holding a differentiated quantity's previous
+/// *derivative* (carried across shooting restarts, never re-derived).
+pub(crate) const DDT_DERIVATIVE_SLOT: u8 = 2;
 
 impl<'a> StampContext<'a> {
     #[allow(clippy::too_many_arguments)]
@@ -276,7 +309,15 @@ impl<'a> StampContext<'a> {
             extra_base,
             equation_base,
             first_step,
+            ddt_mask: None,
         }
+    }
+
+    /// Attaches a per-device ddt-slot mask that [`StampContext::ddt`] marks
+    /// as it runs — the layout probe of the periodic steady-state engine.
+    pub(crate) fn with_ddt_mask(mut self, mask: &'a mut [u8]) -> Self {
+        self.ddt_mask = Some(mask);
+        self
     }
 
     /// Simulation time of the step being solved.
@@ -374,6 +415,10 @@ impl<'a> StampContext<'a> {
         };
         self.new_states[slot] = value;
         self.new_states[slot + 1] = derivative;
+        if let Some(mask) = self.ddt_mask.as_deref_mut() {
+            mask[slot] = DDT_VALUE_SLOT;
+            mask[slot + 1] = DDT_DERIVATIVE_SLOT;
+        }
         Differential { derivative, gain }
     }
 

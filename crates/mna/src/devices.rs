@@ -306,6 +306,10 @@ impl Device for VoltageSource {
     fn breakpoints(&self, t_stop: f64, out: &mut Vec<f64>) {
         self.waveform.breakpoints(t_stop, out);
     }
+
+    fn excitation_period(&self) -> Option<f64> {
+        self.waveform.period()
+    }
 }
 
 /// Independent current source driven by a [`Waveform`]; the current flows out
@@ -347,6 +351,10 @@ impl Device for CurrentSource {
 
     fn breakpoints(&self, t_stop: f64, out: &mut Vec<f64>) {
         self.waveform.breakpoints(t_stop, out);
+    }
+
+    fn excitation_period(&self) -> Option<f64> {
+        self.waveform.period()
     }
 }
 
@@ -612,6 +620,11 @@ impl Device for TimedSwitch {
                 out.push(t);
             }
         }
+    }
+
+    fn excitation_period(&self) -> Option<f64> {
+        // One-shot switching events never repeat: no periodic steady state.
+        None
     }
 }
 

@@ -67,6 +67,7 @@
 pub mod circuit;
 pub mod device;
 pub mod devices;
+pub mod shooting;
 pub mod transient;
 pub mod waveform;
 

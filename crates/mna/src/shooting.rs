@@ -1,0 +1,1011 @@
+//! Shooting-Newton periodic steady-state (PSS) analysis.
+//!
+//! Every point on the paper's charging characteristic clamps the storage
+//! voltage and asks for the **periodic steady state** of the clamped circuit
+//! under its sinusoidal vibration — brute force reaches it by integrating
+//! dozens of settle cycles until the start-up transient has died out. This
+//! module solves for the steady state directly, SPICE-PSS style:
+//!
+//! 1. integrate a short warm-up (a few excitation periods) to land inside the
+//!    Newton basin;
+//! 2. integrate **one** period `T` while propagating the forward sensitivity
+//!    `S_k = ∂x_k/∂x_0` through every accepted step — the per-step solves
+//!    reuse the step's already-factored Newton Jacobian, and the dynamic
+//!    stamp matrices are extracted from two Jacobian assemblies at `h` and
+//!    `2h` (see [`harvester_numerics::monodromy`] for the recursion);
+//! 3. Newton-update the period-start state through the monodromy matrix
+//!    `M = S_N`: solve `(I − M)·Δx₀ = x(T) − x(0)` and repeat from 2 until
+//!    the orbit closes to tolerance.
+//!
+//! A damped physical circuit typically closes in a handful of iterations —
+//! each costing one period — where settling costs tens of periods, and the
+//! converged period *is* the measurement window: cycle averages taken over
+//! it need no settling margin at all.
+//!
+//! # Scope and fallback
+//!
+//! The engine requires a `T`-periodic excitation: every device must report a
+//! commensurate [`Device::excitation_period`](crate::device::Device::excitation_period)
+//! (sources delegate to [`Waveform::period`](crate::waveform::Waveform::period)).
+//! Aperiodic circuits are refused with [`MnaError::InvalidOptions`]. The
+//! sensitivity recursion further assumes that devices interact with their
+//! integration history only through
+//! [`StampContext::ddt`](crate::device::StampContext::ddt) and use the
+//! resulting derivatives linearly — true for every physical device in this
+//! workspace. Shooting can also stall (`converged == false` in the
+//! [`SteadyStateResult`]) near non-smooth operating regions, e.g. the
+//! peak-detection knee of a multiplier where the orbit's dependence on its
+//! start state is nearly neutral; callers such as the envelope simulator
+//! then **fall back to brute-force settling**, so shooting is an
+//! acceleration, never a correctness risk.
+//!
+//! # Example
+//!
+//! ```
+//! use harvester_mna::circuit::Circuit;
+//! use harvester_mna::devices::{Capacitor, Resistor, VoltageSource};
+//! use harvester_mna::shooting::{SteadyStateAnalysis, SteadyStateOptions};
+//! use harvester_mna::waveform::Waveform;
+//!
+//! # fn main() -> Result<(), harvester_mna::MnaError> {
+//! let mut circuit = Circuit::new();
+//! let vin = circuit.node("in");
+//! let out = circuit.node("out");
+//! circuit.add(VoltageSource::new("V", vin, Circuit::GROUND, Waveform::sine(1.0, 1000.0)));
+//! circuit.add(Resistor::new("R", vin, out, 1e3));
+//! circuit.add(Capacitor::new("C", out, Circuit::GROUND, 1e-7));
+//!
+//! let mut options = SteadyStateOptions::new(1e-3); // one 1 kHz period
+//! options.transient.dt = 1e-5;
+//! let pss = SteadyStateAnalysis::new(options).run(&circuit)?;
+//! assert!(pss.converged);
+//! // The recorded trace is exactly one periodic excitation cycle.
+//! assert!(pss.result.statistics().integrated_cycles < 10);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::circuit::Circuit;
+use crate::device::DDT_VALUE_SLOT;
+use crate::transient::{
+    assemble_system, assemble_system_masked, IntegrationMethod, RunStatistics, StepControl,
+    TransientAnalysis, TransientOptions, TransientResult, TransientWorkspace,
+};
+use crate::MnaError;
+use harvester_numerics::linalg::norm_inf;
+use harvester_numerics::monodromy::{shooting_update, MonodromyAccumulator};
+
+/// Options of a [`SteadyStateAnalysis`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SteadyStateOptions {
+    /// The excitation period `T` in seconds: the analysis solves
+    /// `x(t + T) = x(t)`. Every device must be `T`-periodic (or
+    /// time-invariant); sub-harmonics `T/k` are fine.
+    pub period: f64,
+    /// Excitation periods integrated before the first closure iterate, so
+    /// Newton starts inside its basin. At least
+    /// one (enforced by validation): the very first transient step uses the
+    /// backward-Euler start-up companion model, which the sensitivity
+    /// recursion must never see mid-period.
+    pub warmup_cycles: f64,
+    /// Largest number of shooting-Newton updates before the analysis gives
+    /// up and reports `converged == false`.
+    pub max_iterations: usize,
+    /// Weighted closure tolerance: the orbit is converged when
+    /// `max_i |x_i(T) − x_i(0)| / (1 + max(|x_i(T)|, |x_i(0)|))` drops below
+    /// this.
+    pub tolerance: f64,
+    /// Transient settings of the in-period integration: `dt` is the nominal
+    /// step (rounded so an integer number of steps spans the period
+    /// exactly), and `method`, `backend` and the Newton tolerances apply as
+    /// usual. `t_stop`, `record_interval` and `step_control` are managed by
+    /// the shooting engine (periods are integrated on a fixed step — the
+    /// sensitivity chain and the exact period landing both want the uniform
+    /// grid).
+    pub transient: TransientOptions,
+    /// Continuation: start from the workspace's current solution and device
+    /// states instead of resetting to the circuit's initial conditions. The
+    /// workspace must hold the *end state of a previous run on the same
+    /// layout* whose period-boundary phase matches this run's (any state
+    /// saved at an integer number of excitation periods qualifies). This is
+    /// how the envelope simulator chains its storage-voltage grid: the
+    /// converged orbit of one clamp voltage is an excellent Newton start for
+    /// the next, which tames operating points whose cold-started closure
+    /// Newton would stall in the strongly nonlinear pump-charging regime.
+    /// Only honoured by [`SteadyStateAnalysis::run_with`]; a fresh
+    /// [`SteadyStateAnalysis::run`] always cold-starts.
+    pub warm_start: bool,
+}
+
+impl SteadyStateOptions {
+    /// Default number of warm-up periods.
+    pub const DEFAULT_WARMUP_CYCLES: f64 = 4.0;
+    /// Default shooting-Newton iteration budget.
+    pub const DEFAULT_MAX_ITERATIONS: usize = 12;
+    /// Default weighted closure tolerance.
+    pub const DEFAULT_TOLERANCE: f64 = 1e-6;
+
+    /// Engine-recommended options for an excitation period of `period`
+    /// seconds (customise the public fields afterwards).
+    pub fn new(period: f64) -> Self {
+        SteadyStateOptions {
+            period,
+            warmup_cycles: Self::DEFAULT_WARMUP_CYCLES,
+            max_iterations: Self::DEFAULT_MAX_ITERATIONS,
+            tolerance: Self::DEFAULT_TOLERANCE,
+            transient: TransientOptions::default(),
+            warm_start: false,
+        }
+    }
+}
+
+/// Fewest fixed steps the engine places across one period, whatever the
+/// requested `dt`: below this the trapezoidal orbit is too coarse for the
+/// closure tolerance to mean anything.
+const MIN_STEPS_PER_PERIOD: usize = 16;
+
+/// Shooting updates larger than this multiple of `1 + ‖x₀‖∞` are scaled
+/// down: a near-neutral monodromy direction can request an absurd jump, and
+/// a damped step keeps Newton inside the basin it warmed up into.
+const UPDATE_DAMPING: f64 = 4.0;
+
+/// Smallest back-tracking fraction of a Newton step before the line search
+/// concedes that the closure cannot be improved along this direction and the
+/// analysis reports non-convergence (→ brute-force fallback at the caller).
+const MIN_STEP_SCALE: f64 = 1.0 / 64.0;
+
+/// Outcome of a periodic steady-state analysis.
+#[derive(Debug, Clone)]
+pub struct SteadyStateResult {
+    /// The last **fully integrated** excitation period, recorded at every
+    /// fixed step (absolute simulation times; the first sample is the
+    /// period-start state). When `converged`, this *is* the periodic steady
+    /// state — cycle averages over it need no settling margin; when the
+    /// final iteration broke down mid-period, only the period-start sample
+    /// remains (never a misleading fraction of a period). Its
+    /// [`TransientResult::statistics`] carry the work counters of the whole
+    /// analysis, including
+    /// [`RunStatistics::integrated_cycles`] and
+    /// [`RunStatistics::shooting_iterations`].
+    pub result: TransientResult,
+    /// Whether the orbit closed to tolerance within the iteration budget.
+    /// When `false`, `result` still holds the best available period, but
+    /// callers should fall back to brute-force settling.
+    pub converged: bool,
+    /// Shooting-Newton updates applied.
+    pub iterations: usize,
+    /// Weighted closure error of the returned period.
+    pub closure_error: f64,
+}
+
+impl SteadyStateResult {
+    /// Work counters of the whole analysis (warm-up plus every shooting
+    /// iteration).
+    pub fn statistics(&self) -> RunStatistics {
+        self.result.statistics()
+    }
+}
+
+/// The shooting-Newton periodic steady-state driver. See the
+/// [module docs](self) for the method.
+#[derive(Debug, Clone)]
+pub struct SteadyStateAnalysis {
+    options: SteadyStateOptions,
+}
+
+impl SteadyStateAnalysis {
+    /// Creates an analysis with the given options.
+    pub fn new(options: SteadyStateOptions) -> Self {
+        SteadyStateAnalysis { options }
+    }
+
+    /// The analysis options.
+    pub fn options(&self) -> &SteadyStateOptions {
+        &self.options
+    }
+
+    /// Returns `true` when every device of `circuit` is periodic with (a
+    /// divisor of) the configured period — the structural precondition
+    /// [`SteadyStateAnalysis::run`] enforces.
+    pub fn supports(&self, circuit: &Circuit) -> bool {
+        incompatible_device(circuit, self.options.period).is_none()
+    }
+
+    fn validate(&self) -> Result<(), MnaError> {
+        let o = &self.options;
+        if o.period <= 0.0 || !o.period.is_finite() {
+            return Err(MnaError::InvalidOptions(format!(
+                "shooting period must be positive and finite, got {}",
+                o.period
+            )));
+        }
+        if o.warmup_cycles < 1.0 || !o.warmup_cycles.is_finite() {
+            return Err(MnaError::InvalidOptions(format!(
+                "shooting warmup_cycles must be at least 1 (the start-up step's \
+                 backward-Euler companion model must stay out of the sensitivity \
+                 chain), got {}",
+                o.warmup_cycles
+            )));
+        }
+        if o.max_iterations == 0 {
+            return Err(MnaError::InvalidOptions(
+                "shooting max_iterations must be at least 1".to_string(),
+            ));
+        }
+        if o.tolerance <= 0.0 || !o.tolerance.is_finite() {
+            return Err(MnaError::InvalidOptions(format!(
+                "shooting tolerance must be positive and finite, got {}",
+                o.tolerance
+            )));
+        }
+        if o.transient.dt <= 0.0 || !o.transient.dt.is_finite() {
+            return Err(MnaError::InvalidOptions(format!(
+                "shooting transient dt must be positive and finite, got {}",
+                o.transient.dt
+            )));
+        }
+        Ok(())
+    }
+
+    /// Runs the analysis with a freshly built workspace.
+    ///
+    /// # Errors
+    ///
+    /// [`MnaError::InvalidOptions`] for nonsensical options or an aperiodic
+    /// circuit, [`MnaError::InvalidNetlist`] for an empty circuit, and
+    /// [`MnaError::StepFailed`] / [`MnaError::Numerics`] when the *warm-up*
+    /// integration breaks down (the circuit cannot simulate at all). A
+    /// breakdown during a shooting iteration — usually the closure Newton's
+    /// own over-reached start state — is treated like any other stall: the
+    /// result comes back with `converged == false` and its work counters
+    /// intact, so callers account the attempt before falling back.
+    pub fn run(&self, circuit: &Circuit) -> Result<SteadyStateResult, MnaError> {
+        self.validate()?;
+        let transient = self.effective_transient();
+        let mut workspace = TransientWorkspace::for_circuit(circuit, &transient)?;
+        let mut cold = self.clone();
+        cold.options.warm_start = false;
+        cold.run_with(circuit, &mut workspace)
+    }
+
+    /// Runs the analysis reusing an existing workspace (the envelope
+    /// simulator's per-worker buffers). The workspace must
+    /// [`fit`](TransientWorkspace::fits) the circuit under the effective
+    /// transient options (same layout and resolved backend).
+    ///
+    /// # Errors
+    ///
+    /// As [`SteadyStateAnalysis::run`], plus [`MnaError::InvalidOptions`]
+    /// for a mismatched workspace.
+    pub fn run_with(
+        &self,
+        circuit: &Circuit,
+        ws: &mut TransientWorkspace,
+    ) -> Result<SteadyStateResult, MnaError> {
+        self.validate()?;
+        let opts = &self.options;
+        if let Some(conflict) = incompatible_device(circuit, opts.period) {
+            return Err(MnaError::InvalidOptions(conflict));
+        }
+        let (steps, dt) = self.period_grid();
+        let transient = self.effective_transient();
+        let analysis = TransientAnalysis::new(transient);
+        if !ws.fits(circuit, analysis.options()) {
+            return Err(MnaError::InvalidOptions(
+                "workspace does not fit this circuit under the shooting engine's \
+                 transient options (layout, backend or sparsity pattern mismatch)"
+                    .to_string(),
+            ));
+        }
+        if self.options.warm_start {
+            // Continuation: keep the caller's solution and device states,
+            // clearing only the recording buffers (the committed `ddt`
+            // histories are phase-consistent by the option's contract).
+            ws.times.clear();
+            ws.history.clear();
+        } else {
+            ws.reset(circuit);
+        }
+        let mut stats = RunStatistics::default();
+        let n = ws.unknown_count();
+        let warmup = opts.warmup_cycles.ceil() as usize;
+        let mut first_step = true;
+
+        // Warm-up: plain fixed-step marching into the Newton basin. Nothing
+        // is recorded and no sensitivity is propagated.
+        for k in 0..warmup * steps {
+            let t_from = k as f64 * dt;
+            let t_to = (k + 1) as f64 * dt;
+            self.advance_interval(
+                circuit,
+                &analysis,
+                ws,
+                t_from,
+                t_to,
+                &mut first_step,
+                &mut stats,
+                None,
+            )?;
+        }
+        stats.integrated_cycles += warmup;
+
+        // Every shooting iteration re-integrates the same absolute window
+        // [t_a, t_a + T] (the sources are T-periodic, so the map is the same
+        // each time and the uniform grid never drifts).
+        let t_anchor = (warmup * steps) as f64 * dt;
+        let mut acc = MonodromyAccumulator::new(n);
+        // Which state slots are ddt-managed previous *values*: those are
+        // re-derived from the solution vector whenever a shooting update
+        // restarts the period from a new x0 (the integration history lives
+        // in the device states, not in x — overwriting x alone would leave
+        // the dynamics anchored to the old trajectory). Derivative slots and
+        // any other device state are carried unchanged.
+        let mut ddt_mask = vec![0u8; ws.layout.total_states];
+        assemble_system_masked(
+            circuit,
+            &ws.layout,
+            self.options.transient.method,
+            t_anchor,
+            dt,
+            false,
+            &ws.x,
+            &ws.states,
+            &mut ws.new_states,
+            &mut ws.residual,
+            &mut ws.jacobian,
+            Some(&mut ddt_mask),
+        );
+
+        let mut x0 = vec![0.0; n];
+        let mut closure = vec![0.0; n];
+        // Damped-Newton line-search state (Deuflhard's natural monotonicity):
+        // the accepted period-start iterate, the damped Newton step computed
+        // there and that step's length. A trial iterate is accepted when its
+        // own Newton step is no longer than the base's — the affine-invariant
+        // "estimated distance to the solution", which stays meaningful even
+        // when `(I − M)` is ill-conditioned and the raw closure norm is not a
+        // faithful merit function. Thanks to the backward-Euler period
+        // restart the one-period map is a pure function of the start vector,
+        // so backtracking simply re-launches from `base_x0 + scale·delta`.
+        let mut base_x0 = vec![0.0; n];
+        let mut delta = vec![0.0; n];
+        let mut base_step_norm = f64::INFINITY;
+        let mut have_base = false;
+        let mut step_scale = 1.0f64;
+        let mut iterations = 0usize;
+        let mut converged = false;
+        let mut closure_error = f64::INFINITY;
+
+        'newton: for attempt in 0..=opts.max_iterations {
+            x0.copy_from_slice(&ws.x);
+            ws.times.clear();
+            ws.history.clear();
+            ws.times.push(t_anchor);
+            ws.history.extend_from_slice(&ws.x);
+            self.seed_sensitivity(circuit, ws, &mut acc, t_anchor, dt);
+            // Every period opens with the engine's backward-Euler start-up
+            // companion step (first_step = true): it ignores the derivative
+            // history, so a restart — which can only re-derive the *value*
+            // states for its new x₀ — never injects a derivative-
+            // inconsistency transient into the orbit it is trying to close,
+            // and the one-period map becomes a function of x₀ alone. The
+            // sensitivity chain accounts for the BE step exactly (see
+            // `advance_interval`); the O(h²) local error of one BE step per
+            // period is far below the closure tolerance.
+            let mut period_first = true;
+            for k in 0..steps {
+                let t_from = t_anchor + k as f64 * dt;
+                let t_to = t_anchor + (k + 1) as f64 * dt;
+                if let Err(error) = self.advance_interval(
+                    circuit,
+                    &analysis,
+                    ws,
+                    t_from,
+                    t_to,
+                    &mut period_first,
+                    &mut stats,
+                    Some(&mut acc),
+                ) {
+                    match error {
+                        // A breakdown mid-iteration is usually the closure
+                        // Newton's own doing (an over-reached start state
+                        // driving the diodes somewhere hopeless), and the
+                        // warm-up already proved the circuit integrates:
+                        // report a stall — with the work counters intact —
+                        // so the caller falls back to settling instead of
+                        // losing the attempt's accounting to an error path.
+                        MnaError::StepFailed { .. } | MnaError::Numerics(_) => {
+                            // Discard the partial-period fragment so the
+                            // returned trace is never mistaken for a full
+                            // period (only the period-start sample remains).
+                            ws.times.truncate(1);
+                            ws.history.truncate(n);
+                            break 'newton;
+                        }
+                        other => return Err(other),
+                    }
+                }
+                ws.times.push(t_to);
+                ws.history.extend_from_slice(&ws.x);
+            }
+            stats.integrated_cycles += 1;
+
+            closure_error = weighted_closure_error(&x0, &ws.x);
+            if closure_error <= opts.tolerance {
+                converged = true;
+                break;
+            }
+            if attempt == opts.max_iterations {
+                break;
+            }
+
+            for (c, (after, before)) in closure.iter_mut().zip(ws.x.iter().zip(x0.iter())) {
+                *c = after - before;
+            }
+            let accepted = match shooting_update(acc.monodromy(), &closure) {
+                Ok(update) => {
+                    let limit = UPDATE_DAMPING * (1.0 + norm_inf(&x0));
+                    let magnitude = norm_inf(&update);
+                    let clamp = if magnitude > limit {
+                        limit / magnitude
+                    } else {
+                        1.0
+                    };
+                    let step_norm = magnitude.min(limit);
+                    if magnitude.is_finite() && (!have_base || step_norm <= base_step_norm) {
+                        for (d, u) in delta.iter_mut().zip(update.iter()) {
+                            *d = clamp * u;
+                        }
+                        base_x0.copy_from_slice(&x0);
+                        base_step_norm = step_norm;
+                        have_base = true;
+                        step_scale = 1.0;
+                        true
+                    } else {
+                        false
+                    }
+                }
+                // A (numerically) singular `I − M` at a trial point is a
+                // rejection, not a verdict: the search backtracks towards
+                // the base, where the update was solvable.
+                Err(_) => false,
+            };
+            if !accepted {
+                if !have_base {
+                    // Not even the first iterate yields a Newton direction:
+                    // the orbit is neutrally stable at this discretisation
+                    // and shooting cannot improve on settling. Report
+                    // non-convergence so the caller falls back.
+                    break;
+                }
+                step_scale *= 0.5;
+                if step_scale < MIN_STEP_SCALE {
+                    break;
+                }
+            }
+            for (x, (start, d)) in ws.x.iter_mut().zip(base_x0.iter().zip(delta.iter())) {
+                *x = start + step_scale * d;
+            }
+            self.refresh_value_states(circuit, ws, &ddt_mask, t_anchor, dt);
+            iterations += 1;
+            stats.shooting_iterations += 1;
+        }
+
+        let result = TransientResult::from_recorded(ws, circuit, stats);
+        Ok(SteadyStateResult {
+            result,
+            converged,
+            iterations,
+            closure_error,
+        })
+    }
+
+    /// The fixed period grid: `steps` uniform steps of size `dt` spanning
+    /// the period exactly.
+    fn period_grid(&self) -> (usize, f64) {
+        let period = self.options.period;
+        let steps =
+            ((period / self.options.transient.dt).round() as usize).max(MIN_STEPS_PER_PERIOD);
+        (steps, period / steps as f64)
+    }
+
+    /// The transient options the in-period integrations actually run under.
+    fn effective_transient(&self) -> TransientOptions {
+        let (steps, dt) = self.period_grid();
+        let cycles = self.options.warmup_cycles.ceil() + self.options.max_iterations as f64 + 2.0;
+        TransientOptions {
+            t_stop: cycles * steps as f64 * dt,
+            dt,
+            record_interval: None,
+            step_control: StepControl::Fixed,
+            min_dt: self.options.transient.min_dt.min(dt),
+            ..self.options.transient
+        }
+    }
+
+    /// Marches the committed solution from `t_from` to `t_to` on the fixed
+    /// grid, halving within the interval on Newton failure (the same
+    /// recovery as the fixed-step transient loop). With `sensitivity`, every
+    /// committed sub-step also advances the monodromy chain: the converged
+    /// step Jacobian is factored once, the dynamic stamp matrix `W` is
+    /// extracted from assemblies at `h` and `2h`, and one factored solve per
+    /// unknown propagates `∂x/∂x₀`.
+    #[allow(clippy::too_many_arguments)]
+    fn advance_interval(
+        &self,
+        circuit: &Circuit,
+        analysis: &TransientAnalysis,
+        ws: &mut TransientWorkspace,
+        t_from: f64,
+        t_to: f64,
+        first_step: &mut bool,
+        stats: &mut RunStatistics,
+        mut sensitivity: Option<&mut MonodromyAccumulator>,
+    ) -> Result<(), MnaError> {
+        let opts = analysis.options();
+        let nominal = t_to - t_from;
+        let mut t = t_from;
+        let mut h = nominal;
+        while t < t_to - 1e-9 * nominal {
+            let remaining = t_to - t;
+            let step = if remaining < 1.5 * h { remaining } else { h };
+            let t_next = if step == remaining { t_to } else { t + step };
+            ws.candidate.copy_from_slice(&ws.x);
+            let was_first = *first_step;
+            let attempt = analysis.attempt_step(circuit, ws, t_next, step, was_first, stats);
+            if !attempt.converged {
+                stats.rejected_steps += 1;
+                h = step * 0.5;
+                if h < opts.min_dt {
+                    return Err(MnaError::StepFailed {
+                        time: t_next,
+                        dt: h,
+                        residual: attempt.residual,
+                    });
+                }
+                continue;
+            }
+            if let Some(acc) = sensitivity.as_deref_mut() {
+                // `attempt_step` leaves the Jacobian assembled at the
+                // accepted solution with step size `step`; factor it for the
+                // sensitivity solves and capture its `2h`-scaled copy before
+                // the second assembly overwrites the storage.
+                if !ws.jacobian.factor(stats) {
+                    return Err(MnaError::Numerics(
+                        harvester_numerics::NumericsError::SingularMatrix {
+                            column: 0,
+                            pivot: 0.0,
+                        },
+                    ));
+                }
+                // Commit before the extraction assemblies: they scribble
+                // over `new_states`, which must be banked first (the
+                // Jacobian itself does not depend on the states).
+                ws.states.copy_from_slice(&ws.new_states);
+                ws.x.copy_from_slice(&ws.candidate);
+                // The W matrices are always extracted at trapezoidal gains
+                // (`W = 2·B·E`, from assemblies at `h` and `2h` whose static
+                // parts cancel). A backward-Euler start-up step consumes
+                // `(1/h)·B·E = W/(2h)` and commits a memory-free derivative
+                // `q = (v − p)/h`, which is exactly the trapezoidal-memory-
+                // free recursion at an effective step of `2h`. Its in-place
+                // Jacobian carries *BE* gains, so both extraction
+                // assemblies must be redone at trapezoidal gains
+                // (`first = false`) instead of reusing it.
+                let trapezoidal = opts.method == IntegrationMethod::Trapezoidal;
+                let be_startup = was_first && trapezoidal;
+                acc.w_mut().fill_zero();
+                if be_startup {
+                    assemble_system(
+                        circuit,
+                        &ws.layout,
+                        opts.method,
+                        t_next,
+                        step,
+                        false,
+                        &ws.x,
+                        &ws.states,
+                        &mut ws.new_states,
+                        &mut ws.residual,
+                        &mut ws.jacobian,
+                    );
+                }
+                ws.jacobian.accumulate_scaled(2.0 * step, acc.w_mut());
+                assemble_system(
+                    circuit,
+                    &ws.layout,
+                    opts.method,
+                    t_next,
+                    2.0 * step,
+                    false,
+                    &ws.x,
+                    &ws.states,
+                    &mut ws.new_states,
+                    &mut ws.residual,
+                    &mut ws.jacobian,
+                );
+                ws.jacobian.accumulate_scaled(-2.0 * step, acc.w_mut());
+                let h_eff = if be_startup { 2.0 * step } else { step };
+                acc.advance_step(h_eff, trapezoidal && !was_first, |rhs, out| {
+                    ws.jacobian.solve_factored(rhs, out)
+                })
+                .map_err(MnaError::Numerics)?;
+                stats.linear_solves += ws.layout.n;
+            } else {
+                ws.states.copy_from_slice(&ws.new_states);
+                ws.x.copy_from_slice(&ws.candidate);
+            }
+            t = t_next;
+            *first_step = false;
+            stats.accepted_steps += 1;
+            if h < nominal {
+                h = (h * 2.0).min(nominal);
+            }
+        }
+        Ok(())
+    }
+
+    /// Extracts the dynamic stamp matrix at the current committed state and
+    /// seeds the sensitivity chain for a fresh period (`S = I`, `P = 0`).
+    fn seed_sensitivity(
+        &self,
+        circuit: &Circuit,
+        ws: &mut TransientWorkspace,
+        acc: &mut MonodromyAccumulator,
+        t: f64,
+        dt: f64,
+    ) {
+        let method = self.options.transient.method;
+        for (scale, h) in [(2.0 * dt, dt), (-2.0 * dt, 2.0 * dt)] {
+            assemble_system(
+                circuit,
+                &ws.layout,
+                method,
+                t,
+                h,
+                false,
+                &ws.x,
+                &ws.states,
+                &mut ws.new_states,
+                &mut ws.residual,
+                &mut ws.jacobian,
+            );
+            if scale > 0.0 {
+                acc.w_mut().fill_zero();
+            }
+            ws.jacobian.accumulate_scaled(scale, acc.w_mut());
+        }
+        acc.seed();
+    }
+}
+
+impl SteadyStateAnalysis {
+    /// Re-derives the ddt-managed previous-*value* state slots from the
+    /// current solution vector `ws.x` — the state-consistency half of a
+    /// shooting restart. A plain assembly writes every differentiated
+    /// quantity's value at `ws.x` into `new_states`; the slots flagged in
+    /// `ddt_mask` are committed, while derivative slots (and any other
+    /// device state) keep their period-end values: they are slaved to the
+    /// near-periodic trajectory, converge along with it, and enter the
+    /// Newton model as frozen parameters.
+    fn refresh_value_states(
+        &self,
+        circuit: &Circuit,
+        ws: &mut TransientWorkspace,
+        ddt_mask: &[u8],
+        t: f64,
+        dt: f64,
+    ) {
+        assemble_system(
+            circuit,
+            &ws.layout,
+            self.options.transient.method,
+            t,
+            dt,
+            false,
+            &ws.x,
+            &ws.states,
+            &mut ws.new_states,
+            &mut ws.residual,
+            &mut ws.jacobian,
+        );
+        for (slot, &kind) in ddt_mask.iter().enumerate() {
+            if kind == DDT_VALUE_SLOT {
+                ws.states[slot] = ws.new_states[slot];
+            }
+        }
+    }
+}
+
+/// Weighted infinity-norm closure error between the period-start and
+/// period-end states.
+fn weighted_closure_error(x0: &[f64], xt: &[f64]) -> f64 {
+    x0.iter()
+        .zip(xt.iter())
+        .map(|(a, b)| (b - a).abs() / (1.0 + a.abs().max(b.abs())))
+        .fold(0.0f64, f64::max)
+}
+
+/// Returns a human-readable conflict if any device of `circuit` cannot be
+/// periodic with `period` (aperiodic, or an incommensurate own period).
+fn incompatible_device(circuit: &Circuit, period: f64) -> Option<String> {
+    for device in circuit.devices() {
+        match device.excitation_period() {
+            None => {
+                return Some(format!(
+                    "device '{}' has aperiodic time dependence: the circuit has no \
+                     periodic steady state",
+                    device.name()
+                ));
+            }
+            Some(p) if p <= 0.0 => {}
+            Some(p) => {
+                let ratio = period / p;
+                let commensurate =
+                    ratio >= 0.5 && (ratio - ratio.round()).abs() <= 1e-6 * ratio.max(1.0);
+                if !commensurate {
+                    return Some(format!(
+                        "device '{}' repeats every {p:.6e} s, which does not divide the \
+                         requested steady-state period {period:.6e} s",
+                        device.name()
+                    ));
+                }
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::Circuit;
+    use crate::devices::{Capacitor, Diode, Resistor, TimedSwitch, VoltageSource};
+    use crate::waveform::Waveform;
+    use harvester_numerics::stats::mean;
+
+    fn rc_sine(
+        r: f64,
+        c: f64,
+        amplitude: f64,
+        frequency: f64,
+    ) -> (Circuit, crate::circuit::NodeId) {
+        let mut circuit = Circuit::new();
+        let vin = circuit.node("in");
+        let out = circuit.node("out");
+        circuit.add(VoltageSource::new(
+            "V",
+            vin,
+            Circuit::GROUND,
+            Waveform::sine(amplitude, frequency),
+        ));
+        circuit.add(Resistor::new("R", vin, out, r));
+        circuit.add(Capacitor::new("C", out, Circuit::GROUND, c));
+        (circuit, out)
+    }
+
+    fn rectifier() -> (Circuit, crate::circuit::NodeId) {
+        let mut circuit = Circuit::new();
+        let vin = circuit.node("in");
+        let out = circuit.node("out");
+        circuit.add(VoltageSource::new(
+            "V",
+            vin,
+            Circuit::GROUND,
+            Waveform::sine(3.0, 1000.0),
+        ));
+        circuit.add(Diode::new("D", vin, out));
+        circuit.add(Capacitor::new("C", out, Circuit::GROUND, 4.7e-7));
+        circuit.add(Resistor::new("Rload", out, Circuit::GROUND, 10e3));
+        (circuit, out)
+    }
+
+    fn options(period: f64, dt: f64) -> SteadyStateOptions {
+        let mut options = SteadyStateOptions::new(period);
+        options.transient.dt = dt;
+        options
+    }
+
+    #[test]
+    fn linear_rc_closes_in_one_newton_update() {
+        // The discrete one-period map of a linear circuit is affine, so a
+        // single monodromy-based update must land on the fixed point (up to
+        // solver roundoff) — the sharpest end-to-end check of the
+        // sensitivity chain.
+        let (circuit, out) = rc_sine(1e3, 1e-6, 1.0, 1000.0);
+        let pss = SteadyStateAnalysis::new(options(1e-3, 5e-6))
+            .run(&circuit)
+            .unwrap();
+        assert!(pss.converged, "closure error {}", pss.closure_error);
+        assert!(
+            pss.iterations <= 2,
+            "a linear circuit must close in one (plus at most one cleanup) \
+             Newton update, took {}",
+            pss.iterations
+        );
+        assert!(pss.closure_error <= SteadyStateOptions::DEFAULT_TOLERANCE);
+        assert!(pss.statistics().shooting_iterations == pss.iterations);
+
+        // The converged period must match the analytic sinusoidal steady
+        // state v(t) = A·sin(ωt − φ)/√(1 + (ωRC)²) to discretisation error.
+        let omega = 2.0 * std::f64::consts::PI * 1000.0;
+        let tau = 1e3 * 1e-6;
+        let gain = 1.0 / (1.0 + (omega * tau).powi(2)).sqrt();
+        let phase = (omega * tau).atan();
+        let voltages = pss.result.voltage(out);
+        for (&t, v) in pss.result.times().iter().zip(voltages) {
+            let exact = gain * (omega * t - phase).sin();
+            assert!(
+                (v - exact).abs() < 6e-3,
+                "periodic trace must track the analytic steady state at t={t}: {v} vs {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn rectifier_steady_state_matches_brute_force_settling() {
+        let (circuit, out) = rectifier();
+        let pss = SteadyStateAnalysis::new(options(1e-3, 1e-5))
+            .run(&circuit)
+            .unwrap();
+        assert!(pss.converged, "closure error {}", pss.closure_error);
+
+        // Brute force: integrate 40 periods and average the last five.
+        let brute = TransientAnalysis::new(TransientOptions {
+            t_stop: 40e-3,
+            dt: 1e-5,
+            ..TransientOptions::default()
+        })
+        .run(&circuit)
+        .unwrap();
+        let window = |result: &TransientResult, from: f64| -> f64 {
+            let samples: Vec<f64> = result
+                .times()
+                .iter()
+                .zip(result.voltage(out))
+                .filter(|(t, _)| **t > from)
+                .map(|(_, v)| v)
+                .collect();
+            mean(&samples)
+        };
+        let shooting_avg = window(&pss.result, pss.result.times()[0]);
+        let brute_avg = window(&brute, 35e-3);
+        assert!(
+            (shooting_avg - brute_avg).abs() < 2e-3 * brute_avg.abs().max(1.0),
+            "shooting steady state must reproduce the settled average: \
+             {shooting_avg} vs {brute_avg}"
+        );
+
+        // The whole point: far fewer integrated cycles than settling.
+        let cycles = pss.statistics().integrated_cycles;
+        assert!(
+            cycles < 12,
+            "shooting must need few excitation cycles, took {cycles}"
+        );
+    }
+
+    #[test]
+    fn aperiodic_devices_are_refused() {
+        let (mut circuit, _) = rc_sine(1e3, 1e-6, 1.0, 1000.0);
+        let a = circuit.node("in");
+        let b = circuit.node("out");
+        circuit.add(TimedSwitch::new("S", a, b, 0.5e-3, 2e-3));
+        let err = SteadyStateAnalysis::new(options(1e-3, 1e-5))
+            .run(&circuit)
+            .unwrap_err();
+        match err {
+            MnaError::InvalidOptions(msg) => assert!(msg.contains("aperiodic"), "{msg}"),
+            other => panic!("expected InvalidOptions, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn incommensurate_periods_are_refused_and_subharmonics_accepted() {
+        let (mut circuit, _) = rc_sine(1e3, 1e-6, 1.0, 1000.0);
+        let vin = circuit.node("in");
+        let mid = circuit.node("mid");
+        // A 2 kHz second source is a sub-harmonic of the 1 ms period: fine.
+        circuit.add(VoltageSource::new(
+            "V2",
+            mid,
+            Circuit::GROUND,
+            Waveform::sine(0.5, 2000.0),
+        ));
+        circuit.add(Resistor::new("R2", vin, mid, 1e3));
+        let analysis = SteadyStateAnalysis::new(options(1e-3, 1e-5));
+        assert!(analysis.supports(&circuit));
+        assert!(analysis.run(&circuit).unwrap().converged);
+        // A 333 Hz source is not commensurate with 1 ms.
+        let other = circuit.node("other");
+        circuit.add(VoltageSource::new(
+            "V3",
+            other,
+            Circuit::GROUND,
+            Waveform::sine(0.5, 333.0),
+        ));
+        assert!(!analysis.supports(&circuit));
+        assert!(matches!(
+            analysis.run(&circuit),
+            Err(MnaError::InvalidOptions(_))
+        ));
+    }
+
+    #[test]
+    fn invalid_options_are_rejected_with_actionable_messages() {
+        let (circuit, _) = rc_sine(1e3, 1e-6, 1.0, 1000.0);
+        for (mutate, needle) in [
+            (
+                Box::new(|o: &mut SteadyStateOptions| o.period = 0.0)
+                    as Box<dyn Fn(&mut SteadyStateOptions)>,
+                "period",
+            ),
+            (
+                Box::new(|o: &mut SteadyStateOptions| o.warmup_cycles = 0.0),
+                "warmup",
+            ),
+            (
+                Box::new(|o: &mut SteadyStateOptions| o.max_iterations = 0),
+                "max_iterations",
+            ),
+            (
+                Box::new(|o: &mut SteadyStateOptions| o.tolerance = -1.0),
+                "tolerance",
+            ),
+            (
+                Box::new(|o: &mut SteadyStateOptions| o.transient.dt = 0.0),
+                "dt",
+            ),
+        ] {
+            let mut o = options(1e-3, 1e-5);
+            mutate(&mut o);
+            match SteadyStateAnalysis::new(o).run(&circuit) {
+                Err(MnaError::InvalidOptions(msg)) => {
+                    assert!(msg.contains(needle), "message {msg:?} must name {needle}")
+                }
+                other => panic!("expected InvalidOptions naming {needle}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn workspace_reuse_reproduces_the_fresh_run_bit_for_bit() {
+        let (circuit, out) = rectifier();
+        let analysis = SteadyStateAnalysis::new(options(1e-3, 1e-5));
+        let fresh = analysis.run(&circuit).unwrap();
+        let mut ws =
+            TransientWorkspace::for_circuit(&circuit, &analysis.effective_transient()).unwrap();
+        let first = analysis.run_with(&circuit, &mut ws).unwrap();
+        let second = analysis.run_with(&circuit, &mut ws).unwrap();
+        assert_eq!(fresh.iterations, first.iterations);
+        assert_eq!(first.closure_error, second.closure_error);
+        for ((a, b), c) in fresh
+            .result
+            .voltage(out)
+            .iter()
+            .zip(first.result.voltage(out))
+            .zip(second.result.voltage(out))
+        {
+            assert_eq!(*a, b, "fresh vs reused workspace must agree bit-for-bit");
+            assert_eq!(b, c, "workspace reuse must be deterministic");
+        }
+    }
+
+    #[test]
+    fn tighter_tolerance_closes_the_orbit_tighter() {
+        let (circuit, _) = rectifier();
+        let mut loose = options(1e-3, 1e-5);
+        loose.tolerance = 1e-3;
+        let mut tight = options(1e-3, 1e-5);
+        tight.tolerance = 1e-9;
+        let loose = SteadyStateAnalysis::new(loose).run(&circuit).unwrap();
+        let tight = SteadyStateAnalysis::new(tight).run(&circuit).unwrap();
+        assert!(loose.converged && tight.converged);
+        assert!(
+            tight.closure_error <= loose.closure_error,
+            "tighter tolerance must not close the orbit worse: {} vs {}",
+            tight.closure_error,
+            loose.closure_error
+        );
+        assert!(tight.iterations >= loose.iterations);
+    }
+}

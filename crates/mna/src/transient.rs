@@ -292,11 +292,22 @@ pub struct RunStatistics {
     pub newton_iterations: usize,
     /// Total linear solves.
     pub linear_solves: usize,
-    /// Factorisations that redid the symbolic analysis / pivoting from
-    /// scratch. Every dense solve is a full factorisation; on the sparse
-    /// backend only the first factorisation (plus rare pivot-staleness
-    /// fallbacks) is, the rest are cheap pattern-reusing refactorisations.
+    /// Factorisations performed from a **cold start** — no usable factors
+    /// were cached, so the symbolic analysis (and, on the sparse backend,
+    /// the pivot-order search) ran from scratch. Every dense solve counts
+    /// here (dense LU has no symbolic reuse); on the sparse backend only the
+    /// first factorisation of a workspace does. Stale-pivot *recoveries* are
+    /// counted separately in [`RunStatistics::repivot_factorizations`].
     pub full_factorizations: usize,
+    /// Sparse factorisations that had usable factors but whose stored pivot
+    /// order went numerically stale, forcing a re-pivoting factorisation
+    /// (the [`SparseLu::update`](harvester_numerics::sparse::SparseLu::update)
+    /// recovery path). Split from
+    /// [`RunStatistics::full_factorizations`] because the two mean different
+    /// things in perf triage: a climbing cold-start count points at workspace
+    /// reuse being defeated, a climbing re-pivot count at numerically
+    /// volatile matrices. Always zero on the dense backend.
+    pub repivot_factorizations: usize,
     /// Steps that converged in Newton but were rejected (and retried
     /// smaller) because the estimated local truncation error exceeded the
     /// [`StepControl::Adaptive`] tolerances. Always zero under
@@ -307,6 +318,17 @@ pub struct RunStatistics {
     /// polynomial predictor of order ≥ 1 (i.e. at least two accepted states
     /// of history were available). Always zero under [`StepControl::Fixed`].
     pub predicted_steps: usize,
+    /// Shooting-Newton closure updates applied by the periodic steady-state
+    /// engine ([`crate::shooting::SteadyStateAnalysis`]). Zero for plain
+    /// transients.
+    pub shooting_iterations: usize,
+    /// Full excitation periods integrated in pursuit of a periodic steady
+    /// state: warm-up plus one per shooting iteration for the PSS engine,
+    /// and `settle + measure` cycles per measurement for brute-force
+    /// envelope settling (accounted by the envelope simulator). This is the
+    /// headline work metric of the shooting engine — the same cycle-averaged
+    /// measurement at a fraction of the integrated cycles.
+    pub integrated_cycles: usize,
 }
 
 impl RunStatistics {
@@ -319,18 +341,21 @@ impl RunStatistics {
         self.newton_iterations += other.newton_iterations;
         self.linear_solves += other.linear_solves;
         self.full_factorizations += other.full_factorizations;
+        self.repivot_factorizations += other.repivot_factorizations;
         self.lte_rejections += other.lte_rejections;
         self.predicted_steps += other.predicted_steps;
+        self.shooting_iterations += other.shooting_iterations;
+        self.integrated_cycles += other.integrated_cycles;
     }
 }
 
 /// Static layout of a circuit's global system: which global index each
 /// device's extra unknowns and state slots start at.
 #[derive(Debug, Clone)]
-struct SystemLayout {
+pub(crate) struct SystemLayout {
     node_unknowns: usize,
-    n: usize,
-    total_states: usize,
+    pub(crate) n: usize,
+    pub(crate) total_states: usize,
     extra_bases: Vec<usize>,
     state_bases: Vec<usize>,
     probes: HashMap<String, (usize, Vec<String>)>,
@@ -392,7 +417,7 @@ impl SystemLayout {
 /// Backend-specific Jacobian storage plus its (lazily created, then reused)
 /// factorisation.
 #[derive(Debug)]
-enum JacobianStorage {
+pub(crate) enum JacobianStorage {
     Dense {
         matrix: Matrix,
         factors: Option<LuFactors>,
@@ -404,18 +429,18 @@ enum JacobianStorage {
 }
 
 impl JacobianStorage {
-    fn fill_zero(&mut self) {
+    pub(crate) fn fill_zero(&mut self) {
         match self {
             JacobianStorage::Dense { matrix, .. } => matrix.fill_zero(),
             JacobianStorage::Sparse { matrix, .. } => matrix.fill_zero(),
         }
     }
 
-    /// Factors the assembled Jacobian and solves for the Newton update.
-    /// Returns `false` on a singular system (the step is then rejected and
-    /// halved by the caller).
-    fn solve(&mut self, rhs: &[f64], delta: &mut Vec<f64>, stats: &mut RunStatistics) -> bool {
-        let solved = match self {
+    /// Factors the currently assembled Jacobian into the cached factors,
+    /// updating the factorisation counters. Returns `false` on a singular
+    /// system.
+    pub(crate) fn factor(&mut self, stats: &mut RunStatistics) -> bool {
+        match self {
             JacobianStorage::Dense { matrix, factors } => {
                 let factored = match factors {
                     Some(f) => matrix.lu_into(f).is_ok(),
@@ -430,46 +455,86 @@ impl JacobianStorage {
                 if factored {
                     stats.full_factorizations += 1;
                 }
-                match (factored, factors) {
-                    (true, Some(f)) => f.solve_into(rhs, delta).is_ok(),
-                    _ => false,
-                }
+                factored
             }
-            JacobianStorage::Sparse { matrix, factors } => {
-                let factored = match factors {
-                    Some(f) => {
-                        // Cheap pattern-reusing refactorisation first; fall
-                        // back to a fresh pivoted factorisation if the stored
-                        // pivot order went numerically stale.
-                        f.refactor(matrix).is_ok()
-                            || match SparseLu::new(matrix) {
-                                Ok(fresh) => {
-                                    stats.full_factorizations += 1;
-                                    *f = fresh;
-                                    true
-                                }
-                                Err(_) => false,
+            JacobianStorage::Sparse { matrix, factors } => match factors {
+                Some(f) => {
+                    // Cheap pattern-reusing refactorisation first; recover
+                    // with a re-pivoting factorisation (what
+                    // `SparseLu::update` performs after a failed refactor)
+                    // if the stored pivot order went numerically stale.
+                    f.refactor(matrix).is_ok()
+                        || match SparseLu::new(matrix) {
+                            Ok(fresh) => {
+                                stats.repivot_factorizations += 1;
+                                *f = fresh;
+                                true
                             }
-                    }
-                    None => match SparseLu::new(matrix) {
-                        Ok(f) => {
-                            stats.full_factorizations += 1;
-                            *factors = Some(f);
-                            true
+                            Err(_) => false,
                         }
-                        Err(_) => false,
-                    },
-                };
-                match (factored, factors) {
-                    (true, Some(f)) => f.solve_into(rhs, delta).is_ok(),
-                    _ => false,
                 }
-            }
-        };
+                None => match SparseLu::new(matrix) {
+                    Ok(f) => {
+                        stats.full_factorizations += 1;
+                        *factors = Some(f);
+                        true
+                    }
+                    Err(_) => false,
+                },
+            },
+        }
+    }
+
+    /// Solves against the already-computed factors (no refactorisation).
+    /// Returns `false` if no factors are cached or the solve fails — the
+    /// sensitivity-propagation hook of the shooting engine, which performs
+    /// `n` back-substitutions per accepted step against one factorisation.
+    pub(crate) fn solve_factored(&self, rhs: &[f64], delta: &mut Vec<f64>) -> bool {
+        match self {
+            JacobianStorage::Dense {
+                factors: Some(f), ..
+            } => f.solve_into(rhs, delta).is_ok(),
+            JacobianStorage::Sparse {
+                factors: Some(f), ..
+            } => f.solve_into(rhs, delta).is_ok(),
+            _ => false,
+        }
+    }
+
+    /// Factors the assembled Jacobian and solves for the Newton update.
+    /// Returns `false` on a singular system (the step is then rejected and
+    /// halved by the caller).
+    fn solve(&mut self, rhs: &[f64], delta: &mut Vec<f64>, stats: &mut RunStatistics) -> bool {
+        let solved = self.factor(stats) && self.solve_factored(rhs, delta);
         if solved {
             stats.linear_solves += 1;
         }
         solved
+    }
+
+    /// Accumulates `alpha ×` the currently assembled Jacobian into a dense
+    /// matrix — the extraction primitive behind the shooting engine's
+    /// dynamic-stamp matrices (`W = 2h·J(h) − 2h·J(2h)`).
+    pub(crate) fn accumulate_scaled(&self, alpha: f64, out: &mut Matrix) {
+        match self {
+            JacobianStorage::Dense { matrix, .. } => {
+                for r in 0..matrix.rows() {
+                    for c in 0..matrix.cols() {
+                        let v = matrix[(r, c)];
+                        if v != 0.0 {
+                            out[(r, c)] += alpha * v;
+                        }
+                    }
+                }
+            }
+            JacobianStorage::Sparse { matrix, .. } => {
+                for (r, c, v) in matrix.entries() {
+                    if v != 0.0 {
+                        out[(r, c)] += alpha * v;
+                    }
+                }
+            }
+        }
     }
 }
 
@@ -512,18 +577,18 @@ impl JacobianStorage {
 /// ```
 #[derive(Debug)]
 pub struct TransientWorkspace {
-    layout: SystemLayout,
+    pub(crate) layout: SystemLayout,
     backend: SolverBackend,
-    jacobian: JacobianStorage,
-    residual: Vec<f64>,
+    pub(crate) jacobian: JacobianStorage,
+    pub(crate) residual: Vec<f64>,
     rhs: Vec<f64>,
     delta: Vec<f64>,
-    x: Vec<f64>,
-    candidate: Vec<f64>,
-    states: Vec<f64>,
-    new_states: Vec<f64>,
-    times: Vec<f64>,
-    history: Vec<f64>,
+    pub(crate) x: Vec<f64>,
+    pub(crate) candidate: Vec<f64>,
+    pub(crate) states: Vec<f64>,
+    pub(crate) new_states: Vec<f64>,
+    pub(crate) times: Vec<f64>,
+    pub(crate) history: Vec<f64>,
     /// Times of the predictor ring entries (oldest first, adaptive mode
     /// only; at most [`PREDICTOR_HISTORY`] entries).
     hist_times: Vec<f64>,
@@ -712,7 +777,7 @@ impl TransientWorkspace {
     }
 
     /// Resets the solution, device states and history for a fresh run.
-    fn reset(&mut self, circuit: &Circuit) {
+    pub(crate) fn reset(&mut self, circuit: &Circuit) {
         self.x.iter_mut().for_each(|v| *v = 0.0);
         self.candidate.iter_mut().for_each(|v| *v = 0.0);
         self.states.iter_mut().for_each(|v| *v = 0.0);
@@ -748,7 +813,7 @@ impl TransientWorkspace {
 /// Assembles the residual and Jacobian for one Newton iterate by stamping
 /// every device.
 #[allow(clippy::too_many_arguments)]
-fn assemble_system(
+pub(crate) fn assemble_system(
     circuit: &Circuit,
     layout: &SystemLayout,
     method: IntegrationMethod,
@@ -760,6 +825,30 @@ fn assemble_system(
     new_states: &mut [f64],
     residual: &mut [f64],
     jacobian: &mut JacobianStorage,
+) {
+    assemble_system_masked(
+        circuit, layout, method, time, dt, first, x, states, new_states, residual, jacobian, None,
+    );
+}
+
+/// As [`assemble_system`], optionally recording which state slots each
+/// device's `ddt` calls manage into `ddt_mask` (length
+/// `layout.total_states`) — the layout probe behind the shooting engine's
+/// period restarts.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn assemble_system_masked(
+    circuit: &Circuit,
+    layout: &SystemLayout,
+    method: IntegrationMethod,
+    time: f64,
+    dt: f64,
+    first: bool,
+    x: &[f64],
+    states: &[f64],
+    new_states: &mut [f64],
+    residual: &mut [f64],
+    jacobian: &mut JacobianStorage,
+    mut ddt_mask: Option<&mut [u8]>,
 ) {
     for r in residual.iter_mut() {
         *r = 0.0;
@@ -797,6 +886,11 @@ fn assemble_system(
             extra_base,
             first,
         );
+        if count > 0 {
+            if let Some(mask) = ddt_mask.as_deref_mut() {
+                ctx = ctx.with_ddt_mask(&mut mask[state_base..state_base + count]);
+            }
+        }
         device.stamp(&mut ctx);
     }
 }
@@ -927,14 +1021,7 @@ impl TransientAnalysis {
             } => self.march_adaptive(circuit, ws, &mut stats, reltol, abstol, max_dt)?,
         }
 
-        Ok(TransientResult {
-            times: std::mem::take(&mut ws.times),
-            samples: std::mem::take(&mut ws.history),
-            unknowns: ws.layout.n,
-            node_names: circuit.node_names().to_vec(),
-            probes: ws.layout.probes.clone(),
-            statistics: stats,
-        })
+        Ok(TransientResult::from_recorded(ws, circuit, stats))
     }
 
     /// Damped Newton solve of one candidate step ending at `t_next`.
@@ -943,7 +1030,7 @@ impl TransientAnalysis {
     /// under fixed stepping, the polynomial prediction under adaptive
     /// stepping) and on success holds the converged solution, with
     /// `ws.new_states` refreshed at it; the caller decides whether to commit.
-    fn attempt_step(
+    pub(crate) fn attempt_step(
         &self,
         circuit: &Circuit,
         ws: &mut TransientWorkspace,
@@ -1442,10 +1529,10 @@ impl TransientAnalysis {
 }
 
 /// Outcome of one Newton attempt at a candidate step.
-struct StepAttempt {
-    converged: bool,
-    iterations: usize,
-    residual: f64,
+pub(crate) struct StepAttempt {
+    pub(crate) converged: bool,
+    pub(crate) iterations: usize,
+    pub(crate) residual: f64,
 }
 
 /// Safety factor of the LTE step-size controller (the classic 0.9: aim
@@ -1501,6 +1588,23 @@ pub struct TransientResult {
 }
 
 impl TransientResult {
+    /// Packages the samples recorded in `ws` (consumed by `mem::take`) into
+    /// a result — shared by the transient driver and the shooting engine.
+    pub(crate) fn from_recorded(
+        ws: &mut TransientWorkspace,
+        circuit: &Circuit,
+        statistics: RunStatistics,
+    ) -> Self {
+        TransientResult {
+            times: std::mem::take(&mut ws.times),
+            samples: std::mem::take(&mut ws.history),
+            unknowns: ws.layout.n,
+            node_names: circuit.node_names().to_vec(),
+            probes: ws.layout.probes.clone(),
+            statistics,
+        }
+    }
+
     /// Recorded sample times (the first sample is the all-zero initial state
     /// at `t = 0`).
     pub fn times(&self) -> &[f64] {
@@ -2224,8 +2328,11 @@ mod tests {
             newton_iterations: 3,
             linear_solves: 4,
             full_factorizations: 5,
+            repivot_factorizations: 8,
             lte_rejections: 6,
             predicted_steps: 7,
+            shooting_iterations: 9,
+            integrated_cycles: 10,
         };
         let mut b = a;
         b.merge(&a);
@@ -2234,8 +2341,11 @@ mod tests {
         assert_eq!(b.newton_iterations, 6);
         assert_eq!(b.linear_solves, 8);
         assert_eq!(b.full_factorizations, 10);
+        assert_eq!(b.repivot_factorizations, 16);
         assert_eq!(b.lte_rejections, 12);
         assert_eq!(b.predicted_steps, 14);
+        assert_eq!(b.shooting_iterations, 18);
+        assert_eq!(b.integrated_cycles, 20);
     }
 
     #[test]

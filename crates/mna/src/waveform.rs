@@ -204,6 +204,62 @@ impl Waveform {
         }
     }
 
+    /// The waveform's periodicity, as seen by the periodic steady-state
+    /// (shooting) engine:
+    ///
+    /// * `Some(0.0)` — constant: compatible with **any** excitation period
+    ///   (DC, a zero-amplitude sine, a flat PWL, a pulse with `low == high`).
+    /// * `Some(T)` — periodic with period `T` seconds from `t = 0` (an
+    ///   undelayed sine, an undelayed repeating pulse train).
+    /// * `None` — aperiodic (a one-shot pulse, a non-constant PWL) **or
+    ///   periodic only after a start-up delay** (a delayed sine or pulse
+    ///   train): nothing guarantees the shooting engine's warm-up carries
+    ///   the integration past the delay, so a delayed source must not be
+    ///   advertised as periodic — the engine refuses the circuit and
+    ///   callers fall back to settling, which is always correct.
+    pub fn period(&self) -> Option<f64> {
+        match self {
+            Waveform::Dc(_) => Some(0.0),
+            Waveform::Sine {
+                amplitude,
+                frequency_hz,
+                delay,
+                ..
+            } => {
+                if *amplitude == 0.0 || *frequency_hz == 0.0 {
+                    Some(0.0)
+                } else if *frequency_hz > 0.0 && *delay == 0.0 {
+                    Some(1.0 / frequency_hz)
+                } else {
+                    None
+                }
+            }
+            Waveform::Pulse {
+                low,
+                high,
+                period,
+                delay,
+                ..
+            } => {
+                if low == high {
+                    Some(0.0)
+                } else if *period > 0.0 && *delay == 0.0 {
+                    Some(*period)
+                } else {
+                    None
+                }
+            }
+            Waveform::Pwl(points) => {
+                let constant = points.windows(2).all(|w| w[0].1 == w[1].1);
+                if constant {
+                    Some(0.0)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
     /// Peak absolute value the waveform can attain (used by diagnostics to
     /// scale convergence tolerances).
     pub fn peak(&self) -> f64 {
@@ -362,5 +418,71 @@ mod tests {
     fn pwl_reports_its_corners_inside_the_window() {
         let w = Waveform::Pwl(vec![(0.0, 0.0), (1.0, 10.0), (2.0, -10.0), (5.0, 0.0)]);
         assert_eq!(collected_breakpoints(&w, 3.0), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn period_classifies_constant_periodic_and_aperiodic_waveforms() {
+        // Constant: DC, zero-amplitude sine, flat PWL, flat pulse.
+        assert_eq!(Waveform::dc(3.3).period(), Some(0.0));
+        assert_eq!(Waveform::sine(0.0, 50.0).period(), Some(0.0));
+        assert_eq!(
+            Waveform::Pwl(vec![(0.0, 2.0), (1.0, 2.0)]).period(),
+            Some(0.0)
+        );
+        assert_eq!(Waveform::Pwl(vec![]).period(), Some(0.0));
+        let flat_pulse = Waveform::Pulse {
+            low: 1.0,
+            high: 1.0,
+            delay: 0.0,
+            rise: 0.1,
+            fall: 0.1,
+            width: 0.5,
+            period: 2.0,
+        };
+        assert_eq!(flat_pulse.period(), Some(0.0));
+        // Periodic: undelayed sine and undelayed repeating pulse trains.
+        assert_eq!(Waveform::sine(2.0, 50.0).period(), Some(0.02));
+        let train = Waveform::Pulse {
+            low: 0.0,
+            high: 5.0,
+            delay: 0.0,
+            rise: 1.0,
+            fall: 1.0,
+            width: 2.0,
+            period: 10.0,
+        };
+        assert_eq!(train.period(), Some(10.0));
+        // Delayed periodic sources are refused: the shooting warm-up is not
+        // guaranteed to carry the integration past the start-up delay.
+        let delayed = Waveform::Sine {
+            offset: 1.0,
+            amplitude: 2.0,
+            frequency_hz: 10.0,
+            phase_rad: 0.3,
+            delay: 1.0,
+        };
+        assert_eq!(delayed.period(), None);
+        let delayed_train = Waveform::Pulse {
+            low: 0.0,
+            high: 5.0,
+            delay: 1.0,
+            rise: 1.0,
+            fall: 1.0,
+            width: 2.0,
+            period: 10.0,
+        };
+        assert_eq!(delayed_train.period(), None);
+        // Aperiodic: one-shot pulse, non-constant PWL.
+        let one_shot = Waveform::Pulse {
+            low: 0.0,
+            high: 5.0,
+            delay: 1.0,
+            rise: 1.0,
+            fall: 1.0,
+            width: 2.0,
+            period: 0.0,
+        };
+        assert_eq!(one_shot.period(), None);
+        assert_eq!(Waveform::Pwl(vec![(0.0, 0.0), (1.0, 1.0)]).period(), None);
     }
 }

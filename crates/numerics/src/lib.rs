@@ -47,6 +47,7 @@
 pub mod extrap;
 pub mod interp;
 pub mod linalg;
+pub mod monodromy;
 pub mod newton;
 pub mod ode;
 pub mod roots;

@@ -93,6 +93,17 @@ impl Matrix {
         }
     }
 
+    /// Copies every entry of `src` into this matrix without reallocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrices have different shapes.
+    pub fn copy_from(&mut self, src: &Matrix) {
+        assert_eq!(self.rows, src.rows, "row count mismatch");
+        assert_eq!(self.cols, src.cols, "column count mismatch");
+        self.data.copy_from_slice(&src.data);
+    }
+
     /// Adds `value` to the entry at `(row, col)` (the "stamping" primitive
     /// used by modified nodal analysis).
     ///

@@ -1,0 +1,332 @@
+//! Monodromy-matrix accumulation and the dense shooting-Newton update.
+//!
+//! A shooting method for periodic steady state integrates one excitation
+//! period `T` of a discretised DAE and asks for closure: `x(T) = x(0)`.
+//! Newton's method on the closure residual needs the **monodromy matrix**
+//! `M = ∂x(T)/∂x(0)`, which for a companion-model time stepper is obtained by
+//! chaining one sensitivity solve per accepted time step against the step's
+//! already-factored Newton Jacobian.
+//!
+//! # The recursion
+//!
+//! With companion differentiation (`ddt` in the MNA kernel), the residual of
+//! step `k` depends on the previous accepted solution only through each
+//! differentiated value's history `p_j = v_j(x_{k−1})` and, for the
+//! trapezoidal rule, the previous derivative `q_j`:
+//!
+//! ```text
+//! d_j = (α/h)·(v_j(x_k) − p_j) − β·q_j       α = 1, β = 0  (backward Euler)
+//!                                            α = 2, β = 1  (trapezoidal)
+//! ```
+//!
+//! Writing `b_j = ∂F/∂d_j` (constant for physical devices: derivatives enter
+//! residuals linearly) and `W(x) = Σ_j α·b_j·∇v_j(x)ᵀ` — the *dynamic stamp
+//! matrix*, recoverable from two Jacobian assemblies at different step sizes
+//! because `J(x, h) = G'(x) + W(x)/h` — the per-step sensitivities
+//! `S_k = ∂x_k/∂x_0` and the trapezoidal memory term `P_k = Σ_j b_j·∂q_j/∂x_0`
+//! obey
+//!
+//! ```text
+//! J_k·S_k = (1/h)·W_{k−1}·S_{k−1} + β·P_{k−1}          (one solve per column)
+//! P_k     = (1/h)·W_k·S_k − RHS_k
+//! ```
+//!
+//! starting from `S_0 = I`, `P_0 = 0`. After a full period `M = S_N`, and the
+//! shooting update solves `(I − M)·Δx_0 = x(T) − x(0)`.
+//!
+//! This module owns the dense bookkeeping; the caller supplies the `W`
+//! matrices (extracted from its Jacobian assemblies) and a per-column linear
+//! solve against its factored step Jacobian.
+
+use crate::linalg::Matrix;
+use crate::NumericsError;
+
+/// Dense per-step sensitivity state of a shooting integration: the running
+/// monodromy factor `S_k = ∂x_k/∂x_0`, the trapezoidal memory term `P_k` and
+/// the dynamic stamp matrices `W` of the two most recent accepted points.
+///
+/// Usage per period: fill [`MonodromyAccumulator::w_mut`] with `W(x_0)` and
+/// call [`MonodromyAccumulator::seed`], then after every accepted step fill
+/// `w_mut` with `W(x_k)` and call [`MonodromyAccumulator::advance_step`].
+/// When the period is complete, [`MonodromyAccumulator::monodromy`] is
+/// `∂x(T)/∂x(0)`.
+#[derive(Debug, Clone)]
+pub struct MonodromyAccumulator {
+    n: usize,
+    /// `S_k = ∂x_k/∂x_0`.
+    sensitivity: Matrix,
+    /// `P_k = Σ_j b_j·∂q_j/∂x_0` (trapezoidal derivative-state memory).
+    memory: Matrix,
+    /// Scratch for the per-step right-hand side `(1/h)·W_{k−1}·S_{k−1} + β·P`.
+    rhs: Matrix,
+    /// `W` at the previously accepted point (`x_{k−1}`).
+    w_prev: Matrix,
+    /// `W` at the newly accepted point (`x_k`); filled by the caller.
+    w_curr: Matrix,
+    col: Vec<f64>,
+    sol: Vec<f64>,
+}
+
+impl MonodromyAccumulator {
+    /// Creates an accumulator for an `n`-unknown system.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "sensitivity system must have at least one unknown");
+        MonodromyAccumulator {
+            n,
+            sensitivity: Matrix::identity(n),
+            memory: Matrix::zeros(n, n),
+            rhs: Matrix::zeros(n, n),
+            w_prev: Matrix::zeros(n, n),
+            w_curr: Matrix::zeros(n, n),
+            col: vec![0.0; n],
+            sol: Vec::with_capacity(n),
+        }
+    }
+
+    /// System size the accumulator was built for.
+    pub fn dimension(&self) -> usize {
+        self.n
+    }
+
+    /// The dynamic stamp matrix of the *newest* accepted point, for the
+    /// caller to fill (typically: zero it, add `2h·J(h)`, subtract
+    /// `2h·J(2h)`) before [`MonodromyAccumulator::seed`] or
+    /// [`MonodromyAccumulator::advance_step`].
+    pub fn w_mut(&mut self) -> &mut Matrix {
+        &mut self.w_curr
+    }
+
+    /// Starts a fresh period at the point whose `W` the caller just wrote
+    /// through [`MonodromyAccumulator::w_mut`]: resets `S` to the identity,
+    /// clears the memory term and installs that `W` as the previous-point
+    /// stamp matrix.
+    pub fn seed(&mut self) {
+        for i in 0..self.n {
+            for j in 0..self.n {
+                self.sensitivity[(i, j)] = if i == j { 1.0 } else { 0.0 };
+            }
+        }
+        self.memory.fill_zero();
+        std::mem::swap(&mut self.w_prev, &mut self.w_curr);
+    }
+
+    /// Advances the sensitivity across one accepted step of size `h`, whose
+    /// converged Jacobian the caller exposes through `solve` (a factored
+    /// linear solve `J_k·x = b`; returns `false` on failure). `w_mut` must
+    /// already hold `W` at the newly accepted point; `trapezoidal_memory`
+    /// selects β = 1 (trapezoidal) or β = 0 (backward Euler).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::InvalidArgument`] for a non-positive step and
+    /// [`NumericsError::SingularMatrix`] when `solve` reports failure.
+    pub fn advance_step<F>(
+        &mut self,
+        h: f64,
+        trapezoidal_memory: bool,
+        mut solve: F,
+    ) -> Result<(), NumericsError>
+    where
+        F: FnMut(&[f64], &mut Vec<f64>) -> bool,
+    {
+        if h <= 0.0 || !h.is_finite() {
+            return Err(NumericsError::InvalidArgument(format!(
+                "sensitivity step size must be positive and finite, got {h}"
+            )));
+        }
+        let n = self.n;
+        // RHS_k = (1/h)·W_{k−1}·S_{k−1} (+ P_{k−1} under the trapezoidal rule).
+        if trapezoidal_memory {
+            self.rhs.copy_from(&self.memory);
+        } else {
+            self.rhs.fill_zero();
+        }
+        mat_mul_acc(1.0 / h, &self.w_prev, &self.sensitivity, &mut self.rhs);
+        // One factored solve per column: J_k·S_k[:, c] = RHS[:, c]. The old
+        // S is fully consumed by the RHS product above, so the solutions can
+        // overwrite it in place.
+        for c in 0..n {
+            for r in 0..n {
+                self.col[r] = self.rhs[(r, c)];
+            }
+            if !solve(&self.col, &mut self.sol) || self.sol.len() != n {
+                return Err(NumericsError::SingularMatrix {
+                    column: c,
+                    pivot: 0.0,
+                });
+            }
+            for r in 0..n {
+                self.sensitivity[(r, c)] = self.sol[r];
+            }
+        }
+        // P_k = (1/h)·W_k·S_k − RHS_k.
+        for i in 0..n {
+            for j in 0..n {
+                self.memory[(i, j)] = -self.rhs[(i, j)];
+            }
+        }
+        mat_mul_acc(1.0 / h, &self.w_curr, &self.sensitivity, &mut self.memory);
+        std::mem::swap(&mut self.w_prev, &mut self.w_curr);
+        Ok(())
+    }
+
+    /// The accumulated sensitivity `S_k = ∂x_k/∂x_0` — the monodromy matrix
+    /// once a full period has been advanced.
+    pub fn monodromy(&self) -> &Matrix {
+        &self.sensitivity
+    }
+}
+
+/// `out += alpha·a·b`, skipping zero entries of `a` — the dynamic stamp
+/// matrices are extremely sparse (one row per differentiated quantity), so
+/// the triple loop degenerates to `nnz(a)·n` work.
+fn mat_mul_acc(alpha: f64, a: &Matrix, b: &Matrix, out: &mut Matrix) {
+    let n = a.rows();
+    for i in 0..n {
+        for k in 0..n {
+            let w = a[(i, k)];
+            if w == 0.0 {
+                continue;
+            }
+            let scale = alpha * w;
+            for j in 0..n {
+                out[(i, j)] += scale * b[(k, j)];
+            }
+        }
+    }
+}
+
+/// Solves the shooting-Newton update `(I − M)·Δx₀ = x(T) − x(0)` for the
+/// correction `Δx₀` to the period-start state.
+///
+/// # Errors
+///
+/// Returns [`NumericsError::SingularMatrix`] when `I − M` is (numerically)
+/// singular — the periodic orbit is neutrally stable at this discretisation
+/// and shooting cannot improve on plain settling — and
+/// [`NumericsError::DimensionMismatch`] for inconsistent shapes.
+pub fn shooting_update(monodromy: &Matrix, closure: &[f64]) -> Result<Vec<f64>, NumericsError> {
+    let n = monodromy.rows();
+    if !monodromy.is_square() || closure.len() != n {
+        return Err(NumericsError::DimensionMismatch {
+            expected: format!("{n}x{n} monodromy with a length-{n} closure residual"),
+            found: format!(
+                "{}x{} matrix with a length-{} residual",
+                monodromy.rows(),
+                monodromy.cols(),
+                closure.len()
+            ),
+        });
+    }
+    let mut a = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..n {
+            a[(i, j)] = -monodromy[(i, j)];
+        }
+        a[(i, i)] += 1.0;
+    }
+    a.lu()?.solve(closure)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Scalar backward-Euler model problem `dx/dt = λx`: the step equation is
+    /// `(x_k − x_{k−1})/h − λ·x_k = 0`, so `J = 1/h − λ`, `W = 1`, and the
+    /// per-step sensitivity must equal the BE amplification `1/(1 − λh)`.
+    #[test]
+    fn scalar_backward_euler_amplification_is_reproduced() {
+        let lambda = -3.0;
+        let h = 0.1;
+        let jac = 1.0 / h - lambda;
+        let mut acc = MonodromyAccumulator::new(1);
+        acc.w_mut()[(0, 0)] = 1.0;
+        acc.seed();
+        let mut m = 1.0;
+        for _ in 0..5 {
+            acc.w_mut()[(0, 0)] = 1.0;
+            acc.advance_step(h, false, |b, x| {
+                x.clear();
+                x.push(b[0] / jac);
+                true
+            })
+            .unwrap();
+            m /= 1.0 - lambda * h;
+        }
+        assert!((acc.monodromy()[(0, 0)] - m).abs() < 1e-12 * m.abs());
+    }
+
+    /// Scalar trapezoidal model problem `dx/dt = λx`: with the period-start
+    /// derivative state frozen (`P₀ = 0`, the shooting restart semantics),
+    /// the first step's sensitivity is `(2/h)/(2/h − λ)` and every later
+    /// step contributes the classical amplification
+    /// `(1 + λh/2)/(1 − λh/2)` — the memory recursion must reproduce the
+    /// product exactly.
+    #[test]
+    fn scalar_trapezoidal_amplification_is_reproduced() {
+        let lambda = -3.0;
+        let h = 0.1;
+        // Step equation: 2(x_k − x_{k−1})/h − q_{k−1} − λ·x_k = 0 with
+        // q_k = 2(x_k − x_{k−1})/h − q_{k−1}; J = 2/h − λ, W = 2 (α = 2).
+        let jac = 2.0 / h - lambda;
+        let mut acc = MonodromyAccumulator::new(1);
+        acc.w_mut()[(0, 0)] = 2.0;
+        acc.seed();
+        let amp = (1.0 + lambda * h / 2.0) / (1.0 - lambda * h / 2.0);
+        let mut m = 1.0;
+        for k in 0..7 {
+            acc.w_mut()[(0, 0)] = 2.0;
+            acc.advance_step(h, true, |b, x| {
+                x.clear();
+                x.push(b[0] / jac);
+                true
+            })
+            .unwrap();
+            m *= if k == 0 { (2.0 / h) / jac } else { amp };
+        }
+        assert!(
+            (acc.monodromy()[(0, 0)] - m).abs() < 1e-12,
+            "trapezoidal monodromy {} must match the frozen-memory product {}",
+            acc.monodromy()[(0, 0)],
+            m
+        );
+    }
+
+    #[test]
+    fn shooting_update_solves_the_closure_system() {
+        // M = diag(0.5, -1): (I − M) = diag(0.5, 2).
+        let mut m = Matrix::zeros(2, 2);
+        m[(0, 0)] = 0.5;
+        m[(1, 1)] = -1.0;
+        let delta = shooting_update(&m, &[1.0, 4.0]).unwrap();
+        assert!((delta[0] - 2.0).abs() < 1e-14);
+        assert!((delta[1] - 2.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn shooting_update_reports_neutral_orbits_as_singular() {
+        let m = Matrix::identity(3);
+        assert!(matches!(
+            shooting_update(&m, &[1.0, 0.0, 0.0]),
+            Err(NumericsError::SingularMatrix { .. })
+        ));
+        assert!(matches!(
+            shooting_update(&Matrix::identity(2), &[1.0]),
+            Err(NumericsError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn failed_sensitivity_solve_is_reported() {
+        let mut acc = MonodromyAccumulator::new(2);
+        acc.seed();
+        let err = acc.advance_step(0.1, false, |_, _| false).unwrap_err();
+        assert!(matches!(err, NumericsError::SingularMatrix { .. }));
+        assert!(acc.advance_step(-1.0, false, |_, _| true).is_err());
+    }
+}

@@ -41,6 +41,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 output_points: 100,
                 backend: Default::default(),
                 step_control: StepControl::adaptive_averaging(),
+                steady_state: Default::default(),
             },
         }
     };

@@ -19,7 +19,7 @@ use energy_harvester::experiments::{
     run_cpu_split, run_fig10, run_optimisation, table1, table2_paper, CpuTimeOptions,
     FitnessBudget, OptimisationOptions,
 };
-use energy_harvester::models::envelope::EnvelopeOptions;
+use energy_harvester::models::envelope::{EnvelopeOptions, EnvelopeSimulator, SteadyState};
 use energy_harvester::models::HarvesterConfig;
 use energy_harvester::models::StepControl;
 use energy_harvester::optim::GaOptions;
@@ -93,6 +93,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             output_points: 120,
             backend: Default::default(),
             step_control: StepControl::adaptive_averaging(),
+            steady_state: Default::default(),
         }
     };
     println!();
@@ -110,6 +111,39 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "efficiency loss (Eq. 9): un-optimised {:.1} %, optimised {:.1} %",
         100.0 * fig10.unoptimised_efficiency_loss,
         100.0 * fig10.optimised_efficiency_loss
+    );
+
+    println!();
+    println!("=== Periodic steady state: shooting vs brute-force settling ===");
+    // One charging-characteristic measurement of the un-optimised design,
+    // once with brute-force settling and once with the shooting-Newton
+    // engine: same measured currents, a fraction of the integrated
+    // excitation cycles. This is the speed-up every fitness evaluation in
+    // the GA loop above inherits (it compounds with the parallel evaluator
+    // and the adaptive time stepper).
+    let pss_envelope = harvester_bench::pss_acceptance_envelope(SteadyState::BruteForce);
+    let brute = EnvelopeSimulator::new(base.clone(), pss_envelope).measure_characteristic()?;
+    let shooting = EnvelopeSimulator::new(
+        base.clone(),
+        EnvelopeOptions {
+            steady_state: SteadyState::default(),
+            ..pss_envelope
+        },
+    )
+    .measure_characteristic()?;
+    let (bs, ss) = (brute.statistics(), shooting.statistics());
+    println!(
+        "brute-force settling: {} integrated excitation cycles, {} Newton iterations",
+        bs.integrated_cycles, bs.newton_iterations
+    );
+    println!(
+        "shooting-Newton PSS:  {} integrated excitation cycles, {} Newton iterations \
+         ({} closure updates)",
+        ss.integrated_cycles, ss.newton_iterations, ss.shooting_iterations
+    );
+    println!(
+        "shooting integrates {:.1}x fewer cycles per charging characteristic",
+        bs.integrated_cycles as f64 / ss.integrated_cycles as f64
     );
 
     println!();

@@ -20,6 +20,10 @@ fn documented_reexport_paths_resolve() {
     let _evaluator = energy_harvester::optim::ParallelEvaluator::serial();
     let _sweep = energy_harvester::experiments::SweepOptions::coarse();
     let _workspace = energy_harvester::models::EnvelopeWorkspace::new();
+    // The periodic steady-state (shooting) engine.
+    let _steady_state = energy_harvester::models::SteadyState::shooting();
+    let _pss_options = energy_harvester::mna::shooting::SteadyStateOptions::new(1e-3);
+    let _monodromy = energy_harvester::numerics::monodromy::MonodromyAccumulator::new(2);
 }
 
 /// `encode` → `decode` reproduces the Table 1 design: the baseline genes lie

@@ -82,6 +82,7 @@ fn envelope_matches_detailed_simulation_on_a_short_scenario() {
             output_points: 60,
             backend: Default::default(),
             step_control: Default::default(),
+            steady_state: Default::default(),
         },
     );
     let v_envelope = envelope.charge_curve().unwrap().final_voltage();
