@@ -164,6 +164,7 @@ fn envelope_options(step_control: StepControl) -> EnvelopeOptions {
         // This bench isolates the time-stepper: both modes march the full
         // settle window (the PSS engine has its own bench).
         steady_state: SteadyState::BruteForce,
+        ..EnvelopeOptions::default()
     }
 }
 

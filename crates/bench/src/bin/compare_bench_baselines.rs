@@ -1,22 +1,39 @@
-//! Non-blocking benchmark regression check.
+//! Blocking benchmark regression gate.
 //!
 //! Compares freshly produced `BENCH_*.json` artefacts against the committed
-//! snapshots under `bench/baselines/` and prints a warning for every shared
-//! metric that regressed beyond a tolerance. The check never fails the build
-//! (hardware differences make wall-clock noisy and the work counters shift
-//! legitimately with algorithm changes); it exists so a perf regression is
-//! *visible* in the job summary, not silent.
+//! snapshots under `bench/baselines/` and **exits non-zero** when any shared
+//! metric regressed beyond tolerance, so CI can gate merges on the perf
+//! trajectory. Two escape hatches keep the gate honest instead of annoying:
 //!
-//! Usage: `compare_bench_baselines [baseline_dir] [fresh_dir]`
+//! * `--tolerance <fraction>` widens every per-metric slack to at least the
+//!   given fraction (default `0.25`, i.e. a 25 % regression fails the gate;
+//!   per-metric slacks that are already wider — wall clock, for one — keep
+//!   their wider value);
+//! * a `[bench-skip]` marker in the commit message makes CI skip the gate
+//!   step entirely (see `.github/workflows/ci.yml`) for changes that move
+//!   work counters legitimately, together with a baseline refresh.
+//!
+//! `--write` replaces the comparison with a baseline refresh: every fresh
+//! `BENCH_*.json` found in the fresh directory is copied over the committed
+//! snapshot (see `bench/README.md` for the workflow).
+//!
+//! Usage:
+//!
+//! ```text
+//! compare_bench_baselines [--tolerance 0.25] [--write] [baseline_dir] [fresh_dir]
+//! ```
+//!
 //! (defaults: `bench/baselines` and the current directory).
 
 use harvester_bench::report::{parse_bench_json, ParsedBench};
 use std::fmt::Write as _;
 use std::path::Path;
+use std::process::ExitCode;
 
 /// Metrics where a larger fresh value means a regression, with the relative
-/// slack allowed before a warning is printed. Wall clock gets a generous
-/// margin (different machines); deterministic work counters a tight one.
+/// slack allowed before the gate trips. Wall clock gets a generous margin
+/// (different machines); deterministic work counters a tight one. The
+/// `--tolerance` floor is applied on top (`max(slack, tolerance)`).
 const LOWER_IS_BETTER: &[(&str, f64)] = &[
     ("wall_seconds", 0.50),
     ("accepted_steps", 0.10),
@@ -29,6 +46,7 @@ const LOWER_IS_BETTER: &[(&str, f64)] = &[
     ("integrated_cycles", 0.10),
     ("shooting_iterations", 0.25),
     ("worst_deviation_amperes", 1.0),
+    ("worst_deviation_volts", 1.0),
 ];
 
 /// Metrics where a smaller fresh value means a regression.
@@ -37,7 +55,12 @@ const HIGHER_IS_BETTER: &[(&str, f64)] = &[
     ("cycle_reduction", 0.10),
     ("sparse_speedup", 0.50),
     ("wall_speedup", 0.50),
+    ("solve_reduction", 0.10),
 ];
+
+/// Default `--tolerance`: the widest regression any metric may show before
+/// the gate trips, unless its per-metric slack is wider still.
+const DEFAULT_TOLERANCE: f64 = 0.25;
 
 fn load(path: &Path) -> Option<ParsedBench> {
     let text = std::fs::read_to_string(path).ok()?;
@@ -50,20 +73,131 @@ fn load(path: &Path) -> Option<ParsedBench> {
     }
 }
 
-fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let baseline_dir = args.get(1).map(String::as_str).unwrap_or("bench/baselines");
-    let fresh_dir = args.get(2).map(String::as_str).unwrap_or(".");
+/// Fresh `BENCH_*.json` names found in `fresh_dir`.
+fn fresh_artefacts(fresh_dir: &str) -> Vec<String> {
+    let mut names: Vec<String> = std::fs::read_dir(fresh_dir)
+        .map(|entries| {
+            entries
+                .flatten()
+                .map(|e| e.file_name().to_string_lossy().to_string())
+                .filter(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+                .collect()
+        })
+        .unwrap_or_default();
+    names.sort();
+    names
+}
+
+/// `--write`: copy every fresh artefact over the committed snapshot.
+fn write_baselines(baseline_dir: &str, fresh_dir: &str) -> ExitCode {
+    let names = fresh_artefacts(fresh_dir);
+    if names.is_empty() {
+        println!("--write: no fresh BENCH_*.json in {fresh_dir}; run the benches first");
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = std::fs::create_dir_all(baseline_dir) {
+        println!("--write: cannot create {baseline_dir}: {e}");
+        return ExitCode::FAILURE;
+    }
+    for name in &names {
+        let from = Path::new(fresh_dir).join(name);
+        let to = Path::new(baseline_dir).join(name);
+        match std::fs::copy(&from, &to) {
+            Ok(_) => println!("refreshed {}", to.display()),
+            Err(e) => {
+                println!(
+                    "--write: cannot copy {} -> {}: {e}",
+                    from.display(),
+                    to.display()
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    println!("--write: {} baseline(s) refreshed", names.len());
+    ExitCode::SUCCESS
+}
+
+struct Options {
+    baseline_dir: String,
+    fresh_dir: String,
+    tolerance: f64,
+    write: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut options = Options {
+        baseline_dir: "bench/baselines".to_string(),
+        fresh_dir: ".".to_string(),
+        tolerance: DEFAULT_TOLERANCE,
+        write: false,
+    };
+    let mut positional = 0usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--write" => options.write = true,
+            "--tolerance" => {
+                let value = args
+                    .next()
+                    .ok_or_else(|| "--tolerance needs a value".to_string())?;
+                let parsed: f64 = value
+                    .parse()
+                    .map_err(|_| format!("--tolerance: not a number: {value}"))?;
+                if !parsed.is_finite() || parsed < 0.0 {
+                    return Err(format!(
+                        "--tolerance must be a non-negative fraction, got {parsed}"
+                    ));
+                }
+                options.tolerance = parsed;
+            }
+            "--help" | "-h" => {
+                return Err(
+                    "usage: compare_bench_baselines [--tolerance 0.25] [--write] \
+                     [baseline_dir] [fresh_dir]"
+                        .to_string(),
+                );
+            }
+            other if other.starts_with("--") => {
+                return Err(format!("unknown flag {other} (see --help)"));
+            }
+            other => {
+                match positional {
+                    0 => options.baseline_dir = other.to_string(),
+                    1 => options.fresh_dir = other.to_string(),
+                    _ => return Err(format!("unexpected extra argument {other}")),
+                }
+                positional += 1;
+            }
+        }
+    }
+    Ok(options)
+}
+
+fn main() -> ExitCode {
+    let options = match parse_args() {
+        Ok(options) => options,
+        Err(message) => {
+            println!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if options.write {
+        return write_baselines(&options.baseline_dir, &options.fresh_dir);
+    }
 
     let mut summary = String::new();
-    let mut warnings = 0usize;
+    let mut regressions = 0usize;
     let mut compared = 0usize;
 
-    let entries = match std::fs::read_dir(baseline_dir) {
+    let entries = match std::fs::read_dir(&options.baseline_dir) {
         Ok(entries) => entries,
         Err(e) => {
-            println!("no baseline directory {baseline_dir}: {e} (nothing to compare)");
-            return;
+            println!(
+                "no baseline directory {}: {e} (nothing to compare)",
+                options.baseline_dir
+            );
+            return ExitCode::SUCCESS;
         }
     };
     for entry in entries.flatten() {
@@ -71,7 +205,7 @@ fn main() {
         if !name.starts_with("BENCH_") || !name.ends_with(".json") {
             continue;
         }
-        let fresh_path = Path::new(fresh_dir).join(&name);
+        let fresh_path = Path::new(&options.fresh_dir).join(&name);
         if !fresh_path.exists() {
             println!("note: {name}: no fresh artefact (bench not run in this job), skipped");
             continue;
@@ -88,10 +222,11 @@ fn main() {
                 continue;
             };
             for &(metric, slack) in LOWER_IS_BETTER {
+                let slack = slack.max(options.tolerance);
                 if let (Some(b), Some(f)) = (base_record.get(metric), fresh_record.get(metric)) {
                     compared += 1;
                     if b > 0.0 && f > b * (1.0 + slack) {
-                        warnings += 1;
+                        regressions += 1;
                         let _ = writeln!(
                             summary,
                             "- `{name}` `{}` **{metric}** regressed: {b:.4} -> {f:.4} \
@@ -104,10 +239,11 @@ fn main() {
                 }
             }
             for &(metric, slack) in HIGHER_IS_BETTER {
+                let slack = slack.max(options.tolerance);
                 if let (Some(b), Some(f)) = (base_record.get(metric), fresh_record.get(metric)) {
                     compared += 1;
                     if b > 0.0 && f < b * (1.0 - slack) {
-                        warnings += 1;
+                        regressions += 1;
                         let _ = writeln!(
                             summary,
                             "- `{name}` `{}` **{metric}** regressed: {b:.4} -> {f:.4} \
@@ -122,12 +258,13 @@ fn main() {
         }
     }
 
-    let headline = if warnings == 0 {
+    let headline = if regressions == 0 {
         format!("Bench baselines: {compared} metric comparisons, no regressions beyond tolerance.")
     } else {
         format!(
-            "Bench baselines: {warnings} possible regression(s) across {compared} comparisons \
-             (non-blocking):"
+            "Bench baselines: {regressions} regression(s) across {compared} comparisons \
+             (gate FAILED; refresh baselines with --write and mark the commit [bench-skip] \
+             if the shift is intended):"
         )
     };
     println!("{headline}");
@@ -140,5 +277,11 @@ fn main() {
         if let Err(e) = std::fs::write(&path, text) {
             println!("warning: cannot write job summary: {e}");
         }
+    }
+
+    if regressions == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
     }
 }

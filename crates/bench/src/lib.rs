@@ -52,6 +52,7 @@ pub fn bench_envelope() -> EnvelopeOptions {
         backend: SolverBackend::Auto,
         step_control: StepControl::adaptive_averaging(),
         steady_state: SteadyState::default(),
+        ..EnvelopeOptions::default()
     }
 }
 
@@ -77,6 +78,7 @@ pub fn pss_acceptance_envelope(steady_state: SteadyState) -> EnvelopeOptions {
         backend: SolverBackend::Auto,
         step_control: StepControl::adaptive_averaging(),
         steady_state,
+        ..EnvelopeOptions::default()
     }
 }
 

@@ -23,7 +23,7 @@
 use crate::system::{HarvesterConfig, HarvesterNodes};
 use harvester_mna::circuit::Circuit;
 use harvester_mna::devices::{Resistor, VoltageSource};
-use harvester_mna::shooting::{SteadyStateAnalysis, SteadyStateOptions};
+use harvester_mna::shooting::{ShootingJacobian, SteadyStateAnalysis, SteadyStateOptions};
 use harvester_mna::transient::{
     RunStatistics, SolverBackend, StepControl, TransientAnalysis, TransientOptions,
     TransientResult, TransientWorkspace,
@@ -136,6 +136,18 @@ pub struct EnvelopeOptions {
     /// shooting-Newton closure (the default) or brute-force settling. See
     /// [`SteadyState`].
     pub steady_state: SteadyState,
+    /// How the shooting closure equation is solved:
+    /// [`ShootingJacobian::Auto`] (the default) accumulates the dense
+    /// monodromy matrix on small systems and switches to the matrix-free
+    /// Newton–Krylov path above the size threshold; see
+    /// [`ShootingJacobian`]. Ignored under [`SteadyState::BruteForce`].
+    pub shooting_jacobian: ShootingJacobian,
+    /// Whether the detailed transients may reuse factored Newton Jacobians
+    /// across iterations and nearby steps (the modified-Newton bypass,
+    /// [`TransientOptions::reuse_jacobian`]). On by default; switch off to
+    /// pin classical full-Newton iteration economics, e.g. when comparing
+    /// raw Newton-iteration counts across step-control policies.
+    pub reuse_jacobian: bool,
 }
 
 impl Default for EnvelopeOptions {
@@ -151,6 +163,8 @@ impl Default for EnvelopeOptions {
             backend: SolverBackend::Auto,
             step_control: StepControl::adaptive_averaging(),
             steady_state: SteadyState::default(),
+            shooting_jacobian: ShootingJacobian::default(),
+            reuse_jacobian: true,
         }
     }
 }
@@ -488,9 +502,11 @@ impl EnvelopeSimulator {
         };
         options.max_iterations = max_iters;
         options.tolerance = tol;
+        options.jacobian = self.options.shooting_jacobian;
         options.transient = TransientOptions {
             dt: self.options.detail_dt,
             backend: self.options.backend,
+            reuse_jacobian: self.options.reuse_jacobian,
             ..TransientOptions::default()
         };
         let rebuild = match &workspace.transient {
@@ -540,6 +556,7 @@ impl EnvelopeSimulator {
             backend: self.options.backend,
             record_interval,
             step_control: self.options.step_control,
+            reuse_jacobian: self.options.reuse_jacobian,
             ..TransientOptions::default()
         };
         let analysis = TransientAnalysis::new(options);
@@ -629,6 +646,7 @@ mod tests {
             backend: SolverBackend::Auto,
             step_control: StepControl::adaptive_averaging(),
             steady_state: SteadyState::BruteForce,
+            ..EnvelopeOptions::default()
         }
     }
 

@@ -520,5 +520,4 @@ mod tests {
             );
         }
     }
-
 }

@@ -24,7 +24,7 @@
 //!   (energies, efficiency loss, charging rate).
 //! * [`envelope`] — envelope-following acceleration for the 150-minute
 //!   charging experiments.
-//! * [`reference`] — the synthetic "experimental measurement" stand-in.
+//! * [`mod@reference`] — the synthetic "experimental measurement" stand-in.
 //! * [`metrics`] — Eq. (9) efficiency loss and related figures of merit.
 //!
 //! # Example

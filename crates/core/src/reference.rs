@@ -154,6 +154,7 @@ mod tests {
             backend: Default::default(),
             step_control: Default::default(),
             steady_state: Default::default(),
+            ..EnvelopeOptions::default()
         }
     }
 

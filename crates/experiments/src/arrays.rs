@@ -1,0 +1,226 @@
+//! Coupled harvester-array fixtures: `N` Villard charge pumps driven by one
+//! shared electromechanical source network.
+//!
+//! The paper's evaluation treats a *single* harvester; arrays of loosely
+//! coupled harvesters (one generator exciting many rectifier stages through
+//! a shared bus) are the natural scaling axis for the periodic-steady-state
+//! machinery, because the monodromy matrix grows with the stage count while
+//! each stage's physics stays identical. [`coupled_array`] builds exactly
+//! that family: the unknown count grows linearly in `n` (three unknowns per
+//! stage plus the shared bus and source branch), so the dense shooting
+//! Jacobian grows quadratically and its column-sweep sensitivity cost
+//! superlinearly — the regime the matrix-free
+//! [`ShootingJacobian::MatrixFree`](harvester_mna::shooting::ShootingJacobian)
+//! mode targets.
+//!
+//! Every stage is deterministically detuned (component spread derived from a
+//! golden-ratio low-discrepancy sequence, no RNG involved) so the array is
+//! not a block-diagonal repetition of one stage: the coupling resistors make
+//! the stages interact through the bus voltage, and the spread keeps their
+//! diode conduction windows from coinciding.
+
+use harvester_mna::circuit::{Circuit, NodeId};
+use harvester_mna::devices::{Capacitor, Diode, Resistor, VoltageSource};
+use harvester_mna::shooting::SteadyStateOptions;
+use harvester_mna::waveform::Waveform;
+
+/// Excitation frequency of the shared generator (Hz).
+pub const ARRAY_FREQUENCY_HZ: f64 = 1_000.0;
+
+/// A [`coupled_array`] fixture: the circuit plus the handles a measurement
+/// needs.
+#[derive(Debug)]
+pub struct CoupledArray {
+    /// The assembled circuit.
+    pub circuit: Circuit,
+    /// The shared generator bus node.
+    pub bus: NodeId,
+    /// Per-stage rectified output nodes, in stage order.
+    pub outputs: Vec<NodeId>,
+    /// The excitation period in seconds (shared by every stage).
+    pub period: f64,
+}
+
+impl CoupledArray {
+    /// Steady-state options tuned for this fixture: fixed step, 100 steps
+    /// per period, one warm-up cycle (the detuned stages start from rest and
+    /// the shooting updates do the settling) and a tight closure tolerance —
+    /// array measurements difference per-stage outputs, so the orbit must
+    /// close well below the inter-stage spread. The shooting Jacobian is
+    /// left at [`Auto`](harvester_mna::shooting::ShootingJacobian::Auto);
+    /// benches override it explicitly to compare the dense and matrix-free
+    /// paths.
+    pub fn steady_state_options(&self) -> SteadyStateOptions {
+        let mut options = SteadyStateOptions::new(self.period);
+        options.transient.dt = self.period / 100.0;
+        options.warmup_cycles = 1.0;
+        options.tolerance = 1e-9;
+        options
+    }
+}
+
+/// Deterministic per-stage detuning factor in `[0.9, 1.1)`: the fractional
+/// part of `k·φ` (golden-ratio sequence) is low-discrepancy, so any prefix
+/// of stages spreads evenly over the band instead of clustering.
+fn detune(stage: usize, salt: usize) -> f64 {
+    const PHI: f64 = 0.618_033_988_749_894_9;
+    let u = ((stage * 3 + salt + 1) as f64 * PHI).fract();
+    0.9 + 0.2 * u
+}
+
+/// Builds an `n`-stage coupled harvester array.
+///
+/// Topology: a sinusoidal generator (amplitude 2.5 V at
+/// [`ARRAY_FREQUENCY_HZ`]) with an internal source resistance feeds a shared
+/// `bus` node. Each stage hangs off the bus through its own coupling
+/// resistor and is a single-stage Villard charge pump: a series pump
+/// capacitor into a diode clamp, a series diode into the stage's storage
+/// capacitor, and a load resistor across the storage capacitor. Component
+/// values carry a deterministic ±10 % spread (see module docs).
+///
+/// The returned system has `3·n + 2` unknowns (`in`, `pump`, `out` per
+/// stage, the bus voltage and the generator branch current).
+///
+/// # Panics
+///
+/// Panics if `n` is zero — an array needs at least one stage.
+pub fn coupled_array(n: usize) -> CoupledArray {
+    assert!(n > 0, "a coupled array needs at least one stage");
+    let mut circuit = Circuit::new();
+    // Stage nodes are numbered before the shared gen/bus pair on purpose:
+    // the sparse LU eliminates unknowns in numbering order, and the bus
+    // couples to every stage, so eliminating it early would fill the whole
+    // matrix (arrowhead pointing the wrong way). Numbered last, the
+    // per-stage blocks eliminate with local fill and the coupling entries
+    // only densify the two final rows/columns.
+    let stage_nodes: Vec<(NodeId, NodeId, NodeId)> = (0..n)
+        .map(|stage| {
+            (
+                circuit.node(&format!("in{stage}")),
+                circuit.node(&format!("pump{stage}")),
+                circuit.node(&format!("out{stage}")),
+            )
+        })
+        .collect();
+    let source = circuit.node("gen");
+    let bus = circuit.node("bus");
+    circuit.add(VoltageSource::new(
+        "Vgen",
+        source,
+        Circuit::GROUND,
+        Waveform::sine(2.5, ARRAY_FREQUENCY_HZ),
+    ));
+    // The generator's internal (mechanical damping) resistance: the shared
+    // impedance through which the stages load each other.
+    circuit.add(Resistor::new("Rgen", source, bus, 25.0));
+
+    let mut outputs = Vec::with_capacity(n);
+    for (stage, &(input, pump, out)) in stage_nodes.iter().enumerate() {
+        circuit.add(Resistor::new(
+            &format!("Rc{stage}"),
+            bus,
+            input,
+            50.0 * detune(stage, 0),
+        ));
+        circuit.add(Capacitor::new(
+            &format!("Cp{stage}"),
+            input,
+            pump,
+            1e-7 * detune(stage, 1),
+        ));
+        circuit.add(Diode::new(&format!("Dc{stage}"), Circuit::GROUND, pump));
+        circuit.add(Diode::new(&format!("Ds{stage}"), pump, out));
+        circuit.add(Capacitor::new(
+            &format!("Cs{stage}"),
+            out,
+            Circuit::GROUND,
+            4.7e-7 * detune(stage, 2),
+        ));
+        circuit.add(Resistor::new(
+            &format!("Rl{stage}"),
+            out,
+            Circuit::GROUND,
+            47e3 * detune(stage, 0),
+        ));
+        outputs.push(out);
+    }
+
+    CoupledArray {
+        circuit,
+        bus,
+        outputs,
+        period: 1.0 / ARRAY_FREQUENCY_HZ,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harvester_mna::shooting::{ShootingJacobian, SteadyStateAnalysis};
+
+    #[test]
+    fn stage_count_scales_the_unknowns_linearly() {
+        for n in [1, 4, 9] {
+            let array = coupled_array(n);
+            // Ground plus 3 nodes per stage plus generator and bus.
+            assert_eq!(array.circuit.node_count(), 3 * n + 3);
+            assert_eq!(array.outputs.len(), n);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one stage")]
+    fn zero_stages_are_refused() {
+        coupled_array(0);
+    }
+
+    #[test]
+    fn detuning_is_deterministic_and_bounded() {
+        for stage in 0..64 {
+            for salt in 0..3 {
+                let d = detune(stage, salt);
+                assert!((0.9..1.1).contains(&d), "detune({stage},{salt}) = {d}");
+                assert_eq!(d, detune(stage, salt));
+            }
+        }
+        // Neighbouring stages must not share a spread (the whole point of
+        // the low-discrepancy sequence).
+        assert_ne!(detune(0, 0), detune(1, 0));
+    }
+
+    #[test]
+    fn small_array_reaches_a_periodic_steady_state_on_both_jacobians() {
+        let array = coupled_array(4);
+        let mut reference = None;
+        for jacobian in [ShootingJacobian::Dense, ShootingJacobian::matrix_free()] {
+            let mut options = array.steady_state_options();
+            options.jacobian = jacobian;
+            let pss = SteadyStateAnalysis::new(options)
+                .run(&array.circuit)
+                .expect("coupled array must simulate");
+            assert!(pss.converged, "{jacobian:?} closure {}", pss.closure_error);
+            // Every stage must actually rectify: positive mean output.
+            for &out in &array.outputs {
+                let samples = pss.result.voltage(out);
+                let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+                assert!(mean > 0.1, "stage output must charge, got mean {mean}");
+            }
+            let closing: Vec<f64> = array
+                .outputs
+                .iter()
+                .map(|&out| pss.result.voltage(out)[0])
+                .collect();
+            match &reference {
+                None => reference = Some(closing),
+                Some(dense) => {
+                    for (a, b) in dense.iter().zip(&closing) {
+                        assert!(
+                            (a - b).abs() < 1e-6,
+                            "jacobian modes must agree on the orbit: {a} vs {b}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

@@ -266,6 +266,7 @@ impl HarvesterObjective {
             backend: self.budget.backend,
             step_control: self.budget.step_control,
             steady_state: self.budget.steady_state,
+            ..EnvelopeOptions::default()
         };
         let sim = EnvelopeSimulator::new(config.clone(), envelope);
         match sim.measure_characteristic_with(workspace) {

@@ -15,6 +15,11 @@
 //! | Fig. 10 - un-optimised vs optimised charging | [`optimisation::run_fig10`] |
 //! | Section 5 CPU-time breakdown (GA < 3 %) | [`cpu_time::run_cpu_split`] |
 //!
+//! Beyond the paper's single-harvester evaluation, [`arrays`] builds
+//! parameterised coupled harvester arrays (`N` detuned Villard stages on a
+//! shared generator bus) — the scaling fixtures behind the matrix-free
+//! shooting benchmarks.
+//!
 //! The seven-gene design space of the paper's chromosome lives in
 //! [`design_space`], together with the simulation-backed
 //! [`design_space::HarvesterObjective`] and the two-gene fitness-landscape
@@ -30,12 +35,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arrays;
 pub mod cpu_time;
 pub mod design_space;
 pub mod model_comparison;
 pub mod optimisation;
 pub mod report;
 
+pub use arrays::{coupled_array, CoupledArray};
 pub use cpu_time::{run_cpu_split, CpuTimeBreakdown, CpuTimeOptions};
 pub use design_space::{
     decode, encode, paper_bounds, sweep_design_space, FitnessBudget, Gene, HarvesterObjective,

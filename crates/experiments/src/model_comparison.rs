@@ -41,6 +41,7 @@ impl Fig5Options {
                 backend: SolverBackend::Auto,
                 step_control: StepControl::adaptive_averaging(),
                 steady_state: SteadyState::default(),
+                ..EnvelopeOptions::default()
             },
         }
     }

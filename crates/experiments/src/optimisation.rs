@@ -368,6 +368,7 @@ mod tests {
             backend: Default::default(),
             step_control: harvester_core::StepControl::adaptive_averaging(),
             steady_state: Default::default(),
+            ..EnvelopeOptions::default()
         };
         let result = run_fig10(&unopt, &opt, envelope).unwrap();
         assert!(result.unoptimised_final_voltage() > 0.05);

@@ -68,12 +68,81 @@
 use crate::circuit::Circuit;
 use crate::device::DDT_VALUE_SLOT;
 use crate::transient::{
-    assemble_system, assemble_system_masked, IntegrationMethod, RunStatistics, StepControl,
-    TransientAnalysis, TransientOptions, TransientResult, TransientWorkspace,
+    assemble_system, assemble_system_masked, CachedFactors, IntegrationMethod, JacobianStorage,
+    RunStatistics, StepControl, TransientAnalysis, TransientOptions, TransientResult,
+    TransientWorkspace,
 };
 use crate::MnaError;
-use harvester_numerics::linalg::norm_inf;
-use harvester_numerics::monodromy::{shooting_update, MonodromyAccumulator};
+use harvester_numerics::gmres::{GmresOptions, GmresWorkspace};
+use harvester_numerics::linalg::{norm_inf, Matrix};
+use harvester_numerics::monodromy::{shooting_update, MonodromyAccumulator, VectorSensitivity};
+use harvester_numerics::NumericsError;
+
+/// How the shooting engine solves the closure-Newton system
+/// `(I − M)·Δx₀ = x(T) − x(0)`.
+///
+/// The **dense** mode propagates all `n` columns of the sensitivity
+/// `S_k = ∂x_k/∂x_0` through every accepted step — `n` back-substitutions
+/// per step plus an `O(nnz(W)·n)` stamp product — and solves the closure
+/// system directly. The **matrix-free** mode stores no monodromy at all: it
+/// banks each accepted step's factored Jacobian and sparse `W` stamps during
+/// the nonlinear period sweep, then lets restarted GMRES solve the closure
+/// system with one *linearised period integration per matvec* (one
+/// back-substitution per step). A damped circuit's `I − M` spectrum clusters
+/// around 1, so GMRES typically needs far fewer matvecs than `n` — the
+/// asymptotic win that makes coupled harvester arrays tractable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShootingJacobian {
+    /// Pick automatically: dense up to
+    /// [`ShootingJacobian::AUTO_MATRIX_FREE_THRESHOLD`] unknowns (small
+    /// systems lose nothing to the direct solve and keep bit-stable
+    /// behaviour), matrix-free above it with the default Krylov budget.
+    #[default]
+    Auto,
+    /// Always propagate and solve the dense monodromy.
+    Dense,
+    /// Always solve matrix-free via restarted GMRES.
+    MatrixFree {
+        /// Krylov subspace dimension per restart cycle.
+        restart: usize,
+        /// Total matvec budget (each matvec costs one linearised period);
+        /// exhaustion triggers the dense fallback.
+        max_matvecs: usize,
+    },
+}
+
+impl ShootingJacobian {
+    /// System size above which [`ShootingJacobian::Auto`] goes matrix-free.
+    pub const AUTO_MATRIX_FREE_THRESHOLD: usize = 48;
+    /// Restart length of [`ShootingJacobian::matrix_free`] and auto-selected
+    /// matrix-free solves.
+    pub const DEFAULT_RESTART: usize = 24;
+    /// Matvec budget of [`ShootingJacobian::matrix_free`] and auto-selected
+    /// matrix-free solves.
+    pub const DEFAULT_MAX_MATVECS: usize = 96;
+
+    /// Matrix-free mode with the engine-recommended Krylov budget.
+    pub fn matrix_free() -> Self {
+        ShootingJacobian::MatrixFree {
+            restart: Self::DEFAULT_RESTART,
+            max_matvecs: Self::DEFAULT_MAX_MATVECS,
+        }
+    }
+
+    /// Resolves the mode for an `n`-unknown system: `Some((restart,
+    /// max_matvecs))` when the matrix-free path is to be used.
+    fn resolve(self, n: usize) -> Option<(usize, usize)> {
+        match self {
+            ShootingJacobian::Dense => None,
+            ShootingJacobian::MatrixFree {
+                restart,
+                max_matvecs,
+            } => Some((restart, max_matvecs)),
+            ShootingJacobian::Auto => (n > Self::AUTO_MATRIX_FREE_THRESHOLD)
+                .then_some((Self::DEFAULT_RESTART, Self::DEFAULT_MAX_MATVECS)),
+        }
+    }
+}
 
 /// Options of a [`SteadyStateAnalysis`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -115,6 +184,9 @@ pub struct SteadyStateOptions {
     /// Only honoured by [`SteadyStateAnalysis::run_with`]; a fresh
     /// [`SteadyStateAnalysis::run`] always cold-starts.
     pub warm_start: bool,
+    /// How the closure-Newton system is solved: dense monodromy or
+    /// matrix-free Newton–Krylov (see [`ShootingJacobian`]).
+    pub jacobian: ShootingJacobian,
 }
 
 impl SteadyStateOptions {
@@ -135,6 +207,7 @@ impl SteadyStateOptions {
             tolerance: Self::DEFAULT_TOLERANCE,
             transient: TransientOptions::default(),
             warm_start: false,
+            jacobian: ShootingJacobian::Auto,
         }
     }
 }
@@ -153,6 +226,253 @@ const UPDATE_DAMPING: f64 = 4.0;
 /// concedes that the closure cannot be improved along this direction and the
 /// analysis reports non-convergence (→ brute-force fallback at the caller).
 const MIN_STEP_SCALE: f64 = 1.0 / 64.0;
+
+/// Relative GMRES residual of the matrix-free closure solve: tight enough
+/// that the Krylov update is a full-quality Newton direction (the closure
+/// Newton's own convergence behaviour matches the dense mode), loose enough
+/// to stop well short of roundoff stagnation.
+const SHOOTING_GMRES_RTOL: f64 = 1e-10;
+
+/// One banked step of a matrix-free shooting period: the converged Newton
+/// Jacobian's factorisation and the step's effective size and memory rule.
+/// The point's `W` stamps live in [`PeriodCache::w`] (indexed one past the
+/// step, slot 0 being the period-start seed).
+#[derive(Debug)]
+struct CachedPeriodStep {
+    factors: Option<CachedFactors>,
+    h_eff: f64,
+    trapezoidal_memory: bool,
+}
+
+/// The matrix-free shooting engine's bank of one nonlinear period sweep:
+/// per-step factored Jacobians and sparse `W` stamps, replayed by
+/// [`PeriodCache::apply_monodromy`] to compute `M·v` with one
+/// back-substitution per step — no monodromy matrix is ever formed. All
+/// slots are reused across periods and shooting iterations; steady state
+/// allocates nothing after the first period.
+#[derive(Debug)]
+struct PeriodCache {
+    n: usize,
+    /// Dense extraction scratch for one `W` (swept into triplets per step).
+    scratch: Matrix,
+    /// `W` stamps as `(row, col, value)` triplets: slot 0 the period-start
+    /// point, slot `k ≥ 1` the `k`-th accepted point.
+    w: Vec<Vec<(usize, usize, f64)>>,
+    steps: Vec<CachedPeriodStep>,
+    /// Accepted steps banked this period (`w` slots in use: this + 1).
+    used_steps: usize,
+    prop: VectorSensitivity,
+}
+
+impl PeriodCache {
+    fn new(n: usize) -> Self {
+        PeriodCache {
+            n,
+            scratch: Matrix::zeros(n, n),
+            w: Vec::new(),
+            steps: Vec::new(),
+            used_steps: 0,
+            prop: VectorSensitivity::new(n),
+        }
+    }
+
+    /// Sweeps the dense extraction scratch into the triplet slot `idx`,
+    /// reusing its allocation.
+    fn sweep_scratch_into(&mut self, idx: usize) {
+        if self.w.len() <= idx {
+            self.w.push(Vec::new());
+        }
+        let out = &mut self.w[idx];
+        out.clear();
+        for r in 0..self.n {
+            for c in 0..self.n {
+                let v = self.scratch[(r, c)];
+                if v != 0.0 {
+                    out.push((r, c, v));
+                }
+            }
+        }
+    }
+
+    /// Starts a fresh period at the point whose `W` the caller just wrote
+    /// into the scratch.
+    fn seed(&mut self) {
+        self.sweep_scratch_into(0);
+        self.used_steps = 0;
+    }
+
+    /// Banks one accepted step: its `W` (from the scratch) and the factored
+    /// Jacobian currently cached in `jacobian`. Returns `false` when no
+    /// factors are available.
+    fn push_step(
+        &mut self,
+        jacobian: &JacobianStorage,
+        h_eff: f64,
+        trapezoidal_memory: bool,
+    ) -> bool {
+        let idx = self.used_steps;
+        self.sweep_scratch_into(idx + 1);
+        if self.steps.len() <= idx {
+            self.steps.push(CachedPeriodStep {
+                factors: None,
+                h_eff,
+                trapezoidal_memory,
+            });
+        } else {
+            self.steps[idx].h_eff = h_eff;
+            self.steps[idx].trapezoidal_memory = trapezoidal_memory;
+        }
+        if !jacobian.export_factors(&mut self.steps[idx].factors) {
+            return false;
+        }
+        self.used_steps = idx + 1;
+        true
+    }
+
+    /// Computes `out = M·v` by propagating `v` through the banked period —
+    /// one back-substitution per step. Returns the number of linear solves
+    /// performed, or `None` when a banked factorisation failed to
+    /// back-substitute.
+    fn apply_monodromy(&mut self, v: &[f64], out: &mut [f64]) -> Option<usize> {
+        self.prop.seed(v);
+        for k in 0..self.used_steps {
+            let step = &self.steps[k];
+            let factors = step.factors.as_ref()?;
+            self.prop
+                .advance_step(
+                    step.h_eff,
+                    step.trapezoidal_memory,
+                    &self.w[k],
+                    &self.w[k + 1],
+                    |rhs, sol| factors.solve_into(rhs, sol),
+                )
+                .ok()?;
+        }
+        out.copy_from_slice(self.prop.state());
+        Some(self.used_steps)
+    }
+}
+
+/// The matrix-free closure solver: the period bank plus the reusable GMRES
+/// workspace that solves `(I − M)·Δx₀ = x(T) − x(0)` against it.
+#[derive(Debug)]
+struct MatrixFreeEngine {
+    cache: PeriodCache,
+    gmres: GmresWorkspace,
+    gmres_options: GmresOptions,
+    update: Vec<f64>,
+}
+
+impl MatrixFreeEngine {
+    fn new(n: usize, restart: usize, max_matvecs: usize) -> Self {
+        MatrixFreeEngine {
+            cache: PeriodCache::new(n),
+            gmres: GmresWorkspace::new(n, restart),
+            gmres_options: GmresOptions {
+                restart,
+                max_matvecs,
+                tolerance: SHOOTING_GMRES_RTOL,
+            },
+            update: vec![0.0; n],
+        }
+    }
+
+    /// Solves the closure system matrix-free; on Krylov stagnation or an
+    /// exhausted matvec budget, falls back to rebuilding the dense monodromy
+    /// through the same banked chain (`n` propagations) and solving
+    /// directly, so a hard period never converges worse than the dense mode.
+    fn solve_update(
+        &mut self,
+        closure: &[f64],
+        stats: &mut RunStatistics,
+    ) -> Result<Vec<f64>, NumericsError> {
+        let n = self.cache.n;
+        self.update.iter_mut().for_each(|u| *u = 0.0);
+        let mut solves = 0usize;
+        let mut broke = false;
+        let cache = &mut self.cache;
+        let result = self.gmres.solve(
+            |v, out| match cache.apply_monodromy(v, out) {
+                Some(count) => {
+                    solves += count;
+                    for (o, &vi) in out.iter_mut().zip(v.iter()) {
+                        *o = vi - *o;
+                    }
+                }
+                None => {
+                    broke = true;
+                    out.fill(f64::NAN);
+                }
+            },
+            closure,
+            &mut self.update,
+            &self.gmres_options,
+        );
+        stats.linear_solves += solves;
+        if broke {
+            // A banked factorisation failed to back-substitute: the dense
+            // fallback would replay the same chain, so report instead.
+            return Err(NumericsError::SingularMatrix {
+                column: 0,
+                pivot: 0.0,
+            });
+        }
+        match result {
+            Ok(_) => Ok(self.update.clone()),
+            Err(_) => {
+                let mut monodromy = Matrix::zeros(n, n);
+                let mut basis = vec![0.0; n];
+                let mut column = vec![0.0; n];
+                let mut solves = 0usize;
+                for j in 0..n {
+                    basis.iter_mut().for_each(|b| *b = 0.0);
+                    basis[j] = 1.0;
+                    match self.cache.apply_monodromy(&basis, &mut column) {
+                        Some(count) => solves += count,
+                        None => {
+                            return Err(NumericsError::SingularMatrix {
+                                column: j,
+                                pivot: 0.0,
+                            })
+                        }
+                    }
+                    for i in 0..n {
+                        monodromy[(i, j)] = column[i];
+                    }
+                }
+                stats.linear_solves += solves;
+                shooting_update(&monodromy, closure)
+            }
+        }
+    }
+}
+
+/// The per-iteration sensitivity carrier of one shooting run: dense
+/// monodromy accumulation or the matrix-free period bank.
+#[derive(Debug)]
+enum SensitivityEngine {
+    Dense(MonodromyAccumulator),
+    MatrixFree(MatrixFreeEngine),
+}
+
+impl SensitivityEngine {
+    /// The dense matrix the `W` extraction assemblies accumulate into.
+    fn w_scratch(&mut self) -> &mut Matrix {
+        match self {
+            SensitivityEngine::Dense(acc) => acc.w_mut(),
+            SensitivityEngine::MatrixFree(mf) => &mut mf.cache.scratch,
+        }
+    }
+
+    /// Installs the scratch `W` as the period-start stamp matrix and resets
+    /// the chain for a fresh period.
+    fn seed(&mut self) {
+        match self {
+            SensitivityEngine::Dense(acc) => acc.seed(),
+            SensitivityEngine::MatrixFree(mf) => mf.cache.seed(),
+        }
+    }
+}
 
 /// Outcome of a periodic steady-state analysis.
 #[derive(Debug, Clone)]
@@ -244,6 +564,18 @@ impl SteadyStateAnalysis {
                 o.transient.dt
             )));
         }
+        if let ShootingJacobian::MatrixFree {
+            restart,
+            max_matvecs,
+        } = o.jacobian
+        {
+            if restart == 0 || max_matvecs == 0 {
+                return Err(MnaError::InvalidOptions(format!(
+                    "shooting jacobian MatrixFree needs restart and max_matvecs of at \
+                     least 1, got restart {restart} and max_matvecs {max_matvecs}"
+                )));
+            }
+        }
         Ok(())
     }
 
@@ -333,7 +665,12 @@ impl SteadyStateAnalysis {
         // [t_a, t_a + T] (the sources are T-periodic, so the map is the same
         // each time and the uniform grid never drifts).
         let t_anchor = (warmup * steps) as f64 * dt;
-        let mut acc = MonodromyAccumulator::new(n);
+        let mut engine = match opts.jacobian.resolve(n) {
+            Some((restart, max_matvecs)) => {
+                SensitivityEngine::MatrixFree(MatrixFreeEngine::new(n, restart, max_matvecs))
+            }
+            None => SensitivityEngine::Dense(MonodromyAccumulator::new(n)),
+        };
         // Which state slots are ddt-managed previous *values*: those are
         // re-derived from the solution vector whenever a shooting update
         // restarts the period from a new x0 (the integration history lives
@@ -382,7 +719,7 @@ impl SteadyStateAnalysis {
             ws.history.clear();
             ws.times.push(t_anchor);
             ws.history.extend_from_slice(&ws.x);
-            self.seed_sensitivity(circuit, ws, &mut acc, t_anchor, dt);
+            self.seed_sensitivity(circuit, ws, &mut engine, t_anchor, dt);
             // Every period opens with the engine's backward-Euler start-up
             // companion step (first_step = true): it ignores the derivative
             // history, so a restart — which can only re-derive the *value*
@@ -404,7 +741,7 @@ impl SteadyStateAnalysis {
                     t_to,
                     &mut period_first,
                     &mut stats,
-                    Some(&mut acc),
+                    Some(&mut engine),
                 ) {
                     match error {
                         // A breakdown mid-iteration is usually the closure
@@ -442,7 +779,11 @@ impl SteadyStateAnalysis {
             for (c, (after, before)) in closure.iter_mut().zip(ws.x.iter().zip(x0.iter())) {
                 *c = after - before;
             }
-            let accepted = match shooting_update(acc.monodromy(), &closure) {
+            let update_result = match &mut engine {
+                SensitivityEngine::Dense(acc) => shooting_update(acc.monodromy(), &closure),
+                SensitivityEngine::MatrixFree(mf) => mf.solve_update(&closure, &mut stats),
+            };
+            let accepted = match update_result {
                 Ok(update) => {
                     let limit = UPDATE_DAMPING * (1.0 + norm_inf(&x0));
                     let magnitude = norm_inf(&update);
@@ -526,10 +867,12 @@ impl SteadyStateAnalysis {
     /// Marches the committed solution from `t_from` to `t_to` on the fixed
     /// grid, halving within the interval on Newton failure (the same
     /// recovery as the fixed-step transient loop). With `sensitivity`, every
-    /// committed sub-step also advances the monodromy chain: the converged
-    /// step Jacobian is factored once, the dynamic stamp matrix `W` is
-    /// extracted from assemblies at `h` and `2h`, and one factored solve per
-    /// unknown propagates `∂x/∂x₀`.
+    /// committed sub-step also feeds the sensitivity chain: the converged
+    /// step Jacobian is factored once and the dynamic stamp matrix `W` is
+    /// extracted from assemblies at `h` and `2h`; the dense engine then
+    /// propagates all `n` columns of `∂x/∂x₀` immediately, while the
+    /// matrix-free engine banks the factorisation and the `W` triplets for
+    /// the Krylov matvecs at closure time.
     #[allow(clippy::too_many_arguments)]
     fn advance_interval(
         &self,
@@ -540,7 +883,7 @@ impl SteadyStateAnalysis {
         t_to: f64,
         first_step: &mut bool,
         stats: &mut RunStatistics,
-        mut sensitivity: Option<&mut MonodromyAccumulator>,
+        mut sensitivity: Option<&mut SensitivityEngine>,
     ) -> Result<(), MnaError> {
         let opts = analysis.options();
         let nominal = t_to - t_from;
@@ -565,7 +908,7 @@ impl SteadyStateAnalysis {
                 }
                 continue;
             }
-            if let Some(acc) = sensitivity.as_deref_mut() {
+            if let Some(engine) = sensitivity.as_deref_mut() {
                 // `attempt_step` leaves the Jacobian assembled at the
                 // accepted solution with step size `step`; factor it for the
                 // sensitivity solves and capture its `2h`-scaled copy before
@@ -578,6 +921,11 @@ impl SteadyStateAnalysis {
                         },
                     ));
                 }
+                // These factors are fresh at (step, was_first): bank the
+                // bypass metadata so the next step's modified Newton reuses
+                // them instead of factoring its own.
+                ws.factored_h = step;
+                ws.factored_first = was_first;
                 // Commit before the extraction assemblies: they scribble
                 // over `new_states`, which must be banked first (the
                 // Jacobian itself does not depend on the states).
@@ -594,7 +942,7 @@ impl SteadyStateAnalysis {
                 // (`first = false`) instead of reusing it.
                 let trapezoidal = opts.method == IntegrationMethod::Trapezoidal;
                 let be_startup = was_first && trapezoidal;
-                acc.w_mut().fill_zero();
+                engine.w_scratch().fill_zero();
                 if be_startup {
                     assemble_system(
                         circuit,
@@ -610,7 +958,8 @@ impl SteadyStateAnalysis {
                         &mut ws.jacobian,
                     );
                 }
-                ws.jacobian.accumulate_scaled(2.0 * step, acc.w_mut());
+                ws.jacobian
+                    .accumulate_scaled(2.0 * step, engine.w_scratch());
                 assemble_system(
                     circuit,
                     &ws.layout,
@@ -624,13 +973,31 @@ impl SteadyStateAnalysis {
                     &mut ws.residual,
                     &mut ws.jacobian,
                 );
-                ws.jacobian.accumulate_scaled(-2.0 * step, acc.w_mut());
+                ws.jacobian
+                    .accumulate_scaled(-2.0 * step, engine.w_scratch());
                 let h_eff = if be_startup { 2.0 * step } else { step };
-                acc.advance_step(h_eff, trapezoidal && !was_first, |rhs, out| {
-                    ws.jacobian.solve_factored(rhs, out)
-                })
-                .map_err(MnaError::Numerics)?;
-                stats.linear_solves += ws.layout.n;
+                match engine {
+                    SensitivityEngine::Dense(acc) => {
+                        acc.advance_step(h_eff, trapezoidal && !was_first, |rhs, out| {
+                            ws.jacobian.solve_factored(rhs, out)
+                        })
+                        .map_err(MnaError::Numerics)?;
+                        stats.linear_solves += ws.layout.n;
+                    }
+                    SensitivityEngine::MatrixFree(mf) => {
+                        // No solves here: the chain is replayed lazily, one
+                        // back-substitution per step per Krylov matvec.
+                        if !mf
+                            .cache
+                            .push_step(&ws.jacobian, h_eff, trapezoidal && !was_first)
+                        {
+                            return Err(MnaError::Numerics(NumericsError::SingularMatrix {
+                                column: 0,
+                                pivot: 0.0,
+                            }));
+                        }
+                    }
+                }
             } else {
                 ws.states.copy_from_slice(&ws.new_states);
                 ws.x.copy_from_slice(&ws.candidate);
@@ -651,7 +1018,7 @@ impl SteadyStateAnalysis {
         &self,
         circuit: &Circuit,
         ws: &mut TransientWorkspace,
-        acc: &mut MonodromyAccumulator,
+        engine: &mut SensitivityEngine,
         t: f64,
         dt: f64,
     ) {
@@ -671,11 +1038,11 @@ impl SteadyStateAnalysis {
                 &mut ws.jacobian,
             );
             if scale > 0.0 {
-                acc.w_mut().fill_zero();
+                engine.w_scratch().fill_zero();
             }
-            ws.jacobian.accumulate_scaled(scale, acc.w_mut());
+            ws.jacobian.accumulate_scaled(scale, engine.w_scratch());
         }
-        acc.seed();
+        engine.seed();
     }
 }
 
@@ -1007,5 +1374,139 @@ mod tests {
             loose.closure_error
         );
         assert!(tight.iterations >= loose.iterations);
+    }
+
+    /// Two-stage Villard voltage multiplier: the canonical nonlinear
+    /// harvester interface circuit of the paper.
+    fn villard() -> (Circuit, crate::circuit::NodeId) {
+        let mut circuit = Circuit::new();
+        let vin = circuit.node("in");
+        let pump = circuit.node("pump");
+        let out = circuit.node("out");
+        circuit.add(VoltageSource::new(
+            "V",
+            vin,
+            Circuit::GROUND,
+            Waveform::sine(2.5, 1000.0),
+        ));
+        circuit.add(Capacitor::new("Cp", vin, pump, 1e-7));
+        circuit.add(Diode::new("Dclamp", Circuit::GROUND, pump));
+        circuit.add(Diode::new("Dout", pump, out));
+        circuit.add(Capacitor::new("Cout", out, Circuit::GROUND, 4.7e-7));
+        circuit.add(Resistor::new("Rload", out, Circuit::GROUND, 47e3));
+        (circuit, out)
+    }
+
+    fn run_with_jacobian(
+        circuit: &Circuit,
+        mut opts: SteadyStateOptions,
+        jacobian: ShootingJacobian,
+    ) -> SteadyStateResult {
+        opts.jacobian = jacobian;
+        SteadyStateAnalysis::new(opts).run(circuit).unwrap()
+    }
+
+    fn assert_same_orbit(
+        circuit: &Circuit,
+        out: crate::circuit::NodeId,
+        opts: SteadyStateOptions,
+        label: &str,
+    ) {
+        let dense = run_with_jacobian(circuit, opts, ShootingJacobian::Dense);
+        let krylov = run_with_jacobian(circuit, opts, ShootingJacobian::matrix_free());
+        assert!(
+            dense.converged,
+            "{label}: dense closure {}",
+            dense.closure_error
+        );
+        assert!(
+            krylov.converged,
+            "{label}: matrix-free closure {}",
+            krylov.closure_error
+        );
+        for (a, b) in dense
+            .result
+            .voltage(out)
+            .iter()
+            .zip(krylov.result.voltage(out))
+        {
+            assert!(
+                (a - b).abs() < 1e-6 * a.abs().max(1.0),
+                "{label}: matrix-free and dense shooting must converge to the \
+                 same orbit: {a} vs {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn matrix_free_matches_dense_orbit_on_the_rectifier() {
+        let (circuit, out) = rectifier();
+        assert_same_orbit(&circuit, out, options(1e-3, 1e-5), "rectifier");
+    }
+
+    #[test]
+    fn matrix_free_matches_dense_orbit_on_the_villard_multiplier() {
+        let (circuit, out) = villard();
+        assert_same_orbit(&circuit, out, options(1e-3, 1e-5), "villard");
+    }
+
+    #[test]
+    fn matrix_free_replays_the_chain_instead_of_dense_column_sweeps() {
+        // The dense path performs `n` sensitivity back-substitutions per
+        // accepted step; the matrix-free path performs one per step per
+        // Krylov matvec, and on these small fixtures GMRES needs far fewer
+        // matvecs than there are unknowns × Newton updates.
+        let (circuit, _) = rectifier();
+        let dense = run_with_jacobian(&circuit, options(1e-3, 1e-5), ShootingJacobian::Dense);
+        let krylov = run_with_jacobian(
+            &circuit,
+            options(1e-3, 1e-5),
+            ShootingJacobian::matrix_free(),
+        );
+        assert!(
+            krylov.statistics().linear_solves < dense.statistics().linear_solves,
+            "matrix-free shooting must spend fewer back-substitutions: {} vs {}",
+            krylov.statistics().linear_solves,
+            dense.statistics().linear_solves
+        );
+    }
+
+    #[test]
+    fn auto_jacobian_selects_by_system_size() {
+        let threshold = ShootingJacobian::AUTO_MATRIX_FREE_THRESHOLD;
+        assert_eq!(ShootingJacobian::Auto.resolve(threshold), None);
+        assert!(ShootingJacobian::Auto.resolve(threshold + 1).is_some());
+        assert_eq!(ShootingJacobian::Dense.resolve(1_000), None);
+        assert_eq!(
+            ShootingJacobian::MatrixFree {
+                restart: 7,
+                max_matvecs: 11
+            }
+            .resolve(2),
+            Some((7, 11))
+        );
+    }
+
+    #[test]
+    fn degenerate_matrix_free_budgets_are_rejected() {
+        let (circuit, _) = rectifier();
+        for jacobian in [
+            ShootingJacobian::MatrixFree {
+                restart: 0,
+                max_matvecs: 10,
+            },
+            ShootingJacobian::MatrixFree {
+                restart: 10,
+                max_matvecs: 0,
+            },
+        ] {
+            let mut opts = options(1e-3, 1e-5);
+            opts.jacobian = jacobian;
+            let err = SteadyStateAnalysis::new(opts).run(&circuit).unwrap_err();
+            assert!(
+                format!("{err}").contains("MatrixFree"),
+                "degenerate Krylov budget must be rejected up front: {err}"
+            );
+        }
     }
 }

@@ -256,6 +256,19 @@ pub struct TransientOptions {
     /// bit-compatible with earlier releases) or LTE-controlled adaptive
     /// stepping ([`StepControl::Adaptive`]).
     pub step_control: StepControl,
+    /// Modified-Newton Jacobian bypass (the default): reuse the factored
+    /// Jacobian across Newton iterations — and across nearby accepted steps
+    /// taken at (nearly) the same step size — refactoring only when the
+    /// observed Newton contraction turns slow (a convergence-rate test) or
+    /// the companion-model gains change. The Newton *fixed point* is
+    /// unchanged (the residual is
+    /// always exact), only the iteration path, so converged results agree to
+    /// the Newton tolerances while
+    /// [`RunStatistics::full_factorizations`] decouples from
+    /// [`RunStatistics::newton_iterations`]. Set to `false` to refactor on
+    /// every iteration (the classical full-Newton behaviour of earlier
+    /// releases, bit-compatible with them).
+    pub reuse_jacobian: bool,
 }
 
 impl Default for TransientOptions {
@@ -271,6 +284,7 @@ impl Default for TransientOptions {
             record_interval: None,
             backend: SolverBackend::Auto,
             step_control: StepControl::Fixed,
+            reuse_jacobian: true,
         }
     }
 }
@@ -290,14 +304,35 @@ pub struct RunStatistics {
     pub rejected_steps: usize,
     /// Total Newton iterations across all steps.
     pub newton_iterations: usize,
-    /// Total linear solves.
+    /// Total linear solves (back-substitutions against a factorisation):
+    /// one per Newton iteration, plus the per-unknown (dense) or per-matvec
+    /// (matrix-free) sensitivity solves of the shooting engine.
     pub linear_solves: usize,
-    /// Factorisations performed from a **cold start** — no usable factors
-    /// were cached, so the symbolic analysis (and, on the sparse backend,
-    /// the pivot-order search) ran from scratch. Every dense solve counts
-    /// here (dense LU has no symbolic reuse); on the sparse backend only the
-    /// first factorisation of a workspace does. Stale-pivot *recoveries* are
-    /// counted separately in [`RunStatistics::repivot_factorizations`].
+    /// Numeric factorisations that rebuilt the factors wholesale: every
+    /// dense LU (dense factors have no symbolic reuse) and, on the sparse
+    /// backend, the first factorisation of a workspace (later ones reuse its
+    /// pivot order and fill pattern via the O(nnz) refactorisation, which is
+    /// counted nowhere — it is bookkeeping-free by design). Stale-pivot
+    /// *recoveries* are counted separately in
+    /// [`RunStatistics::repivot_factorizations`].
+    ///
+    /// # Counter contract
+    ///
+    /// With the modified-Newton Jacobian bypass
+    /// ([`TransientOptions::reuse_jacobian`], the default) a factorisation
+    /// happens only on the first iteration of an incompatible step or after
+    /// a convergence-rate refactor, never once per iteration, so for a plain
+    /// transient run
+    ///
+    /// ```text
+    /// full_factorizations + repivot_factorizations ≤ newton_iterations
+    /// ```
+    ///
+    /// holds on every backend (each factorisation is provoked by exactly one
+    /// Newton iteration). Periodic-steady-state runs add **one factorisation
+    /// per accepted in-period step** on top (the sensitivity chain factors
+    /// the converged step Jacobian outside any Newton iteration), so the
+    /// bound there is `newton_iterations + accepted_steps`.
     pub full_factorizations: usize,
     /// Sparse factorisations that had usable factors but whose stored pivot
     /// order went numerically stale, forcing a re-pivoting factorisation
@@ -501,15 +536,34 @@ impl JacobianStorage {
         }
     }
 
-    /// Factors the assembled Jacobian and solves for the Newton update.
-    /// Returns `false` on a singular system (the step is then rejected and
-    /// halved by the caller).
-    fn solve(&mut self, rhs: &[f64], delta: &mut Vec<f64>, stats: &mut RunStatistics) -> bool {
-        let solved = self.factor(stats) && self.solve_factored(rhs, delta);
-        if solved {
-            stats.linear_solves += 1;
+    /// Copies the cached factorisation into a caller-owned slot, reusing the
+    /// slot's allocations when it already holds factors of the same shape —
+    /// the capture primitive behind the matrix-free shooting engine, which
+    /// banks one factorisation per accepted in-period step and replays them
+    /// during the Krylov matvecs. Returns `false` when no factors are
+    /// cached (i.e. [`JacobianStorage::factor`] has not succeeded yet).
+    pub(crate) fn export_factors(&self, slot: &mut Option<CachedFactors>) -> bool {
+        match self {
+            JacobianStorage::Dense {
+                factors: Some(f), ..
+            } => {
+                match slot {
+                    Some(CachedFactors::Dense(cached)) => cached.clone_from(f),
+                    _ => *slot = Some(CachedFactors::Dense(f.clone())),
+                }
+                true
+            }
+            JacobianStorage::Sparse {
+                factors: Some(f), ..
+            } => {
+                match slot {
+                    Some(CachedFactors::Sparse(cached)) => cached.clone_from(f),
+                    _ => *slot = Some(CachedFactors::Sparse(f.clone())),
+                }
+                true
+            }
+            _ => false,
         }
-        solved
     }
 
     /// Accumulates `alpha ×` the currently assembled Jacobian into a dense
@@ -534,6 +588,25 @@ impl JacobianStorage {
                     }
                 }
             }
+        }
+    }
+}
+
+/// A factorisation detached from its [`JacobianStorage`]: the shooting
+/// engine's per-step bank, solved against long after the workspace's live
+/// matrix moved on to other assemblies.
+#[derive(Debug, Clone)]
+pub(crate) enum CachedFactors {
+    Dense(LuFactors),
+    Sparse(SparseLu),
+}
+
+impl CachedFactors {
+    /// Back-substitutes `rhs` against the banked factorisation.
+    pub(crate) fn solve_into(&self, rhs: &[f64], out: &mut Vec<f64>) -> bool {
+        match self {
+            CachedFactors::Dense(f) => f.solve_into(rhs, out).is_ok(),
+            CachedFactors::Sparse(f) => f.solve_into(rhs, out).is_ok(),
         }
     }
 }
@@ -580,6 +653,13 @@ pub struct TransientWorkspace {
     pub(crate) layout: SystemLayout,
     backend: SolverBackend,
     pub(crate) jacobian: JacobianStorage,
+    /// Step size the cached Jacobian factors were computed at — the
+    /// modified-Newton bypass reuses them while the step size and companion
+    /// gains stay compatible. `NaN` marks the factors bypass-ineligible
+    /// (none computed yet, or deliberately invalidated).
+    pub(crate) factored_h: f64,
+    /// Whether the cached factors carry the start-up-step companion gains.
+    pub(crate) factored_first: bool,
     pub(crate) residual: Vec<f64>,
     rhs: Vec<f64>,
     delta: Vec<f64>,
@@ -663,6 +743,8 @@ impl TransientWorkspace {
         Ok(TransientWorkspace {
             backend,
             jacobian,
+            factored_h: f64::NAN,
+            factored_first: false,
             residual: vec![0.0; n],
             rhs: vec![0.0; n],
             delta: vec![0.0; n],
@@ -774,10 +856,17 @@ impl TransientWorkspace {
             JacobianStorage::Dense { factors, .. } => *factors = None,
             JacobianStorage::Sparse { factors, .. } => *factors = None,
         }
+        self.factored_h = f64::NAN;
     }
 
-    /// Resets the solution, device states and history for a fresh run.
+    /// Resets the solution, device states and history for a fresh run. The
+    /// numeric factors stay allocated (the sparse backend refactors into
+    /// them), but they are marked bypass-ineligible: a fresh run's first
+    /// Newton iteration always factors its own Jacobian, so results do not
+    /// depend on which matrices the workspace happened to solve before.
     pub(crate) fn reset(&mut self, circuit: &Circuit) {
+        self.factored_h = f64::NAN;
+        self.factored_first = false;
         self.x.iter_mut().for_each(|v| *v = 0.0);
         self.candidate.iter_mut().for_each(|v| *v = 0.0);
         self.states.iter_mut().for_each(|v| *v = 0.0);
@@ -894,6 +983,29 @@ pub(crate) fn assemble_system_masked(
         device.stamp(&mut ctx);
     }
 }
+
+/// Largest relative step-size mismatch at which the modified-Newton bypass
+/// still reuses factors across steps: the companion conductances scale as
+/// `1/h`, so a 25 % drift leaves the stale Jacobian a usable preconditioner
+/// (contraction ~0.25, still well under [`SLOW_CONVERGENCE_RATIO`]) while
+/// the convergence-rate test and the stale-iteration budget guard the tail.
+/// The adaptive controller routinely nudges `h` by 10–20 % between accepted
+/// steps, so a tighter gate would force a fresh factorisation on almost
+/// every adaptive step and defeat the bypass exactly where it matters.
+const JACOBIAN_REUSE_H_RTOL: f64 = 0.25;
+
+/// Modified-Newton contraction threshold: an iteration whose update norm
+/// exceeds this fraction of its predecessor's is converging too slowly for
+/// the stale factors, and the next iteration refactors.
+const SLOW_CONVERGENCE_RATIO: f64 = 0.5;
+
+/// Budget of Newton iterations a single step may spend on stale factors.
+/// The convergence-rate test alone admits steady linear contraction (a rate
+/// just under [`SLOW_CONVERGENCE_RATIO`] passes every check), which on a
+/// tight tolerance means many cheap-but-slow iterations; the budget caps
+/// that at a few iterations before forcing an exact Jacobian, keeping
+/// the iteration count within a small constant of full Newton.
+const MAX_STALE_ITERATIONS: usize = 4;
 
 /// The transient analysis driver.
 #[derive(Debug, Clone, Default)]
@@ -1030,6 +1142,13 @@ impl TransientAnalysis {
     /// under fixed stepping, the polynomial prediction under adaptive
     /// stepping) and on success holds the converged solution, with
     /// `ws.new_states` refreshed at it; the caller decides whether to commit.
+    ///
+    /// With [`TransientOptions::reuse_jacobian`] the Newton iteration runs in
+    /// modified-Newton mode: the factored Jacobian is carried across
+    /// iterations — and across steps whose size and companion gains match the
+    /// factors' — and refactored only when the update norms stop contracting
+    /// (the residual is always assembled exactly, so stale factors change the
+    /// iteration path but never the fixed point it converges to).
     pub(crate) fn attempt_step(
         &self,
         circuit: &Circuit,
@@ -1043,6 +1162,12 @@ impl TransientAnalysis {
         let mut converged = false;
         let mut last_residual_norm = f64::INFINITY;
         let mut iterations = 0usize;
+        let mut have_factors = opts.reuse_jacobian
+            && ws.factored_h.is_finite()
+            && ws.factored_first == first_step
+            && (h - ws.factored_h).abs() <= JACOBIAN_REUSE_H_RTOL * h;
+        let mut prev_delta_norm = f64::INFINITY;
+        let mut stale_iterations = 0usize;
 
         for _ in 0..opts.max_newton_iterations {
             assemble_system(
@@ -1063,9 +1188,40 @@ impl TransientAnalysis {
             iterations += 1;
             ws.rhs.clear();
             ws.rhs.extend(ws.residual.iter().map(|r| -r));
-            if !ws.jacobian.solve(&ws.rhs, &mut ws.delta, stats) {
-                break;
+            if !opts.reuse_jacobian || stale_iterations >= MAX_STALE_ITERATIONS {
+                // Classical full Newton (or a step whose stale-iteration
+                // budget ran out, permanently for this step): factor the
+                // just-assembled Jacobian on every iteration.
+                have_factors = false;
             }
+            let mut fresh = !have_factors;
+            if !fresh {
+                stale_iterations += 1;
+            }
+            if !have_factors {
+                if !ws.jacobian.factor(stats) {
+                    break;
+                }
+                ws.factored_h = h;
+                ws.factored_first = first_step;
+                have_factors = true;
+                fresh = true;
+            }
+            if !ws.jacobian.solve_factored(&ws.rhs, &mut ws.delta) {
+                // A stale-factor back-substitution cannot fail numerically;
+                // reaching here means the factors were missing or unusable.
+                // Retry once against a fresh factorisation before rejecting.
+                if fresh || !ws.jacobian.factor(stats) {
+                    break;
+                }
+                ws.factored_h = h;
+                ws.factored_first = first_step;
+                fresh = true;
+                if !ws.jacobian.solve_factored(&ws.rhs, &mut ws.delta) {
+                    break;
+                }
+            }
+            stats.linear_solves += 1;
             if ws.delta.iter().any(|d| !d.is_finite()) {
                 break;
             }
@@ -1087,6 +1243,20 @@ impl TransientAnalysis {
                 converged = true;
                 break;
             }
+            // Convergence-rate test of the modified-Newton bypass: stale
+            // factors are tolerated while the update norms keep contracting
+            // briskly; once an iteration shrinks its predecessor by less
+            // than 1/SLOW_CONVERGENCE_RATIO, the next iteration refactors
+            // the freshly assembled Jacobian. Never triggered by factors
+            // computed this very iteration — slow contraction under an exact
+            // Jacobian is the nonlinearity's fault, not the factors'.
+            if opts.reuse_jacobian
+                && !fresh
+                && delta_norm > SLOW_CONVERGENCE_RATIO * prev_delta_norm
+            {
+                have_factors = false;
+            }
+            prev_delta_norm = delta_norm;
         }
 
         // Secondary acceptance criterion: a step whose Newton update
@@ -1141,10 +1311,12 @@ impl TransientAnalysis {
     }
 
     /// The pre-adaptive marching loop: nominal `dt`, halving only on Newton
-    /// failure. Kept operation-for-operation identical to earlier releases so
-    /// [`StepControl::Fixed`] results stay bit-identical — except for the
-    /// final-sample repair after the loop, which can only *add* the last
-    /// accepted point where the epsilon check used to drop it.
+    /// failure — structurally identical to earlier releases. With
+    /// [`TransientOptions::reuse_jacobian`] disabled the produced trace is
+    /// bit-identical to them too; the default modified-Newton bypass keeps
+    /// the same marching decisions but walks a different (cheaper) iteration
+    /// path to each step's solution, so traces agree to the Newton
+    /// tolerances rather than bit-for-bit.
     fn march_fixed(
         &self,
         circuit: &Circuit,
@@ -1827,8 +1999,21 @@ mod tests {
         assert_eq!(stats.accepted_steps, 100);
         assert!(stats.newton_iterations >= stats.accepted_steps);
         assert!(stats.linear_solves > 0);
-        // The dense backend factors from scratch on every linear solve.
-        assert_eq!(stats.full_factorizations, stats.linear_solves);
+        // The modified-Newton bypass decouples factorisations from linear
+        // solves: an RC circuit has a constant Jacobian per (h, gains)
+        // combination, so only the start-up step and the first regular step
+        // need their own factorisation.
+        assert!(stats.full_factorizations >= 1);
+        assert!(
+            stats.full_factorizations < stats.linear_solves / 10,
+            "jacobian bypass must reuse factors on a linear circuit: \
+             {} factorizations for {} solves",
+            stats.full_factorizations,
+            stats.linear_solves
+        );
+        assert!(
+            stats.full_factorizations + stats.repivot_factorizations <= stats.newton_iterations
+        );
     }
 
     #[test]

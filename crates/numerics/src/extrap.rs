@@ -53,8 +53,8 @@ pub fn extrapolate(ts: &[f64], ys: &[f64], t: f64) -> f64 {
 /// coefficients written (`ts.len()`).
 ///
 /// `coeffs[k]` is the `k`-th order divided difference `f[t0, …, tk]`; the
-/// polynomial is `coeffs[0] + coeffs[1]·(t − t0) + coeffs[2]·(t − t0)(t − t1)
-/// + …` and is evaluated by [`newton_eval`].
+/// polynomial is `coeffs[0] + coeffs[1]·(t − t0) + coeffs[2]·(t − t0)(t −
+/// t1) + …` and is evaluated by [`newton_eval`].
 ///
 /// # Panics
 ///

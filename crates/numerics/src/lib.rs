@@ -1,7 +1,7 @@
 //! Numerical foundations for the energy-harvester simulation stack.
 //!
 //! This crate provides the dependency-free numerical substrate that the
-//! mixed-technology simulation kernel ([`harvester-mna`]) and the behavioural
+//! mixed-technology simulation kernel (`harvester-mna`) and the behavioural
 //! device models are built on:
 //!
 //! * [`linalg`] — dense matrices/vectors and LU factorisation with partial
@@ -12,6 +12,9 @@
 //!   pattern, scatter map) is computed once and reused across the thousands of
 //!   numerically-different but structurally-identical Jacobians a transient
 //!   analysis produces.
+//! * [`gmres`] — restarted GMRES with an allocation-reusing workspace, the
+//!   Krylov backbone of the matrix-free shooting method (the operator is only
+//!   ever applied to vectors, never formed).
 //! * [`newton`] — damped Newton–Raphson for systems of nonlinear equations.
 //! * [`ode`] — explicit and implicit initial-value-problem integrators
 //!   (forward Euler, RK4, adaptive RKF45, semi-implicit Euler, backward Euler
@@ -45,6 +48,7 @@
 #![warn(missing_docs)]
 
 pub mod extrap;
+pub mod gmres;
 pub mod interp;
 pub mod linalg;
 pub mod monodromy;

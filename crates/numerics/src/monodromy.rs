@@ -181,6 +181,126 @@ impl MonodromyAccumulator {
     }
 }
 
+/// The matrix-free counterpart of [`MonodromyAccumulator`]: propagates a
+/// **single vector** `v` through the per-step sensitivity recursion instead
+/// of all `n` columns of `S_k`, so one pass over a cached period computes
+/// `M·v` with one back-substitution per step — the matvec a Krylov method
+/// (GMRES) needs to solve `(I − M)·Δx₀ = x(T) − x(0)` without ever forming
+/// the monodromy matrix.
+///
+/// The recursion is identical to the dense one with `S_k` replaced by
+/// `s_k = S_k·v` and `P_k` by `p_k = P_k·v`:
+///
+/// ```text
+/// J_k·s_k = (1/h)·W_{k−1}·s_{k−1} + β·p_{k−1}          (one solve per step)
+/// p_k     = (1/h)·W_k·s_k − rhs_k
+/// ```
+///
+/// The caller supplies the `W` matrices in sparse **triplet** form (they
+/// have one row per differentiated quantity, so a dense product would waste
+/// almost all its work) and a factored solve per step.
+#[derive(Debug, Clone)]
+pub struct VectorSensitivity {
+    n: usize,
+    /// `s_k = S_k·v`.
+    state: Vec<f64>,
+    /// `p_k = P_k·v` (trapezoidal derivative-state memory).
+    memory: Vec<f64>,
+    /// Scratch for the per-step right-hand side.
+    rhs: Vec<f64>,
+    sol: Vec<f64>,
+}
+
+impl VectorSensitivity {
+    /// Creates a propagator for an `n`-unknown system.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "sensitivity system must have at least one unknown");
+        VectorSensitivity {
+            n,
+            state: vec![0.0; n],
+            memory: vec![0.0; n],
+            rhs: vec![0.0; n],
+            sol: Vec::with_capacity(n),
+        }
+    }
+
+    /// System size the propagator was built for.
+    pub fn dimension(&self) -> usize {
+        self.n
+    }
+
+    /// Starts a fresh period: `s = v`, `p = 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not `n` long.
+    pub fn seed(&mut self, v: &[f64]) {
+        self.state.copy_from_slice(v);
+        self.memory.fill(0.0);
+    }
+
+    /// Advances the vector sensitivity across one accepted step of size `h`:
+    /// `w_prev`/`w_curr` are the dynamic stamp matrices of the previous and
+    /// the newly accepted point as `(row, col, value)` triplets, and `solve`
+    /// is a factored linear solve against the step's converged Jacobian.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::InvalidArgument`] for a non-positive step and
+    /// [`NumericsError::SingularMatrix`] when `solve` reports failure.
+    pub fn advance_step<F>(
+        &mut self,
+        h: f64,
+        trapezoidal_memory: bool,
+        w_prev: &[(usize, usize, f64)],
+        w_curr: &[(usize, usize, f64)],
+        mut solve: F,
+    ) -> Result<(), NumericsError>
+    where
+        F: FnMut(&[f64], &mut Vec<f64>) -> bool,
+    {
+        if h <= 0.0 || !h.is_finite() {
+            return Err(NumericsError::InvalidArgument(format!(
+                "sensitivity step size must be positive and finite, got {h}"
+            )));
+        }
+        let n = self.n;
+        if trapezoidal_memory {
+            self.rhs.copy_from_slice(&self.memory);
+        } else {
+            self.rhs.fill(0.0);
+        }
+        let inv_h = 1.0 / h;
+        for &(r, c, w) in w_prev {
+            self.rhs[r] += inv_h * w * self.state[c];
+        }
+        if !solve(&self.rhs, &mut self.sol) || self.sol.len() != n {
+            return Err(NumericsError::SingularMatrix {
+                column: 0,
+                pivot: 0.0,
+            });
+        }
+        self.state.copy_from_slice(&self.sol);
+        for (m, r) in self.memory.iter_mut().zip(self.rhs.iter()) {
+            *m = -r;
+        }
+        for &(r, c, w) in w_curr {
+            self.memory[r] += inv_h * w * self.state[c];
+        }
+        Ok(())
+    }
+
+    /// The propagated vector `s_k = S_k·v` — equal to `M·v` once a full
+    /// period has been advanced.
+    pub fn state(&self) -> &[f64] {
+        &self.state
+    }
+}
+
 /// `out += alpha·a·b`, skipping zero entries of `a` — the dynamic stamp
 /// matrices are extremely sparse (one row per differentiated quantity), so
 /// the triple loop degenerates to `nnz(a)·n` work.
@@ -319,6 +439,71 @@ mod tests {
             shooting_update(&Matrix::identity(2), &[1.0]),
             Err(NumericsError::DimensionMismatch { .. })
         ));
+    }
+
+    /// The vector propagator must agree with the dense accumulator applied
+    /// to the same chain, column by column — same recursion, two codepaths.
+    #[test]
+    fn vector_propagation_matches_dense_accumulation() {
+        let n = 4;
+        let h = 0.05;
+        // Deterministic pseudo-random W per point and a fixed, diagonally
+        // dominant Jacobian (stands in for the factored step Jacobians).
+        let w_at = |point: usize| -> Vec<(usize, usize, f64)> {
+            let mut w = Vec::new();
+            for r in 0..n {
+                for c in 0..n {
+                    let v = (((point * 7 + r * 5 + c * 3) % 11) as f64 - 5.0) / 7.0;
+                    if v != 0.0 {
+                        w.push((r, c, v));
+                    }
+                }
+            }
+            w
+        };
+        let jac = |b: &[f64], x: &mut Vec<f64>| -> bool {
+            // J = 10·I + lower shift: forward substitution.
+            x.clear();
+            for r in 0..n {
+                let prev = if r > 0 { x[r - 1] } else { 0.0 };
+                x.push((b[r] - 0.5 * prev) / 10.0);
+            }
+            true
+        };
+
+        let steps = 5usize;
+        let mut acc = MonodromyAccumulator::new(n);
+        let install = |acc: &mut MonodromyAccumulator, point: usize| {
+            acc.w_mut().fill_zero();
+            for &(r, c, v) in &w_at(point) {
+                acc.w_mut()[(r, c)] += v;
+            }
+        };
+        install(&mut acc, 0);
+        acc.seed();
+        for k in 0..steps {
+            install(&mut acc, k + 1);
+            acc.advance_step(h, k > 0, jac).unwrap();
+        }
+
+        let mut prop = VectorSensitivity::new(n);
+        for col in 0..n {
+            let mut e = vec![0.0; n];
+            e[col] = 1.0;
+            prop.seed(&e);
+            for k in 0..steps {
+                prop.advance_step(h, k > 0, &w_at(k), &w_at(k + 1), jac)
+                    .unwrap();
+            }
+            for row in 0..n {
+                assert!(
+                    (prop.state()[row] - acc.monodromy()[(row, col)]).abs() < 1e-13,
+                    "column {col} row {row}: {} vs {}",
+                    prop.state()[row],
+                    acc.monodromy()[(row, col)]
+                );
+            }
+        }
     }
 
     #[test]

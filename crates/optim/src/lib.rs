@@ -6,7 +6,7 @@
 //! micro-generator coil, four from the voltage booster) to maximise the
 //! super-capacitor charging rate. This crate provides that GA with the
 //! paper's settings (population 100, crossover 0.8, mutation 0.02) plus the
-//! "other optimisation algorithms [that] may also be applied based on the
+//! "other optimisation algorithms \[that\] may also be applied based on the
 //! proposed integrated model": Nelder–Mead simplex, particle-swarm
 //! optimisation and random search, used as ablation baselines.
 //!

@@ -94,6 +94,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             backend: Default::default(),
             step_control: StepControl::adaptive_averaging(),
             steady_state: Default::default(),
+            ..EnvelopeOptions::default()
         }
     };
     println!();

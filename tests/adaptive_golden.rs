@@ -28,8 +28,15 @@ fn envelope_options(step_control: StepControl, detail_dt: f64) -> EnvelopeOption
         backend: SolverBackend::Auto,
         step_control,
         // This suite pins the step-control contract, so it stays on the
-        // marching path; the shooting engine has its own golden suite.
+        // marching path (the shooting engine has its own golden suite) and
+        // on classical full Newton: the modified-Newton bypass deliberately
+        // trades extra factorisation-free iterations for fewer
+        // factorisations, which would dilute the raw iteration-count ratio
+        // this suite asserts (it has its own suite in
+        // `crates/mna/tests/jacobian_reuse.rs`).
         steady_state: SteadyState::BruteForce,
+        reuse_jacobian: false,
+        ..EnvelopeOptions::default()
     }
 }
 

@@ -83,6 +83,7 @@ fn envelope_matches_detailed_simulation_on_a_short_scenario() {
             backend: Default::default(),
             step_control: Default::default(),
             steady_state: Default::default(),
+            ..EnvelopeOptions::default()
         },
     );
     let v_envelope = envelope.charge_curve().unwrap().final_voltage();
