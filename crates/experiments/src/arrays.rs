@@ -153,6 +153,59 @@ pub fn coupled_array(n: usize) -> CoupledArray {
     }
 }
 
+/// Renders the [`coupled_array`] fixture as netlist text whose
+/// [`harvester_mna::netlist::build`] output is **bit-identical** to the
+/// hardcoded builder: same node numbering (pinned by a `.nodes` card in the
+/// same stage-before-bus order), same device order, and every detuned
+/// component value written with `{:?}` (Rust's shortest round-trip float
+/// format) so it re-parses to the same bits.
+///
+/// One stage is declared once as a `.subckt` and instantiated `n` times with
+/// per-stage parameter overrides — the netlist-front-end counterpart of the
+/// builder's `for` loop. Device *names* differ (`x0.Rc` vs `Rc0`): names
+/// never enter the numerics, only probes.
+///
+/// # Panics
+///
+/// Panics if `n` is zero — an array needs at least one stage.
+pub fn coupled_array_netlist(n: usize) -> String {
+    use std::fmt::Write as _;
+    assert!(n > 0, "a coupled array needs at least one stage");
+    let mut s = String::new();
+    s.push_str("* coupled harvester array: n Villard stages sharing one generator bus\n");
+    s.push_str("* (generated by harvester_experiments::arrays::coupled_array_netlist)\n");
+    // Same stage-before-bus numbering as the builder: the sparse LU
+    // eliminates per-stage blocks with local fill and densifies only the
+    // final gen/bus rows.
+    s.push_str(".nodes");
+    for stage in 0..n {
+        write!(s, " in{stage} pump{stage} out{stage}").unwrap();
+    }
+    s.push_str(" gen bus\n");
+    s.push_str(".subckt stage bus in pump out rc=50 cp=1e-7 cs=4.7e-7 rl=47k\n");
+    s.push_str("Rc bus in {rc}\n");
+    s.push_str("Cp in pump {cp}\n");
+    s.push_str("Dc 0 pump\n");
+    s.push_str("Ds pump out\n");
+    s.push_str("Cs out 0 {cs}\n");
+    s.push_str("Rl out 0 {rl}\n");
+    s.push_str(".ends\n");
+    writeln!(s, "Vgen gen 0 SIN(0 2.5 {ARRAY_FREQUENCY_HZ:?})").unwrap();
+    s.push_str("Rgen gen bus 25\n");
+    for stage in 0..n {
+        writeln!(
+            s,
+            "x{stage} bus in{stage} pump{stage} out{stage} stage rc={:?} cp={:?} cs={:?} rl={:?}",
+            50.0 * detune(stage, 0),
+            1e-7 * detune(stage, 1),
+            4.7e-7 * detune(stage, 2),
+            47e3 * detune(stage, 0),
+        )
+        .unwrap();
+    }
+    s
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -186,6 +239,42 @@ mod tests {
         // Neighbouring stages must not share a spread (the whole point of
         // the low-discrepancy sequence).
         assert_ne!(detune(0, 0), detune(1, 0));
+    }
+
+    #[test]
+    fn netlist_rendering_reproduces_the_builder_exactly() {
+        use harvester_mna::devices::{Capacitor, Resistor, VoltageSource};
+        for n in [1, 4] {
+            let built = coupled_array(n).circuit;
+            let parsed = harvester_mna::netlist::build(&coupled_array_netlist(n))
+                .expect("generated netlist must elaborate");
+            assert_eq!(parsed.node_names(), built.node_names());
+            assert_eq!(parsed.device_count(), built.device_count());
+            // Values must survive the text round trip bit-for-bit; device
+            // names differ (subckt scoping), so compare the typed payloads.
+            for (a, b) in built.devices().iter().zip(parsed.devices()) {
+                let (a, b) = (a.as_any().unwrap(), b.as_any().unwrap());
+                if let Some(r) = a.downcast_ref::<Resistor>() {
+                    let r2 = b.downcast_ref::<Resistor>().unwrap();
+                    assert_eq!(r.resistance().to_bits(), r2.resistance().to_bits());
+                    assert_eq!(r.terminals(), r2.terminals());
+                } else if let Some(c) = a.downcast_ref::<Capacitor>() {
+                    let c2 = b.downcast_ref::<Capacitor>().unwrap();
+                    assert_eq!(c.capacitance().to_bits(), c2.capacitance().to_bits());
+                    assert_eq!(c.terminals(), c2.terminals());
+                } else if let Some(v) = a.downcast_ref::<VoltageSource>() {
+                    let v2 = b.downcast_ref::<VoltageSource>().unwrap();
+                    assert_eq!(v.waveform(), v2.waveform());
+                    assert_eq!(v.terminals(), v2.terminals());
+                } else if let Some(d) = a.downcast_ref::<Diode>() {
+                    let d2 = b.downcast_ref::<Diode>().unwrap();
+                    assert_eq!(d.saturation_current(), d2.saturation_current());
+                    assert_eq!(d.terminals(), d2.terminals());
+                } else {
+                    panic!("unexpected device kind in the array fixture");
+                }
+            }
+        }
     }
 
     #[test]

@@ -130,6 +130,18 @@ pub trait Device {
     fn excitation_period(&self) -> Option<f64> {
         Some(0.0)
     }
+
+    /// Runtime-type access for serialisers — in particular the netlist
+    /// printer ([`netlist::print`](crate::netlist::print)), which downcasts
+    /// to the standard [`devices`](crate::devices) to emit their text form.
+    ///
+    /// A device that wants to be expressible as netlist text returns
+    /// `Some(self)`; the default `None` keeps behavioural/experimental
+    /// devices (which have no card syntax) explicitly unprintable instead of
+    /// silently misprinted.
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        None
+    }
 }
 
 /// Mutable view of the Jacobian being assembled, abstracting over the dense

@@ -43,11 +43,20 @@ impl Resistor {
     pub fn resistance(&self) -> f64 {
         self.resistance
     }
+
+    /// The `(a, b)` terminal nodes.
+    pub fn terminals(&self) -> (NodeId, NodeId) {
+        (self.a, self.b)
+    }
 }
 
 impl Device for Resistor {
     fn name(&self) -> &str {
         &self.name
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
     }
 
     fn stamp(&self, ctx: &mut StampContext<'_>) {
@@ -109,11 +118,25 @@ impl Capacitor {
     pub fn capacitance(&self) -> f64 {
         self.capacitance
     }
+
+    /// Initial voltage `v(a) − v(b)` at `t = 0`.
+    pub fn initial_voltage(&self) -> f64 {
+        self.initial_voltage
+    }
+
+    /// The `(a, b)` terminal nodes.
+    pub fn terminals(&self) -> (NodeId, NodeId) {
+        (self.a, self.b)
+    }
 }
 
 impl Device for Capacitor {
     fn name(&self) -> &str {
         &self.name
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
     }
 
     fn state_count(&self) -> usize {
@@ -192,11 +215,25 @@ impl Inductor {
     pub fn inductance(&self) -> f64 {
         self.inductance
     }
+
+    /// Initial current from `a` to `b` at `t = 0`.
+    pub fn initial_current(&self) -> f64 {
+        self.initial_current
+    }
+
+    /// The `(a, b)` terminal nodes.
+    pub fn terminals(&self) -> (NodeId, NodeId) {
+        (self.a, self.b)
+    }
 }
 
 impl Device for Inductor {
     fn name(&self) -> &str {
         &self.name
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
     }
 
     fn extra_unknowns(&self) -> usize {
@@ -268,11 +305,20 @@ impl VoltageSource {
     pub fn waveform(&self) -> &Waveform {
         &self.waveform
     }
+
+    /// The `(a, b)` terminal nodes (positive terminal first).
+    pub fn terminals(&self) -> (NodeId, NodeId) {
+        (self.a, self.b)
+    }
 }
 
 impl Device for VoltageSource {
     fn name(&self) -> &str {
         &self.name
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
     }
 
     fn extra_unknowns(&self) -> usize {
@@ -332,11 +378,25 @@ impl CurrentSource {
             waveform,
         }
     }
+
+    /// The waveform of the source.
+    pub fn waveform(&self) -> &Waveform {
+        &self.waveform
+    }
+
+    /// The `(a, b)` terminal nodes (current flows out of `a` into `b`).
+    pub fn terminals(&self) -> (NodeId, NodeId) {
+        (self.a, self.b)
+    }
 }
 
 impl Device for CurrentSource {
     fn name(&self) -> &str {
         &self.name
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
     }
 
     fn stamp(&self, ctx: &mut StampContext<'_>) {
@@ -432,11 +492,30 @@ impl Diode {
         };
         (i + self.gmin * v, g + self.gmin)
     }
+
+    /// Saturation current `Is` in amperes.
+    pub fn saturation_current(&self) -> f64 {
+        self.saturation_current
+    }
+
+    /// Emission coefficient `n` (ideality factor).
+    pub fn emission_coefficient(&self) -> f64 {
+        self.emission_coefficient
+    }
+
+    /// The `(anode, cathode)` terminal nodes.
+    pub fn terminals(&self) -> (NodeId, NodeId) {
+        (self.anode, self.cathode)
+    }
 }
 
 impl Device for Diode {
     fn name(&self) -> &str {
         &self.name
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
     }
 
     fn is_nonlinear(&self) -> bool {
@@ -504,11 +583,26 @@ impl IdealTransformer {
     pub fn ratio(&self) -> f64 {
         self.ratio
     }
+
+    /// The terminal nodes `(primary_pos, primary_neg, secondary_pos,
+    /// secondary_neg)`.
+    pub fn terminals(&self) -> (NodeId, NodeId, NodeId, NodeId) {
+        (
+            self.primary_pos,
+            self.primary_neg,
+            self.secondary_pos,
+            self.secondary_neg,
+        )
+    }
 }
 
 impl Device for IdealTransformer {
     fn name(&self) -> &str {
         &self.name
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
     }
 
     fn extra_unknowns(&self) -> usize {
@@ -593,11 +687,30 @@ impl TimedSwitch {
             off_resistance: 1e9,
         }
     }
+
+    /// The time (seconds) at which the switch closes.
+    pub fn t_on(&self) -> f64 {
+        self.t_on
+    }
+
+    /// The time (seconds) at which the switch opens again.
+    pub fn t_off(&self) -> f64 {
+        self.t_off
+    }
+
+    /// The `(a, b)` terminal nodes.
+    pub fn terminals(&self) -> (NodeId, NodeId) {
+        (self.a, self.b)
+    }
 }
 
 impl Device for TimedSwitch {
     fn name(&self) -> &str {
         &self.name
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
     }
 
     fn stamp(&self, ctx: &mut StampContext<'_>) {

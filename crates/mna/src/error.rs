@@ -24,6 +24,12 @@ pub enum MnaError {
     InvalidOptions(String),
     /// A named quantity (node or device probe) was not found in the result.
     UnknownProbe(String),
+    /// A netlist source file failed to parse or elaborate (carries the
+    /// line/column context of the offending token).
+    Netlist(crate::netlist::NetlistError),
+    /// A source waveform description is physically meaningless (negative
+    /// pulse edge durations, a non-increasing PWL table, …).
+    InvalidWaveform(String),
 }
 
 impl fmt::Display for MnaError {
@@ -37,6 +43,8 @@ impl fmt::Display for MnaError {
             MnaError::InvalidNetlist(msg) => write!(f, "invalid netlist: {msg}"),
             MnaError::InvalidOptions(msg) => write!(f, "invalid analysis options: {msg}"),
             MnaError::UnknownProbe(name) => write!(f, "unknown probe '{name}'"),
+            MnaError::Netlist(e) => write!(f, "netlist error: {e}"),
+            MnaError::InvalidWaveform(msg) => write!(f, "invalid waveform: {msg}"),
         }
     }
 }
@@ -45,6 +53,7 @@ impl Error for MnaError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             MnaError::Numerics(e) => Some(e),
+            MnaError::Netlist(e) => Some(e),
             _ => None,
         }
     }
@@ -53,6 +62,12 @@ impl Error for MnaError {
 impl From<NumericsError> for MnaError {
     fn from(e: NumericsError) -> Self {
         MnaError::Numerics(e)
+    }
+}
+
+impl From<crate::netlist::NetlistError> for MnaError {
+    fn from(e: crate::netlist::NetlistError) -> Self {
+        MnaError::Netlist(e)
     }
 }
 
@@ -76,6 +91,13 @@ mod tests {
         };
         assert!(e.to_string().contains("transient step failed"));
         assert!(e.source().is_none());
+
+        let e = MnaError::from(crate::netlist::NetlistError::new(3, 7, "boom"));
+        assert!(e.to_string().contains("line 3, column 7: boom"));
+        assert!(e.source().is_some());
+
+        let e = MnaError::InvalidWaveform("bad table".to_string());
+        assert!(e.to_string().contains("invalid waveform: bad table"));
     }
 
     #[test]

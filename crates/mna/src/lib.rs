@@ -31,6 +31,9 @@
 //!   ([`transient::TransientWorkspace`]).
 //! * [`waveform::Waveform`] — time-dependent source descriptions (DC, sine,
 //!   pulse, piecewise linear).
+//! * [`netlist`] — the SPICE-flavoured text front-end (parse → elaborate →
+//!   build, with `.subckt` subcircuit elaboration), so a circuit is *data*
+//!   instead of Rust code; [`netlist::print`] is its exact inverse.
 //!
 //! # Example: RC charging
 //!
@@ -67,6 +70,7 @@
 pub mod circuit;
 pub mod device;
 pub mod devices;
+pub mod netlist;
 pub mod shooting;
 pub mod transient;
 pub mod waveform;

@@ -1,0 +1,642 @@
+//! Elaboration: a parsed [`Document`] → a flat [`Circuit`].
+//!
+//! Subcircuit instances are flattened with scoped node names (`x1.node`),
+//! ports are bound to the caller's nodes, and `{param}` references resolve
+//! against the instance's parameter environment (definition defaults
+//! overridden per instance). Nodes are numbered in **first-reference
+//! order** — a `.nodes` card pins an explicit order up front — which is what
+//! makes netlist-built circuits bit-identical to the hardcoded builders.
+//!
+//! Every device value is validated here, with the source position of the
+//! offending token: no text input can reach the panicking device
+//! constructors.
+
+use super::parser::{
+    Card, CardKind, DeviceCard, DeviceSpec, Document, InstanceCard, SubcktDef, Value, ValueKind,
+    WaveSpec,
+};
+use super::NetlistError;
+use crate::circuit::{Circuit, NodeId};
+use crate::devices::{
+    Capacitor, CurrentSource, Diode, IdealTransformer, Inductor, Resistor, TimedSwitch,
+    VoltageSource,
+};
+use crate::error::MnaError;
+use crate::waveform::Waveform;
+use std::collections::{HashMap, HashSet};
+
+/// Flattens `document` into a circuit (see [`super::elaborate`]).
+pub(crate) fn elaborate(document: &Document) -> Result<Circuit, NetlistError> {
+    let mut elab = Elaborator {
+        document,
+        circuit: Circuit::new(),
+        device_names: HashSet::new(),
+    };
+    let top = Scope {
+        prefix: String::new(),
+        params: HashMap::new(),
+        ports: HashMap::new(),
+    };
+    let mut stack = Vec::new();
+    elab.run_cards(&document.cards, &top, &mut stack)?;
+    if elab.circuit.device_count() == 0 {
+        return Err(NetlistError::unpositioned(
+            "netlist contains no devices (only comments, directives or subcircuit definitions)",
+        ));
+    }
+    Ok(elab.circuit)
+}
+
+/// One level of instantiation context.
+struct Scope {
+    /// Node-name prefix (`""` at top level, `"x1."` inside instance `x1`).
+    prefix: String,
+    /// Resolved parameter values visible to `{param}` references.
+    params: HashMap<String, f64>,
+    /// Port bindings: local port name → already-created caller node.
+    ports: HashMap<String, NodeId>,
+}
+
+struct Elaborator<'a> {
+    document: &'a Document,
+    circuit: Circuit,
+    /// Full (prefixed) device names seen so far, for duplicate detection.
+    device_names: HashSet<String>,
+}
+
+impl Elaborator<'_> {
+    fn run_cards(
+        &mut self,
+        cards: &[Card],
+        scope: &Scope,
+        stack: &mut Vec<String>,
+    ) -> Result<(), NetlistError> {
+        for card in cards {
+            match &card.kind {
+                CardKind::Nodes(names) => {
+                    for name in names {
+                        self.resolve_node(scope, name);
+                    }
+                }
+                CardKind::Device(device) => self.build_device(card, device, scope)?,
+                CardKind::Instance(instance) => {
+                    self.build_instance(card, instance, scope, stack)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Maps a card-level node name to a circuit node, creating it on first
+    /// reference. `0` and any casing of `gnd` alias the ground node; port
+    /// names bind to the caller's nodes; everything else is scoped under the
+    /// instance prefix.
+    fn resolve_node(&mut self, scope: &Scope, name: &str) -> NodeId {
+        if name == "0" || name.eq_ignore_ascii_case("gnd") {
+            return Circuit::GROUND;
+        }
+        if let Some(&id) = scope.ports.get(name) {
+            return id;
+        }
+        if scope.prefix.is_empty() {
+            self.circuit.node(name)
+        } else {
+            self.circuit.node(&format!("{}{}", scope.prefix, name))
+        }
+    }
+
+    /// Resolves a value token: literal numbers pass through, `{param}`
+    /// references look up the scope's environment.
+    fn resolve(&self, scope: &Scope, value: &Value) -> Result<f64, NetlistError> {
+        match &value.kind {
+            ValueKind::Number(x) => Ok(*x),
+            ValueKind::Param(name) => scope.params.get(name).copied().ok_or_else(|| {
+                NetlistError::new(
+                    value.line,
+                    value.column,
+                    format!("undefined parameter '{{{name}}}'"),
+                )
+            }),
+        }
+    }
+
+    /// Resolves a value that must be finite.
+    fn finite(&self, scope: &Scope, value: &Value, what: &str) -> Result<f64, NetlistError> {
+        let x = self.resolve(scope, value)?;
+        if x.is_finite() {
+            Ok(x)
+        } else {
+            Err(NetlistError::new(
+                value.line,
+                value.column,
+                format!("{what} must be finite, got {x}"),
+            ))
+        }
+    }
+
+    /// Resolves a value that must be strictly positive and finite.
+    fn positive(&self, scope: &Scope, value: &Value, what: &str) -> Result<f64, NetlistError> {
+        let x = self.resolve(scope, value)?;
+        if x > 0.0 && x.is_finite() {
+            Ok(x)
+        } else {
+            Err(NetlistError::new(
+                value.line,
+                value.column,
+                format!("{what} must be a positive finite number, got {x}"),
+            ))
+        }
+    }
+
+    fn build_device(
+        &mut self,
+        card: &Card,
+        device: &DeviceCard,
+        scope: &Scope,
+    ) -> Result<(), NetlistError> {
+        let full_name = format!("{}{}", scope.prefix, device.name);
+        if !self.device_names.insert(full_name.clone()) {
+            return Err(NetlistError::new(
+                card.line,
+                card.column,
+                format!("duplicate device name '{full_name}'"),
+            ));
+        }
+        let nodes: Vec<NodeId> = device
+            .nodes
+            .iter()
+            .map(|n| self.resolve_node(scope, n))
+            .collect();
+        match &device.spec {
+            DeviceSpec::Resistor { value } => {
+                let r = self.positive(scope, value, "resistance")?;
+                self.circuit
+                    .add(Resistor::new(&full_name, nodes[0], nodes[1], r));
+            }
+            DeviceSpec::Capacitor { value, ic } => {
+                let c = self.positive(scope, value, "capacitance")?;
+                let v0 = match ic {
+                    Some(ic) => self.finite(scope, ic, "initial voltage")?,
+                    None => 0.0,
+                };
+                self.circuit.add(Capacitor::with_initial_voltage(
+                    &full_name, nodes[0], nodes[1], c, v0,
+                ));
+            }
+            DeviceSpec::Inductor { value, ic } => {
+                let l = self.positive(scope, value, "inductance")?;
+                let i0 = match ic {
+                    Some(ic) => self.finite(scope, ic, "initial current")?,
+                    None => 0.0,
+                };
+                self.circuit.add(Inductor::with_initial_current(
+                    &full_name, nodes[0], nodes[1], l, i0,
+                ));
+            }
+            DeviceSpec::VoltageSource { wave } => {
+                let waveform = self.build_waveform(card, wave, scope)?;
+                self.circuit
+                    .add(VoltageSource::new(&full_name, nodes[0], nodes[1], waveform));
+            }
+            DeviceSpec::CurrentSource { wave } => {
+                let waveform = self.build_waveform(card, wave, scope)?;
+                self.circuit
+                    .add(CurrentSource::new(&full_name, nodes[0], nodes[1], waveform));
+            }
+            DeviceSpec::Diode { is, n } => {
+                let is = match is {
+                    Some(v) => self.positive(scope, v, "saturation current 'is'")?,
+                    None => 1e-14,
+                };
+                let n = match n {
+                    Some(v) => self.positive(scope, v, "emission coefficient 'n'")?,
+                    None => 1.0,
+                };
+                self.circuit.add(Diode::with_parameters(
+                    &full_name, nodes[0], nodes[1], is, n,
+                ));
+            }
+            DeviceSpec::Transformer { ratio } => {
+                let ratio = self.positive(scope, ratio, "turns ratio")?;
+                self.circuit.add(IdealTransformer::new(
+                    &full_name, nodes[0], nodes[1], nodes[2], nodes[3], ratio,
+                ));
+            }
+            DeviceSpec::Switch { t_on, t_off } => {
+                let on = self.finite(scope, t_on, "switch-on time")?;
+                let off = self.finite(scope, t_off, "switch-off time")?;
+                if off <= on {
+                    return Err(NetlistError::new(
+                        t_off.line,
+                        t_off.column,
+                        format!("switch must close before it opens (t_on = {on}, t_off = {off})"),
+                    ));
+                }
+                self.circuit
+                    .add(TimedSwitch::new(&full_name, nodes[0], nodes[1], on, off));
+            }
+        }
+        Ok(())
+    }
+
+    fn build_waveform(
+        &self,
+        card: &Card,
+        wave: &WaveSpec,
+        scope: &Scope,
+    ) -> Result<Waveform, NetlistError> {
+        match wave {
+            WaveSpec::Dc(value) => Ok(Waveform::Dc(self.finite(scope, value, "DC value")?)),
+            WaveSpec::Sin(args) => {
+                let offset = self.finite(scope, &args[0], "SIN offset")?;
+                let amplitude = self.finite(scope, &args[1], "SIN amplitude")?;
+                let frequency_hz = self.finite(scope, &args[2], "SIN frequency")?;
+                if frequency_hz < 0.0 {
+                    return Err(NetlistError::new(
+                        args[2].line,
+                        args[2].column,
+                        format!("SIN frequency must be non-negative, got {frequency_hz}"),
+                    ));
+                }
+                let delay = match args.get(3) {
+                    Some(v) => {
+                        let d = self.finite(scope, v, "SIN delay")?;
+                        if d < 0.0 {
+                            return Err(NetlistError::new(
+                                v.line,
+                                v.column,
+                                format!("SIN delay must be non-negative, got {d}"),
+                            ));
+                        }
+                        d
+                    }
+                    None => 0.0,
+                };
+                let phase_rad = match args.get(4) {
+                    Some(v) => self.finite(scope, v, "SIN phase")?,
+                    None => 0.0,
+                };
+                Ok(Waveform::Sine {
+                    offset,
+                    amplitude,
+                    frequency_hz,
+                    phase_rad,
+                    delay,
+                })
+            }
+            WaveSpec::Pulse(args) => {
+                let mut fields = [0.0; 7];
+                let names = [
+                    "PULSE low",
+                    "PULSE high",
+                    "PULSE delay",
+                    "PULSE rise",
+                    "PULSE fall",
+                    "PULSE width",
+                    "PULSE period",
+                ];
+                for (slot, (field, name)) in fields.iter_mut().zip(names).enumerate() {
+                    if let Some(v) = args.get(slot) {
+                        *field = self.finite(scope, v, name)?;
+                    }
+                }
+                let [low, high, delay, rise, fall, width, period] = fields;
+                Waveform::pulse(low, high, delay, rise, fall, width, period)
+                    .map_err(|e| waveform_error(card, e))
+            }
+            WaveSpec::Pwl(args) => {
+                let mut points = Vec::with_capacity(args.len() / 2);
+                for pair in args.chunks_exact(2) {
+                    let t = self.finite(scope, &pair[0], "PWL time")?;
+                    let v = self.finite(scope, &pair[1], "PWL value")?;
+                    points.push((t, v));
+                }
+                Waveform::pwl(points).map_err(|e| waveform_error(card, e))
+            }
+        }
+    }
+
+    fn build_instance(
+        &mut self,
+        card: &Card,
+        instance: &InstanceCard,
+        scope: &Scope,
+        stack: &mut Vec<String>,
+    ) -> Result<(), NetlistError> {
+        // Clone the definition out of `self.document` so the node/device
+        // builders below can borrow `self` mutably. Definitions are small and
+        // instantiation is not a hot path.
+        let def = self
+            .find_subckt(&instance.subckt)
+            .ok_or_else(|| {
+                NetlistError::new(
+                    card.line,
+                    card.column,
+                    format!("undefined subcircuit '{}'", instance.subckt),
+                )
+            })?
+            .clone();
+        let key = def.name.to_ascii_lowercase();
+        if stack.contains(&key) {
+            return Err(NetlistError::new(
+                card.line,
+                card.column,
+                format!(
+                    "recursive subcircuit instantiation: '{}' is already being elaborated \
+                     (chain: {})",
+                    def.name,
+                    stack.join(" -> "),
+                ),
+            ));
+        }
+        if instance.nodes.len() != def.ports.len() {
+            return Err(NetlistError::new(
+                card.line,
+                card.column,
+                format!(
+                    "subcircuit '{}' has {} port(s) but instance '{}' connects {} node(s)",
+                    def.name,
+                    def.ports.len(),
+                    instance.name,
+                    instance.nodes.len()
+                ),
+            ));
+        }
+        // Parameter environment: definition defaults, then instance
+        // overrides (resolved in the *caller's* scope, so an override may
+        // itself be `{outer_param}`).
+        let mut params: HashMap<String, f64> = def.params.iter().cloned().collect();
+        for (key, value) in &instance.params {
+            if !params.contains_key(key) {
+                return Err(NetlistError::new(
+                    value.line,
+                    value.column,
+                    format!(
+                        "subcircuit '{}' has no parameter '{key}' (declared: {})",
+                        def.name,
+                        if def.params.is_empty() {
+                            "none".to_string()
+                        } else {
+                            def.params
+                                .iter()
+                                .map(|(k, _)| k.as_str())
+                                .collect::<Vec<_>>()
+                                .join(", ")
+                        }
+                    ),
+                ));
+            }
+            let resolved = self.resolve(scope, value)?;
+            params.insert(key.clone(), resolved);
+        }
+        // Port bindings resolve in the caller's scope *before* descending.
+        let ports: HashMap<String, NodeId> = def
+            .ports
+            .iter()
+            .zip(&instance.nodes)
+            .map(|(port, node)| (port.clone(), self.resolve_node(scope, node)))
+            .collect();
+        let child = Scope {
+            prefix: format!("{}{}.", scope.prefix, instance.name),
+            params,
+            ports,
+        };
+        stack.push(key);
+        let result = self.run_cards(&def.cards, &child, stack);
+        stack.pop();
+        result
+    }
+
+    fn find_subckt(&self, name: &str) -> Option<&SubcktDef> {
+        self.document
+            .subckts
+            .iter()
+            .find(|s| s.name.eq_ignore_ascii_case(name))
+    }
+}
+
+/// Positions a waveform-validation failure at its card.
+fn waveform_error(card: &Card, error: MnaError) -> NetlistError {
+    let message = match error {
+        MnaError::InvalidWaveform(msg) => msg,
+        other => other.to_string(),
+    };
+    NetlistError::new(card.line, card.column, message)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{build, parse};
+    use crate::circuit::Circuit;
+    use crate::devices::{Capacitor, Diode, Resistor, VoltageSource};
+    use crate::waveform::Waveform;
+
+    #[test]
+    fn builds_a_flat_circuit_with_ground_aliases() {
+        let c = build("V1 in 0 SIN(0 2 50)\nR1 in out 10k\nC1 out GND 100n\n").unwrap();
+        assert_eq!(c.node_count(), 3); // gnd, in, out
+        assert_eq!(c.device_count(), 3);
+        assert_eq!(c.find_node("in").unwrap().index(), 1);
+        assert_eq!(c.find_node("out").unwrap().index(), 2);
+        let r = c.devices()[1]
+            .as_any()
+            .unwrap()
+            .downcast_ref::<Resistor>()
+            .unwrap();
+        assert_eq!(r.resistance(), 10e3);
+        assert_eq!(r.terminals().1, c.find_node("out").unwrap());
+        let cap = c.devices()[2]
+            .as_any()
+            .unwrap()
+            .downcast_ref::<Capacitor>()
+            .unwrap();
+        assert!(cap.terminals().1.is_ground());
+    }
+
+    #[test]
+    fn nodes_card_pins_numbering_order() {
+        let c = build(".nodes b a\nR1 a b 1k\n").unwrap();
+        assert_eq!(c.find_node("b").unwrap().index(), 1);
+        assert_eq!(c.find_node("a").unwrap().index(), 2);
+    }
+
+    #[test]
+    fn subckt_flattening_scopes_nodes_and_params() {
+        let src = "\
+.subckt divider top bot r=1k
+.nodes mid
+Rtop top mid {r}
+Rbot mid bot {r}
+.ends
+V1 in 0 5
+x1 in 0 divider r=22k
+x2 in 0 divider
+";
+        let c = build(src).unwrap();
+        // Nodes: gnd, in, x1.mid, x2.mid.
+        assert_eq!(c.node_count(), 4);
+        assert!(c.find_node("x1.mid").is_some());
+        assert!(c.find_node("x2.mid").is_some());
+        assert_eq!(c.device_count(), 5);
+        assert_eq!(c.devices()[1].name(), "x1.Rtop");
+        let r = c.devices()[1]
+            .as_any()
+            .unwrap()
+            .downcast_ref::<Resistor>()
+            .unwrap();
+        assert_eq!(r.resistance(), 22e3);
+        let r_default = c.devices()[3]
+            .as_any()
+            .unwrap()
+            .downcast_ref::<Resistor>()
+            .unwrap();
+        assert_eq!(r_default.resistance(), 1e3);
+        // The port binding wires the instance to the caller's node.
+        assert_eq!(r.terminals().0, c.find_node("in").unwrap());
+    }
+
+    #[test]
+    fn nested_instances_compose_prefixes_and_override_chains() {
+        let src = "\
+.subckt leaf a c=1u
+Cl a 0 {c}
+.ends
+.subckt branch a c=2u
+x9 a leaf c={c}
+.ends
+xb in branch c=3u
+R1 in 0 1k
+";
+        let c = build(src).unwrap();
+        assert_eq!(c.devices()[0].name(), "xb.x9.Cl");
+        let cap = c.devices()[0]
+            .as_any()
+            .unwrap()
+            .downcast_ref::<Capacitor>()
+            .unwrap();
+        assert_eq!(cap.capacitance(), 3e-6);
+    }
+
+    #[test]
+    fn default_diode_matches_diode_new() {
+        let c = build("D1 a 0 \nR1 a 0 1k\n").unwrap();
+        let d = c.devices()[0]
+            .as_any()
+            .unwrap()
+            .downcast_ref::<Diode>()
+            .unwrap();
+        let mut reference = Circuit::new();
+        let a = reference.node("a");
+        let expected = Diode::new("D1", a, Circuit::GROUND);
+        assert_eq!(d, &expected);
+    }
+
+    #[test]
+    fn waveforms_elaborate_exactly() {
+        let c = build(
+            "V1 a 0 SIN(0 2.5 1000)\nV2 b 0 PULSE(0 5 0 1m 1m 2m 10m)\nV3 c 0 PWL(0 0 1m 5)\nI1 0 d 1m\n",
+        )
+        .unwrap();
+        let v1 = c.devices()[0]
+            .as_any()
+            .unwrap()
+            .downcast_ref::<VoltageSource>()
+            .unwrap();
+        assert_eq!(v1.waveform(), &Waveform::sine(2.5, 1000.0));
+        let v2 = c.devices()[1]
+            .as_any()
+            .unwrap()
+            .downcast_ref::<VoltageSource>()
+            .unwrap();
+        assert_eq!(
+            v2.waveform(),
+            &Waveform::pulse(0.0, 5.0, 0.0, 1e-3, 1e-3, 2e-3, 10e-3).unwrap()
+        );
+        let v3 = c.devices()[2]
+            .as_any()
+            .unwrap()
+            .downcast_ref::<VoltageSource>()
+            .unwrap();
+        assert_eq!(
+            v3.waveform(),
+            &Waveform::pwl(vec![(0.0, 0.0), (1e-3, 5.0)]).unwrap()
+        );
+    }
+
+    #[test]
+    fn semantic_errors_carry_positions() {
+        // Non-positive resistance: blamed on the value token.
+        let err = build("R1 a 0 -5\n").unwrap_err();
+        assert_eq!((err.line, err.column), (1, 8));
+        assert!(err.message.contains("resistance"), "{err}");
+
+        // Unsorted PWL reaches the waveform validator.
+        let err = build("V1 a 0 PWL(1m 5 0 0)\n").unwrap_err();
+        assert!(err.message.contains("strictly increasing"), "{err}");
+        assert_eq!(err.line, 1);
+
+        // Negative pulse edges are rejected at the parser boundary.
+        let err = build("V1 a 0 PULSE(0 5 0 -1m 1m 2m 10m)\n").unwrap_err();
+        assert!(err.message.contains("non-negative"), "{err}");
+
+        // Undefined subcircuit.
+        let err = build("X1 a b nosuch\n").unwrap_err();
+        assert_eq!((err.line, err.column), (1, 1));
+        assert!(err.message.contains("undefined subcircuit"), "{err}");
+
+        // Port-count mismatch.
+        let err = build(".subckt s a b\nR1 a b 1k\n.ends\nX1 in s\n").unwrap_err();
+        assert_eq!(err.line, 4);
+        assert!(err.message.contains("2 port(s)"), "{err}");
+
+        // Unknown parameter override.
+        let err = build(".subckt s a\nR1 a 0 1k\n.ends\nX1 in s q=5\n").unwrap_err();
+        assert!(err.message.contains("no parameter 'q'"), "{err}");
+
+        // Undefined `{param}` reference.
+        let err = build("R1 a 0 {missing}\n").unwrap_err();
+        assert!(err.message.contains("undefined parameter"), "{err}");
+
+        // Duplicate device names.
+        let err = build("R1 a 0 1k\nR1 b 0 2k\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("duplicate device"), "{err}");
+
+        // Switch timing.
+        let err = build("S1 a 0 2m 1m\n").unwrap_err();
+        assert!(err.message.contains("close before it opens"), "{err}");
+    }
+
+    #[test]
+    fn recursive_subcircuits_are_refused() {
+        let direct = "\
+.subckt loop a
+X1 a loop
+.ends
+X0 in loop
+";
+        let err = build(direct).unwrap_err();
+        assert!(err.message.contains("recursive"), "{err}");
+
+        let mutual = "\
+.subckt ping a
+X1 a pong
+.ends
+.subckt pong a
+X1 a ping
+.ends
+X0 in ping
+";
+        let err = build(mutual).unwrap_err();
+        assert!(err.message.contains("recursive"), "{err}");
+    }
+
+    #[test]
+    fn empty_netlists_are_an_error_not_a_panic() {
+        let err = build("* nothing but a comment\n").unwrap_err();
+        assert!(err.message.contains("no devices"), "{err}");
+        let doc = parse(".subckt s a\nR1 a 0 1k\n.ends\n").unwrap();
+        let err = super::elaborate(&doc).unwrap_err();
+        assert!(err.message.contains("no devices"), "{err}");
+    }
+}

@@ -1,0 +1,261 @@
+//! Line-level tokenisation: comments, continuations, punctuation, and
+//! engineering-notation number parsing.
+//!
+//! The format is line-oriented, so the lexer's unit of output is the
+//! *logical line*: a physical line plus any following continuation lines
+//! (first non-blank character `+`). Comments (`*` full-line, `;` to end of
+//! line) are stripped here; every surviving token carries the 1-based
+//! line/column of its first character so later stages can report precise
+//! positions.
+
+use super::NetlistError;
+
+/// One token: a word or a single punctuation character (`(`, `)`, `=`, `{`,
+/// `}`), with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct Token {
+    pub text: String,
+    pub line: usize,
+    pub column: usize,
+}
+
+impl Token {
+    /// Positioned error blaming this token.
+    pub fn error(&self, message: impl Into<String>) -> NetlistError {
+        NetlistError::new(self.line, self.column, message)
+    }
+}
+
+/// Characters that terminate a word and stand alone as tokens.
+const PUNCT: &[char] = &['(', ')', '=', '{', '}'];
+
+/// Splits source text into logical lines of tokens.
+///
+/// * Blank lines and full-line comments (first non-blank char `*`) vanish.
+/// * `;` comments out the rest of a physical line.
+/// * A physical line whose first non-blank character is `+` continues the
+///   previous logical line (an error if there is none).
+/// * Commas are treated as whitespace, so `PWL(0 0, 1m 5)` reads naturally.
+pub(crate) fn logical_lines(source: &str) -> Result<Vec<Vec<Token>>, NetlistError> {
+    let mut lines: Vec<Vec<Token>> = Vec::new();
+    for (index, raw) in source.lines().enumerate() {
+        let line_no = index + 1;
+        let body = match raw.find(';') {
+            Some(pos) => &raw[..pos],
+            None => raw,
+        };
+        let trimmed = body.trim_start();
+        if trimmed.is_empty() || trimmed.starts_with('*') {
+            continue;
+        }
+        let continuation = trimmed.starts_with('+');
+        let mut tokens = tokenize(body, line_no, continuation);
+        if continuation {
+            match lines.last_mut() {
+                Some(last) => last.append(&mut tokens),
+                None => {
+                    let column = body.len() - trimmed.len() + 1;
+                    return Err(NetlistError::new(
+                        line_no,
+                        column,
+                        "continuation line '+' with no preceding statement",
+                    ));
+                }
+            }
+        } else if !tokens.is_empty() {
+            lines.push(tokens);
+        }
+    }
+    Ok(lines)
+}
+
+/// Tokenises one physical line. When `skip_plus` is set, the leading `+`
+/// continuation marker is dropped.
+fn tokenize(body: &str, line_no: usize, skip_plus: bool) -> Vec<Token> {
+    let mut tokens = Vec::new();
+    let mut word = String::new();
+    let mut word_start = 0usize;
+    let mut dropped_plus = !skip_plus;
+    let flush = |tokens: &mut Vec<Token>, word: &mut String, start: usize| {
+        if !word.is_empty() {
+            tokens.push(Token {
+                text: std::mem::take(word),
+                line: line_no,
+                column: start + 1,
+            });
+        }
+    };
+    for (pos, ch) in body.char_indices() {
+        if !dropped_plus {
+            if ch.is_whitespace() {
+                continue;
+            }
+            // The first non-blank char is the `+` marker itself.
+            dropped_plus = true;
+            if ch == '+' {
+                continue;
+            }
+        }
+        if ch.is_whitespace() || ch == ',' {
+            flush(&mut tokens, &mut word, word_start);
+        } else if PUNCT.contains(&ch) {
+            flush(&mut tokens, &mut word, word_start);
+            tokens.push(Token {
+                text: ch.to_string(),
+                line: line_no,
+                column: pos + 1,
+            });
+        } else {
+            if word.is_empty() {
+                word_start = pos;
+            }
+            word.push(ch);
+        }
+    }
+    flush(&mut tokens, &mut word, word_start);
+    tokens
+}
+
+/// Parses a number with an optional engineering suffix (`f p n u m k meg g
+/// t`, case-insensitive) and optional trailing unit letters (`10kohm`,
+/// `100nF`). Returns `None` for anything that is not a finite number.
+///
+/// Exactness contract: `47u` parses to *exactly* the double the Rust
+/// literal `47e-6` denotes. Suffixes are applied by rewriting the decimal
+/// exponent **before** the single decimal→binary conversion (never by
+/// multiplying two rounded doubles), so netlist values are bit-identical to
+/// their hardcoded-fixture counterparts.
+pub(crate) fn parse_number(text: &str) -> Option<f64> {
+    if let Ok(value) = text.parse::<f64>() {
+        // `str::parse::<f64>` accepts "inf"/"nan"; netlist values must be
+        // finite, so those are rejected here rather than propagated.
+        return value.is_finite().then_some(value);
+    }
+    // Longest numeric prefix + suffix. Iterating from the end finds the
+    // longest prefix first, so "4.7e1k" splits as "4.7e1" + "k", not "4.7".
+    for split in (1..text.len()).rev() {
+        if !text.is_char_boundary(split) {
+            continue;
+        }
+        let (mantissa, rest) = text.split_at(split);
+        let Ok(value) = mantissa.parse::<f64>() else {
+            continue;
+        };
+        if !value.is_finite() {
+            return None; // "inf"/"nan" prefixes are not numbers here
+        }
+        let lower = rest.to_ascii_lowercase();
+        let (exponent, units) = if let Some(units) = lower.strip_prefix("meg") {
+            (6i32, units)
+        } else {
+            let scale = match lower.as_bytes()[0] {
+                b'f' => -15,
+                b'p' => -12,
+                b'n' => -9,
+                b'u' => -6,
+                b'm' => -3,
+                b'k' => 3,
+                b'g' => 9,
+                b't' => 12,
+                _ => return None,
+            };
+            (scale, &lower[1..])
+        };
+        if !units.chars().all(|c| c.is_ascii_alphabetic()) {
+            return None;
+        }
+        // Mantissas with their own exponent ("4.7e1k") cannot be rewritten
+        // textually; fall back to a power-of-ten multiply. Plain decimals —
+        // the common case, and the one bit-exactness matters for — get the
+        // exact single-conversion path.
+        if mantissa.contains(['e', 'E']) {
+            let scaled = value * 10f64.powi(exponent);
+            return scaled.is_finite().then_some(scaled);
+        }
+        let rewritten = format!("{mantissa}e{exponent}");
+        return rewritten.parse::<f64>().ok().filter(|v| v.is_finite());
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(line: &[Token]) -> Vec<&str> {
+        line.iter().map(|t| t.text.as_str()).collect()
+    }
+
+    #[test]
+    fn comments_blanks_and_continuations() {
+        let src = "* title comment\n\nR1 a b 10k ; trailing comment\n+ 42\n* another\nV1 in 0 5\n";
+        let lines = logical_lines(src).unwrap();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(texts(&lines[0]), vec!["R1", "a", "b", "10k", "42"]);
+        assert_eq!(texts(&lines[1]), vec!["V1", "in", "0", "5"]);
+        // Positions: R1 starts at line 3 column 1; the continuation token
+        // keeps its own physical position.
+        assert_eq!((lines[0][0].line, lines[0][0].column), (3, 1));
+        assert_eq!((lines[0][4].line, lines[0][4].column), (4, 3));
+    }
+
+    #[test]
+    fn leading_continuation_is_an_error() {
+        let err = logical_lines("+ R1 a b 1k").unwrap_err();
+        assert_eq!((err.line, err.column), (1, 1));
+        assert!(err.message.contains("continuation"));
+    }
+
+    #[test]
+    fn punctuation_and_commas_split_tokens() {
+        let lines = logical_lines("V1 in 0 SIN(0, 2 50)\nC1 a b {c} ic=0.5").unwrap();
+        assert_eq!(
+            texts(&lines[0]),
+            vec!["V1", "in", "0", "SIN", "(", "0", "2", "50", ")"]
+        );
+        assert_eq!(
+            texts(&lines[1]),
+            vec!["C1", "a", "b", "{", "c", "}", "ic", "=", "0.5"]
+        );
+    }
+
+    #[test]
+    fn numbers_with_suffixes() {
+        assert_eq!(parse_number("10k"), Some(10e3));
+        assert_eq!(parse_number("1meg"), Some(1e6));
+        assert_eq!(parse_number("47u"), Some(47e-6));
+        assert_eq!(parse_number("4.7u"), Some(4.7e-6));
+        assert_eq!(parse_number("100n"), Some(100e-9));
+        assert_eq!(parse_number("2p"), Some(2e-12));
+        assert_eq!(parse_number("3f"), Some(3e-15));
+        assert_eq!(parse_number("5g"), Some(5e9));
+        assert_eq!(parse_number("6t"), Some(6e12));
+        assert_eq!(parse_number("-1.5m"), Some(-1.5e-3));
+        assert_eq!(parse_number("10kohm"), Some(10e3));
+        assert_eq!(parse_number("100nF"), Some(100e-9));
+        assert_eq!(parse_number("2.5"), Some(2.5));
+        assert_eq!(parse_number("1e-8"), Some(1e-8));
+        assert_eq!(parse_number("50MEG"), Some(50e6));
+    }
+
+    #[test]
+    fn suffix_values_are_bit_identical_to_literals() {
+        assert_eq!(parse_number("47u").unwrap().to_bits(), 47e-6f64.to_bits());
+        assert_eq!(parse_number("10u").unwrap().to_bits(), 10e-6f64.to_bits());
+        assert_eq!(parse_number("4.7u").unwrap().to_bits(), 4.7e-6f64.to_bits());
+        assert_eq!(
+            parse_number("4.7e-7").unwrap().to_bits(),
+            4.7e-7f64.to_bits()
+        );
+        assert_eq!(parse_number("1meg").unwrap().to_bits(), 1e6f64.to_bits());
+    }
+
+    #[test]
+    fn non_numbers_are_rejected() {
+        for bad in [
+            "", "abc", "1e", "1..2", "nan", "NaN", "inf", "-inf", "10x", "k", "1k2", "--1",
+        ] {
+            assert_eq!(parse_number(bad), None, "{bad:?} must not parse");
+        }
+    }
+}

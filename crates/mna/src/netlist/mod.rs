@@ -1,0 +1,154 @@
+//! SPICE-flavoured netlist front-end: parse → elaborate → build.
+//!
+//! Every circuit in this workspace used to be a hardcoded Rust builder;
+//! this module turns a circuit description into *data* so new scenarios —
+//! and any future service layer — can open without recompiling. The format
+//! is a line-oriented SPICE dialect covering the full
+//! [`devices`](crate::devices) standard library and every
+//! [`Waveform`](crate::waveform::Waveform) variant, plus `.subckt`/`.ends`
+//! subcircuit definitions with parameter substitution so a Villard stage or
+//! a generator block is declared once and instantiated N times.
+//!
+//! See `docs/netlist.md` in the repository root for the complete format
+//! reference. In brief:
+//!
+//! ```text
+//! * comment lines start with '*'; '; ...' comments out the rest of a line
+//! .nodes in out            ; optional: pin node creation order
+//! .subckt divider a b r=1k ; subcircuit with a parameter default
+//! Rtop a mid {r}
+//! Rbot mid b {r}
+//! .ends
+//! V1 in 0 SIN(0 2 50)      ; offset amplitude frequency [delay [phase]]
+//! X1 in out divider r=22k
+//! C1 out 0 100n ic=0.5     ; engineering suffixes, initial conditions
+//! ```
+//!
+//! # Pipeline
+//!
+//! * [`parse`] — text → [`Document`] (cards + subcircuit definitions). All
+//!   syntax errors carry the 1-based line and column they occurred at.
+//! * [`elaborate`] — [`Document`] → [`Circuit`]: flattens subcircuit
+//!   instances (`x1.node` scoping, ground aliasing for `0`/`gnd`),
+//!   substitutes parameters, validates every device value (no construction
+//!   panics are reachable from text input) and produces **deterministic
+//!   node ordering**: nodes are numbered in first-reference order, and a
+//!   `.nodes` card pins an explicit order up front — how the shipped
+//!   `coupled_array` netlist keeps its stage-before-bus numbering so
+//!   sparse-LU elimination stays O(n).
+//! * [`build`] — the composition of the two.
+//! * [`print()`] — a [`Circuit`] made of standard devices → flat netlist
+//!   text, such that `build(print(c))` reproduces `c` exactly (same node
+//!   numbering, same device order, bit-identical values).
+//!
+//! Errors never panic: every malformed input is reported as a
+//! [`NetlistError`] with position context.
+
+use crate::circuit::Circuit;
+use std::error::Error;
+use std::fmt;
+
+mod elaborator;
+mod lexer;
+mod parser;
+mod printer;
+
+pub use parser::Document;
+
+/// A netlist front-end error with source-position context.
+///
+/// `line` and `column` are 1-based; position `(0, 0)` (only produced by
+/// [`print()`], which has no source text) renders without a location prefix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetlistError {
+    /// 1-based source line of the offending token (0 = no position).
+    pub line: usize,
+    /// 1-based source column of the offending token (0 = no position).
+    pub column: usize,
+    /// Human-readable description of what went wrong.
+    pub message: String,
+}
+
+impl NetlistError {
+    pub(crate) fn new(line: usize, column: usize, message: impl Into<String>) -> Self {
+        NetlistError {
+            line,
+            column,
+            message: message.into(),
+        }
+    }
+
+    pub(crate) fn unpositioned(message: impl Into<String>) -> Self {
+        NetlistError {
+            line: 0,
+            column: 0,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "{}", self.message)
+        } else {
+            write!(
+                f,
+                "line {}, column {}: {}",
+                self.line, self.column, self.message
+            )
+        }
+    }
+}
+
+impl Error for NetlistError {}
+
+/// Parses netlist text into a [`Document`] without building a circuit.
+///
+/// # Errors
+///
+/// Returns a positioned [`NetlistError`] on any syntax problem: unknown
+/// device prefix or directive, wrong argument count, malformed numbers,
+/// `.subckt` without `.ends`, duplicate definitions, ….
+pub fn parse(source: &str) -> Result<Document, NetlistError> {
+    parser::parse(source)
+}
+
+/// Flattens a parsed [`Document`] into a [`Circuit`].
+///
+/// # Errors
+///
+/// Returns a positioned [`NetlistError`] on any semantic problem: undefined
+/// or recursive subcircuits, port-count mismatches, unknown parameters, or
+/// device values outside their physical domain (non-positive resistance,
+/// unsorted PWL tables, negative pulse edges, …).
+pub fn elaborate(document: &Document) -> Result<Circuit, NetlistError> {
+    elaborator::elaborate(document)
+}
+
+/// Parses and elaborates netlist text into a ready-to-simulate [`Circuit`].
+///
+/// # Errors
+///
+/// Any error from [`parse`] or [`elaborate`].
+pub fn build(source: &str) -> Result<Circuit, NetlistError> {
+    elaborate(&parse(source)?)
+}
+
+/// Prints a [`Circuit`] of standard [`devices`](crate::devices) as a flat
+/// netlist, the inverse of [`build`]: `build(print(c))` reproduces `c` with
+/// identical node numbering, device order and bit-identical values.
+///
+/// The output starts with a `.nodes` card pinning the circuit's node order,
+/// so round-tripping preserves [`NodeId`](crate::circuit::NodeId)s even when
+/// nodes were created in a different order than the devices reference them.
+///
+/// # Errors
+///
+/// Returns an (unpositioned) [`NetlistError`] if the circuit contains a
+/// device outside the standard library (e.g. a behavioural generator model)
+/// or a node/device name the line format cannot represent (embedded
+/// whitespace or `(){}=;*,` characters).
+pub fn print(circuit: &Circuit) -> Result<String, NetlistError> {
+    printer::print(circuit)
+}

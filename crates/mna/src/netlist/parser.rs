@@ -1,0 +1,739 @@
+//! Card-level grammar: logical lines → a [`Document`] of typed cards.
+//!
+//! The parser validates everything that can be checked without elaboration
+//! context — device prefixes, argument arity, number syntax, waveform
+//! shapes, `.subckt`/`.ends` pairing — and records source positions on
+//! every card and value so elaboration errors stay precise.
+
+use super::lexer::{logical_lines, parse_number, Token};
+use super::NetlistError;
+
+/// A parsed netlist: top-level cards in source order plus subcircuit
+/// definitions (looked up by case-insensitive name at elaboration).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Document {
+    pub(crate) cards: Vec<Card>,
+    pub(crate) subckts: Vec<SubcktDef>,
+}
+
+/// A subcircuit definition (`.subckt name ports… [param=default…]` …
+/// `.ends`).
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct SubcktDef {
+    pub name: String,
+    pub ports: Vec<String>,
+    /// Parameter defaults; must be literal numbers.
+    pub params: Vec<(String, f64)>,
+    pub cards: Vec<Card>,
+    pub line: usize,
+    pub column: usize,
+}
+
+/// One statement with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct Card {
+    pub line: usize,
+    pub column: usize,
+    pub kind: CardKind,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum CardKind {
+    /// `.nodes a b c` — pre-create nodes in the listed order.
+    Nodes(Vec<String>),
+    /// A primitive device card.
+    Device(DeviceCard),
+    /// `Xname node… subckt [param=value…]` — subcircuit instance.
+    Instance(InstanceCard),
+}
+
+/// A value token: a literal number or a `{param}` reference, resolved at
+/// elaboration. Carries its position for error reporting.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct Value {
+    pub kind: ValueKind,
+    pub line: usize,
+    pub column: usize,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum ValueKind {
+    Number(f64),
+    Param(String),
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct DeviceCard {
+    pub name: String,
+    pub nodes: Vec<String>,
+    pub spec: DeviceSpec,
+}
+
+/// The typed payload of a device card, arity-checked at parse time.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum DeviceSpec {
+    Resistor { value: Value },
+    Capacitor { value: Value, ic: Option<Value> },
+    Inductor { value: Value, ic: Option<Value> },
+    VoltageSource { wave: WaveSpec },
+    CurrentSource { wave: WaveSpec },
+    Diode { is: Option<Value>, n: Option<Value> },
+    Transformer { ratio: Value },
+    Switch { t_on: Value, t_off: Value },
+}
+
+/// A source waveform, shape-checked at parse time.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum WaveSpec {
+    /// `DC v` or a bare value.
+    Dc(Value),
+    /// `SIN(offset amplitude frequency [delay [phase]])` — phase in radians.
+    Sin(Vec<Value>),
+    /// `PULSE(low high delay rise fall width period)` (missing trailing
+    /// arguments default to 0).
+    Pulse(Vec<Value>),
+    /// `PWL(t1 v1 t2 v2 …)`.
+    Pwl(Vec<Value>),
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct InstanceCard {
+    pub name: String,
+    pub nodes: Vec<String>,
+    pub subckt: String,
+    pub params: Vec<(String, Value)>,
+}
+
+/// Parses netlist source text into a [`Document`].
+pub(crate) fn parse(source: &str) -> Result<Document, NetlistError> {
+    let lines = logical_lines(source)?;
+    let mut cards = Vec::new();
+    let mut subckts: Vec<SubcktDef> = Vec::new();
+    let mut open_subckt: Option<SubcktDef> = None;
+
+    for line in &lines {
+        let head = &line[0];
+        if let Some(directive) = head.text.strip_prefix('.') {
+            match directive.to_ascii_lowercase().as_str() {
+                "subckt" => {
+                    if open_subckt.is_some() {
+                        return Err(head.error(
+                            "nested .subckt definitions are not allowed \
+                             (missing .ends above?)",
+                        ));
+                    }
+                    open_subckt = Some(parse_subckt_header(line)?);
+                }
+                "ends" => match open_subckt.take() {
+                    Some(def) => {
+                        if subckts
+                            .iter()
+                            .any(|s| s.name.eq_ignore_ascii_case(&def.name))
+                        {
+                            return Err(NetlistError::new(
+                                def.line,
+                                def.column,
+                                format!("duplicate subcircuit definition '{}'", def.name),
+                            ));
+                        }
+                        subckts.push(def);
+                    }
+                    None => return Err(head.error(".ends without a matching .subckt")),
+                },
+                "nodes" => {
+                    if line.len() < 2 {
+                        return Err(head.error(".nodes needs at least one node name"));
+                    }
+                    let names = line[1..]
+                        .iter()
+                        .map(|t| word(t, "node name"))
+                        .collect::<Result<Vec<_>, _>>()?;
+                    let card = Card {
+                        line: head.line,
+                        column: head.column,
+                        kind: CardKind::Nodes(names),
+                    };
+                    push_card(&mut cards, &mut open_subckt, card);
+                }
+                "end" => {
+                    if open_subckt.is_some() {
+                        return Err(head.error(".end inside a .subckt (missing .ends?)"));
+                    }
+                    break;
+                }
+                other => {
+                    return Err(head.error(format!("unknown directive '.{other}'")));
+                }
+            }
+            continue;
+        }
+        let card = parse_card(line)?;
+        push_card(&mut cards, &mut open_subckt, card);
+    }
+    if let Some(def) = open_subckt {
+        return Err(NetlistError::new(
+            def.line,
+            def.column,
+            format!("subcircuit '{}' is never closed with .ends", def.name),
+        ));
+    }
+    Ok(Document { cards, subckts })
+}
+
+fn push_card(cards: &mut Vec<Card>, open: &mut Option<SubcktDef>, card: Card) {
+    match open {
+        Some(def) => def.cards.push(card),
+        None => cards.push(card),
+    }
+}
+
+/// Requires a bare word token (not punctuation).
+fn word(token: &Token, what: &str) -> Result<String, NetlistError> {
+    if token.text.chars().all(|c| !"(){}=".contains(c)) {
+        Ok(token.text.clone())
+    } else {
+        Err(token.error(format!("expected {what}, found '{}'", token.text)))
+    }
+}
+
+fn parse_subckt_header(line: &[Token]) -> Result<SubcktDef, NetlistError> {
+    let head = &line[0];
+    if line.len() < 2 {
+        return Err(head.error(".subckt needs a name and at least one port"));
+    }
+    let name = word(&line[1], "subcircuit name")?;
+    let mut ports = Vec::new();
+    let mut params = Vec::new();
+    let mut rest = &line[2..];
+    while !rest.is_empty() {
+        // `key = value` switches the header from ports to parameter
+        // defaults; everything after the first default must be a default.
+        if rest.len() >= 3 && rest[1].text == "=" {
+            let key = word(&rest[0], "parameter name")?.to_ascii_lowercase();
+            let value = parse_number(&rest[2].text).ok_or_else(|| {
+                rest[2].error(format!(
+                    "subcircuit parameter default must be a literal number, found '{}'",
+                    rest[2].text
+                ))
+            })?;
+            if params.iter().any(|(k, _)| *k == key) {
+                return Err(rest[0].error(format!("duplicate parameter default '{key}'")));
+            }
+            params.push((key, value));
+            rest = &rest[3..];
+        } else if params.is_empty() {
+            ports.push(word(&rest[0], "port name")?);
+            rest = &rest[1..];
+        } else {
+            return Err(rest[0].error(format!(
+                "expected 'param=default' after the first default, found '{}'",
+                rest[0].text
+            )));
+        }
+    }
+    if ports.is_empty() {
+        return Err(head.error(format!("subcircuit '{name}' declares no ports")));
+    }
+    Ok(SubcktDef {
+        name,
+        ports,
+        params,
+        cards: Vec::new(),
+        line: head.line,
+        column: head.column,
+    })
+}
+
+/// Parses one device or instance card.
+fn parse_card(line: &[Token]) -> Result<Card, NetlistError> {
+    let head = &line[0];
+    let name = word(head, "device name")?;
+    let prefix = name
+        .chars()
+        .next()
+        .expect("logical lines never contain empty tokens")
+        .to_ascii_uppercase();
+    let mut args = Args::new(&name, &line[1..]);
+    let kind = match prefix {
+        'R' => {
+            let nodes = args.nodes(2)?;
+            let value = args.positional_value("resistance")?;
+            args.finish()?;
+            CardKind::Device(DeviceCard {
+                name,
+                nodes,
+                spec: DeviceSpec::Resistor { value },
+            })
+        }
+        'C' => {
+            let nodes = args.nodes(2)?;
+            let value = args.positional_value("capacitance")?;
+            let ic = args.keyed_values(&["ic"])?.pop().unwrap();
+            args.finish()?;
+            CardKind::Device(DeviceCard {
+                name,
+                nodes,
+                spec: DeviceSpec::Capacitor { value, ic },
+            })
+        }
+        'L' => {
+            let nodes = args.nodes(2)?;
+            let value = args.positional_value("inductance")?;
+            let ic = args.keyed_values(&["ic"])?.pop().unwrap();
+            args.finish()?;
+            CardKind::Device(DeviceCard {
+                name,
+                nodes,
+                spec: DeviceSpec::Inductor { value, ic },
+            })
+        }
+        'V' | 'I' => {
+            let nodes = args.nodes(2)?;
+            let wave = args.waveform()?;
+            args.finish()?;
+            let spec = if prefix == 'V' {
+                DeviceSpec::VoltageSource { wave }
+            } else {
+                DeviceSpec::CurrentSource { wave }
+            };
+            CardKind::Device(DeviceCard { name, nodes, spec })
+        }
+        'D' => {
+            let nodes = args.nodes(2)?;
+            let mut keyed = args.keyed_values(&["is", "n"])?;
+            args.finish()?;
+            let n = keyed.pop().unwrap();
+            let is = keyed.pop().unwrap();
+            CardKind::Device(DeviceCard {
+                name,
+                nodes,
+                spec: DeviceSpec::Diode { is, n },
+            })
+        }
+        'T' => {
+            let nodes = args.nodes(4)?;
+            let ratio = args.positional_value("turns ratio")?;
+            args.finish()?;
+            CardKind::Device(DeviceCard {
+                name,
+                nodes,
+                spec: DeviceSpec::Transformer { ratio },
+            })
+        }
+        'S' => {
+            let nodes = args.nodes(2)?;
+            let t_on = args.positional_value("switch-on time")?;
+            let t_off = args.positional_value("switch-off time")?;
+            args.finish()?;
+            CardKind::Device(DeviceCard {
+                name,
+                nodes,
+                spec: DeviceSpec::Switch { t_on, t_off },
+            })
+        }
+        'X' => CardKind::Instance(parse_instance(name.clone(), &mut args)?),
+        other => {
+            return Err(head.error(format!(
+                "unknown device type '{other}' in '{name}' (expected one of \
+                 R, C, L, V, I, D, T, S or X)"
+            )));
+        }
+    };
+    Ok(Card {
+        line: head.line,
+        column: head.column,
+        kind,
+    })
+}
+
+fn parse_instance(name: String, args: &mut Args<'_>) -> Result<InstanceCard, NetlistError> {
+    // Grammar: nodes…, subckt name, then key=value parameter overrides.
+    // The subcircuit name is the last bare word before the first `=`.
+    let mut words = Vec::new();
+    while let Some(token) = args.peek() {
+        if args.at_keyed() {
+            break;
+        }
+        words.push((word(token, "node or subcircuit name")?, token.clone()));
+        args.advance();
+    }
+    if words.len() < 2 {
+        return Err(
+            args.head_error("subcircuit instance needs at least one node and a subcircuit name")
+        );
+    }
+    let (subckt, _) = words.pop().unwrap();
+    let nodes = words.into_iter().map(|(w, _)| w).collect();
+    let mut params = Vec::new();
+    while args.at_keyed() {
+        let (key, value) = args.keyed_pair()?;
+        if params.iter().any(|(k, _)| *k == key) {
+            return Err(NetlistError::new(
+                value.line,
+                value.column,
+                format!("duplicate parameter override '{key}'"),
+            ));
+        }
+        params.push((key, value));
+    }
+    args.finish()?;
+    Ok(InstanceCard {
+        name,
+        nodes,
+        subckt,
+        params,
+    })
+}
+
+/// Cursor over a card's argument tokens with shared arity/shape helpers.
+struct Args<'a> {
+    device: &'a str,
+    tokens: &'a [Token],
+    pos: usize,
+}
+
+impl<'a> Args<'a> {
+    fn new(device: &'a str, tokens: &'a [Token]) -> Self {
+        Args {
+            device,
+            tokens,
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&'a Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn advance(&mut self) {
+        self.pos += 1;
+    }
+
+    fn head_error(&self, message: impl Into<String>) -> NetlistError {
+        match self
+            .tokens
+            .get(self.pos.min(self.tokens.len().saturating_sub(1)))
+        {
+            Some(t) => t.error(format!("{}: {}", self.device, message.into())),
+            None => NetlistError::unpositioned(format!("{}: {}", self.device, message.into())),
+        }
+    }
+
+    /// True when the cursor sits on a `key = …` pair.
+    fn at_keyed(&self) -> bool {
+        self.tokens.get(self.pos + 1).map(|t| t.text.as_str()) == Some("=")
+    }
+
+    fn next_token(&mut self, what: &str) -> Result<&'a Token, NetlistError> {
+        match self.tokens.get(self.pos) {
+            Some(token) => {
+                self.pos += 1;
+                Ok(token)
+            }
+            None => Err(match self.tokens.last() {
+                Some(t) => t.error(format!("{}: missing {what}", self.device)),
+                None => NetlistError::unpositioned(format!("{}: missing {what}", self.device)),
+            }),
+        }
+    }
+
+    fn nodes(&mut self, count: usize) -> Result<Vec<String>, NetlistError> {
+        let mut nodes = Vec::with_capacity(count);
+        for i in 0..count {
+            let token = self.next_token(&format!("node {} of {count}", i + 1))?;
+            nodes.push(word(token, "node name")?);
+        }
+        Ok(nodes)
+    }
+
+    /// One positional value: a number or `{param}`.
+    fn positional_value(&mut self, what: &str) -> Result<Value, NetlistError> {
+        let token = self.next_token(what)?;
+        self.value_from(token, what)
+    }
+
+    fn value_from(&mut self, token: &Token, what: &str) -> Result<Value, NetlistError> {
+        if token.text == "{" {
+            let name = self.next_token("parameter name")?;
+            let name = word(name, "parameter name")?;
+            let close = self.next_token("closing '}'")?;
+            if close.text != "}" {
+                return Err(close.error(format!("expected '}}', found '{}'", close.text)));
+            }
+            return Ok(Value {
+                kind: ValueKind::Param(name.to_ascii_lowercase()),
+                line: token.line,
+                column: token.column,
+            });
+        }
+        match parse_number(&token.text) {
+            Some(v) => Ok(Value {
+                kind: ValueKind::Number(v),
+                line: token.line,
+                column: token.column,
+            }),
+            None => Err(token.error(format!(
+                "{}: expected a number for {what}, found '{}'",
+                self.device, token.text
+            ))),
+        }
+    }
+
+    /// Consumes `key=value` pairs restricted to `keys` (case-insensitive);
+    /// returns the values in the order of `keys`.
+    fn keyed_values(&mut self, keys: &[&str]) -> Result<Vec<Option<Value>>, NetlistError> {
+        let mut out: Vec<Option<Value>> = vec![None; keys.len()];
+        while self.at_keyed() {
+            let key_token = self.tokens.get(self.pos).unwrap();
+            let (key, value) = self.keyed_pair()?;
+            match keys.iter().position(|k| *k == key) {
+                Some(slot) => {
+                    if out[slot].is_some() {
+                        return Err(key_token.error(format!("duplicate parameter '{key}'")));
+                    }
+                    out[slot] = Some(value);
+                }
+                None => {
+                    return Err(key_token.error(format!(
+                        "{}: unknown parameter '{key}' (expected {})",
+                        self.device,
+                        keys.join(", ")
+                    )));
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Consumes one `key = value` pair.
+    fn keyed_pair(&mut self) -> Result<(String, Value), NetlistError> {
+        let key_token = self.next_token("parameter name")?;
+        let key = word(key_token, "parameter name")?.to_ascii_lowercase();
+        let eq = self.next_token("'='")?;
+        if eq.text != "=" {
+            return Err(eq.error(format!("expected '=', found '{}'", eq.text)));
+        }
+        let value_token = self.next_token("parameter value")?;
+        let value = self.value_from(value_token, &format!("parameter '{key}'"))?;
+        Ok((key, value))
+    }
+
+    /// Parses a source waveform: a bare value, `DC v`, or
+    /// `SIN(...)`/`PULSE(...)`/`PWL(...)`.
+    fn waveform(&mut self) -> Result<WaveSpec, NetlistError> {
+        let token = self.next_token("source value or waveform")?;
+        let upper = token.text.to_ascii_uppercase();
+        match upper.as_str() {
+            "DC" => {
+                let value = self.positional_value("DC value")?;
+                Ok(WaveSpec::Dc(value))
+            }
+            "SIN" | "SINE" => {
+                let args = self.paren_values("SIN")?;
+                if !(3..=5).contains(&args.len()) {
+                    return Err(token.error(format!(
+                        "SIN takes 3 to 5 arguments \
+                         (offset amplitude frequency [delay [phase]]), found {}",
+                        args.len()
+                    )));
+                }
+                Ok(WaveSpec::Sin(args))
+            }
+            "PULSE" => {
+                let args = self.paren_values("PULSE")?;
+                if !(2..=7).contains(&args.len()) {
+                    return Err(token.error(format!(
+                        "PULSE takes 2 to 7 arguments \
+                         (low high [delay [rise [fall [width [period]]]]]), found {}",
+                        args.len()
+                    )));
+                }
+                Ok(WaveSpec::Pulse(args))
+            }
+            "PWL" => {
+                let args = self.paren_values("PWL")?;
+                if args.is_empty() || args.len() % 2 != 0 {
+                    return Err(token.error(format!(
+                        "PWL takes an even, non-zero number of arguments \
+                         (t1 v1 t2 v2 …), found {}",
+                        args.len()
+                    )));
+                }
+                Ok(WaveSpec::Pwl(args))
+            }
+            _ => {
+                let value = self.value_from(token, "source value")?;
+                Ok(WaveSpec::Dc(value))
+            }
+        }
+    }
+
+    /// `( value… )` argument list for waveform cards.
+    fn paren_values(&mut self, what: &str) -> Result<Vec<Value>, NetlistError> {
+        let open = self.next_token(&format!("'(' after {what}"))?;
+        if open.text != "(" {
+            return Err(open.error(format!("expected '(' after {what}, found '{}'", open.text)));
+        }
+        let mut values = Vec::new();
+        loop {
+            let token = self.next_token("waveform argument or ')'")?;
+            if token.text == ")" {
+                return Ok(values);
+            }
+            values.push(self.value_from(token, "waveform argument")?);
+        }
+    }
+
+    /// Asserts every argument was consumed.
+    fn finish(&mut self) -> Result<(), NetlistError> {
+        match self.tokens.get(self.pos) {
+            None => Ok(()),
+            Some(extra) => Err(extra.error(format!(
+                "{}: unexpected trailing argument '{}'",
+                self.device, extra.text
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn device(src: &str) -> DeviceCard {
+        let doc = parse(src).expect("must parse");
+        match doc.cards.into_iter().next().expect("one card").kind {
+            CardKind::Device(d) => d,
+            other => panic!("expected a device, got {other:?}"),
+        }
+    }
+
+    fn number(v: &Value) -> f64 {
+        match v.kind {
+            ValueKind::Number(x) => x,
+            ValueKind::Param(ref p) => panic!("expected number, got param {p}"),
+        }
+    }
+
+    #[test]
+    fn parses_basic_devices() {
+        let r = device("R1 in out 10k");
+        assert_eq!(r.nodes, vec!["in", "out"]);
+        match r.spec {
+            DeviceSpec::Resistor { ref value } => assert_eq!(number(value), 10e3),
+            _ => panic!(),
+        }
+        let c = device("C3 a 0 100n ic=0.5");
+        match c.spec {
+            DeviceSpec::Capacitor { ref value, ref ic } => {
+                assert_eq!(number(value), 100e-9);
+                assert_eq!(number(ic.as_ref().unwrap()), 0.5);
+            }
+            _ => panic!(),
+        }
+        let t = device("T1 p1 p2 s1 s2 2.5");
+        assert_eq!(t.nodes.len(), 4);
+        let s = device("S1 a b 0.5m 2m");
+        match s.spec {
+            DeviceSpec::Switch {
+                ref t_on,
+                ref t_off,
+            } => {
+                assert_eq!(number(t_on), 0.5e-3);
+                assert_eq!(number(t_off), 2e-3);
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn parses_waveforms() {
+        match device("V1 in 0 SIN(0 2 50)").spec {
+            DeviceSpec::VoltageSource {
+                wave: WaveSpec::Sin(args),
+            } => assert_eq!(args.len(), 3),
+            other => panic!("{other:?}"),
+        }
+        match device("I1 0 out PULSE(0 1m 0 1u 1u 0.5m 1m)").spec {
+            DeviceSpec::CurrentSource {
+                wave: WaveSpec::Pulse(args),
+            } => assert_eq!(args.len(), 7),
+            other => panic!("{other:?}"),
+        }
+        match device("V2 a 0 PWL(0 0 1m 5 2m 0)").spec {
+            DeviceSpec::VoltageSource {
+                wave: WaveSpec::Pwl(args),
+            } => assert_eq!(args.len(), 6),
+            other => panic!("{other:?}"),
+        }
+        match device("V3 a 0 3.3").spec {
+            DeviceSpec::VoltageSource {
+                wave: WaveSpec::Dc(v),
+            } => assert_eq!(number(&v), 3.3),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_subckt_and_instance() {
+        let doc = parse(".subckt stage a b c=47u\nCpump a b {c}\n.ends\nX1 in out stage c=22u\n")
+            .unwrap();
+        assert_eq!(doc.subckts.len(), 1);
+        let def = &doc.subckts[0];
+        assert_eq!(def.name, "stage");
+        assert_eq!(def.ports, vec!["a", "b"]);
+        assert_eq!(def.params, vec![("c".to_string(), 47e-6)]);
+        assert_eq!(def.cards.len(), 1);
+        match &doc.cards[0].kind {
+            CardKind::Instance(inst) => {
+                assert_eq!(inst.nodes, vec!["in", "out"]);
+                assert_eq!(inst.subckt, "stage");
+                assert_eq!(inst.params.len(), 1);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_positions_are_precise() {
+        let err = parse("R1 in out 10k\nQ2 a b 5\n").unwrap_err();
+        assert_eq!((err.line, err.column), (2, 1));
+        assert!(err.message.contains("unknown device type 'Q'"), "{err}");
+
+        let err = parse("R1 in out banana").unwrap_err();
+        assert_eq!((err.line, err.column), (1, 11));
+        assert!(err.message.contains("banana"), "{err}");
+
+        let err = parse("V1 in 0 SIN(0 2)").unwrap_err();
+        assert!(err.message.contains("SIN takes 3 to 5"), "{err}");
+
+        let err = parse("R1 in out 1k 2k").unwrap_err();
+        assert!(err.message.contains("trailing argument"), "{err}");
+
+        let err = parse("R1 in").unwrap_err();
+        assert!(err.message.contains("missing node 2"), "{err}");
+
+        let err = parse("D1 a b vf=0.3").unwrap_err();
+        assert!(err.message.contains("unknown parameter 'vf'"), "{err}");
+    }
+
+    #[test]
+    fn subckt_pairing_errors() {
+        let err = parse(".subckt s a\nR1 a 0 1k\n").unwrap_err();
+        assert!(err.message.contains("never closed"), "{err}");
+        let err = parse(".ends\n").unwrap_err();
+        assert!(err.message.contains("without a matching"), "{err}");
+        let err = parse(".subckt s a\n.subckt t b\n.ends\n.ends\n").unwrap_err();
+        assert!(err.message.contains("nested"), "{err}");
+        let err = parse(".subckt s a\n.ends\n.subckt s a\n.ends\n").unwrap_err();
+        assert!(err.message.contains("duplicate subcircuit"), "{err}");
+    }
+
+    #[test]
+    fn dotted_directive_errors() {
+        let err = parse(".wibble 1 2").unwrap_err();
+        assert!(err.message.contains("unknown directive"), "{err}");
+        let err = parse(".nodes").unwrap_err();
+        assert!(err.message.contains("at least one node"), "{err}");
+    }
+}

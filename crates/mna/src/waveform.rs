@@ -1,5 +1,7 @@
 //! Time-dependent source descriptions.
 
+use crate::error::MnaError;
+
 /// A time-dependent scalar waveform used to drive voltage sources, current
 /// sources and the mechanical base excitation of the micro-generator.
 #[derive(Debug, Clone, PartialEq)]
@@ -64,6 +66,102 @@ impl Waveform {
         }
     }
 
+    /// Validating constructor for [`Waveform::Pulse`].
+    ///
+    /// The raw enum can express physically meaningless trains (negative rise
+    /// time, a period shorter than the trapezoid it repeats) whose evaluation
+    /// and breakpoint schedules are garbage; every boundary that accepts
+    /// untrusted input (the netlist parser in particular) must come through
+    /// here.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MnaError::InvalidWaveform`] if any field is non-finite, if
+    /// `delay`/`rise`/`fall`/`width`/`period` is negative, or if a non-zero
+    /// `period` is shorter than `rise + width + fall`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn pulse(
+        low: f64,
+        high: f64,
+        delay: f64,
+        rise: f64,
+        fall: f64,
+        width: f64,
+        period: f64,
+    ) -> Result<Self, MnaError> {
+        let fields = [
+            ("low", low),
+            ("high", high),
+            ("delay", delay),
+            ("rise", rise),
+            ("fall", fall),
+            ("width", width),
+            ("period", period),
+        ];
+        for (name, v) in fields {
+            if !v.is_finite() {
+                return Err(MnaError::InvalidWaveform(format!(
+                    "pulse {name} must be finite, got {v}"
+                )));
+            }
+        }
+        for (name, v) in &fields[2..] {
+            if *v < 0.0 {
+                return Err(MnaError::InvalidWaveform(format!(
+                    "pulse {name} must be non-negative, got {v}"
+                )));
+            }
+        }
+        if period > 0.0 && period < rise + width + fall {
+            return Err(MnaError::InvalidWaveform(format!(
+                "pulse period {period} is shorter than rise + width + fall = {}",
+                rise + width + fall
+            )));
+        }
+        Ok(Waveform::Pulse {
+            low,
+            high,
+            delay,
+            rise,
+            fall,
+            width,
+            period,
+        })
+    }
+
+    /// Validating constructor for [`Waveform::Pwl`].
+    ///
+    /// The raw enum accepts any point list; [`Waveform::value`] interpolates
+    /// by binary search, which silently returns garbage on unsorted or
+    /// duplicate-time tables. Boundaries that accept untrusted input must
+    /// come through here.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MnaError::InvalidWaveform`] if the table is empty, contains
+    /// a non-finite time or value, or its times are not strictly increasing.
+    pub fn pwl(points: Vec<(f64, f64)>) -> Result<Self, MnaError> {
+        if points.is_empty() {
+            return Err(MnaError::InvalidWaveform(
+                "PWL table must contain at least one point".to_string(),
+            ));
+        }
+        for &(t, v) in &points {
+            if !t.is_finite() || !v.is_finite() {
+                return Err(MnaError::InvalidWaveform(format!(
+                    "PWL points must be finite, got ({t}, {v})"
+                )));
+            }
+        }
+        if let Some(w) = points.windows(2).find(|w| w[1].0 <= w[0].0) {
+            return Err(MnaError::InvalidWaveform(format!(
+                "PWL times must be strictly increasing, got {} after {}",
+                w[1].0, w[0].0
+            )));
+        }
+        Ok(Waveform::Pwl(points))
+    }
+
     /// Evaluates the waveform at time `t` (seconds).
     pub fn value(&self, t: f64) -> f64 {
         match self {
@@ -96,12 +194,20 @@ impl Waveform {
                 if t < *delay {
                     return *low;
                 }
+                // Defensive floor: the validating [`Waveform::pulse`]
+                // constructor guarantees non-negative edges, but the enum is
+                // public, so a hand-built train must still evaluate without
+                // panicking or dividing by a negative duration. `f64::max`
+                // also maps NaN durations to 0.
+                let rise = rise.max(0.0);
+                let fall = fall.max(0.0);
+                let width = width.max(0.0);
                 let mut tau = t - delay;
-                if *period > 0.0 {
+                if *period > 0.0 && period.is_finite() {
                     tau %= period;
                 }
-                if tau < *rise {
-                    if *rise == 0.0 {
+                if tau < rise {
+                    if rise == 0.0 {
                         *high
                     } else {
                         low + (high - low) * tau / rise
@@ -109,7 +215,7 @@ impl Waveform {
                 } else if tau < rise + width {
                     *high
                 } else if tau < rise + width + fall {
-                    if *fall == 0.0 {
+                    if fall == 0.0 {
                         *low
                     } else {
                         high - (high - low) * (tau - rise - width) / fall
@@ -119,16 +225,30 @@ impl Waveform {
                 }
             }
             Waveform::Pwl(points) => {
-                if points.is_empty() {
+                let Some((&(first_t, first_v), &(last_t, last_v))) =
+                    points.first().zip(points.last())
+                else {
                     return 0.0;
+                };
+                // `!(t > first_t)` (rather than `t <= first_t`) also clamps a
+                // NaN evaluation time to the first value instead of falling
+                // through into the search.
+                #[allow(clippy::neg_cmp_op_on_partial_ord)]
+                if !(t > first_t) {
+                    return first_v;
                 }
-                if t <= points[0].0 {
-                    return points[0].1;
+                if t >= last_t {
+                    return last_v;
                 }
-                if t >= points[points.len() - 1].0 {
-                    return points[points.len() - 1].1;
-                }
-                let hi = points.partition_point(|&(ti, _)| ti <= t);
+                // On a table from the validating [`Waveform::pwl`]
+                // constructor the partition point lands in `1..len`; on a
+                // hand-built unsorted table `partition_point` can return any
+                // index (the predicate is not partitioned), so clamp into
+                // range — the interpolant is meaningless there, but it must
+                // not panic.
+                let hi = points
+                    .partition_point(|&(ti, _)| ti <= t)
+                    .clamp(1, points.len() - 1);
                 let (t0, v0) = points[hi - 1];
                 let (t1, v1) = points[hi];
                 if t1 == t0 {
@@ -187,7 +307,11 @@ impl Waveform {
                     push(out, start + rise);
                     push(out, start + rise + width);
                     push(out, start + rise + width + fall);
-                    if *period <= 0.0 || out.len() >= budget {
+                    // `!(> 0.0)` rather than `<= 0.0`: a NaN period must
+                    // also stop the scan (it would never advance `start`).
+                    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+                    let one_shot = !(*period > 0.0);
+                    if one_shot || out.len() >= budget {
                         break;
                     }
                     start += period;
@@ -418,6 +542,114 @@ mod tests {
     fn pwl_reports_its_corners_inside_the_window() {
         let w = Waveform::Pwl(vec![(0.0, 0.0), (1.0, 10.0), (2.0, -10.0), (5.0, 0.0)]);
         assert_eq!(collected_breakpoints(&w, 3.0), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn pulse_constructor_validates() {
+        assert!(Waveform::pulse(0.0, 5.0, 0.0, 1.0, 1.0, 2.0, 10.0).is_ok());
+        assert!(Waveform::pulse(0.0, 5.0, 0.0, 0.0, 0.0, 1.0, 0.0).is_ok());
+        // Negative durations are rejected field by field.
+        for bad in [
+            Waveform::pulse(0.0, 5.0, -1.0, 1.0, 1.0, 2.0, 10.0),
+            Waveform::pulse(0.0, 5.0, 0.0, -1.0, 1.0, 2.0, 10.0),
+            Waveform::pulse(0.0, 5.0, 0.0, 1.0, -1.0, 2.0, 10.0),
+            Waveform::pulse(0.0, 5.0, 0.0, 1.0, 1.0, -2.0, 10.0),
+            Waveform::pulse(0.0, 5.0, 0.0, 1.0, 1.0, 2.0, -10.0),
+        ] {
+            let err = bad.unwrap_err();
+            assert!(
+                err.to_string().contains("non-negative"),
+                "unexpected error: {err}"
+            );
+        }
+        // Non-finite fields and a period that cannot hold the trapezoid.
+        assert!(Waveform::pulse(f64::NAN, 5.0, 0.0, 1.0, 1.0, 2.0, 10.0).is_err());
+        assert!(Waveform::pulse(0.0, f64::INFINITY, 0.0, 1.0, 1.0, 2.0, 10.0).is_err());
+        let err = Waveform::pulse(0.0, 5.0, 0.0, 2.0, 2.0, 3.0, 5.0).unwrap_err();
+        assert!(err.to_string().contains("shorter than"), "{err}");
+    }
+
+    #[test]
+    fn pwl_constructor_validates() {
+        assert!(Waveform::pwl(vec![(0.0, 1.0)]).is_ok());
+        assert!(Waveform::pwl(vec![(0.0, 0.0), (1.0, 5.0)]).is_ok());
+        // Empty, unsorted, duplicate-abscissa and NaN tables are rejected.
+        assert!(Waveform::pwl(vec![]).is_err());
+        let err = Waveform::pwl(vec![(1.0, 0.0), (0.0, 5.0)]).unwrap_err();
+        assert!(err.to_string().contains("strictly increasing"), "{err}");
+        let err = Waveform::pwl(vec![(0.0, 0.0), (0.0, 5.0)]).unwrap_err();
+        assert!(err.to_string().contains("strictly increasing"), "{err}");
+        assert!(Waveform::pwl(vec![(f64::NAN, 0.0), (1.0, 5.0)]).is_err());
+        assert!(Waveform::pwl(vec![(0.0, f64::NAN)]).is_err());
+        assert!(Waveform::pwl(vec![(0.0, 0.0), (f64::INFINITY, 5.0)]).is_err());
+    }
+
+    #[test]
+    fn malformed_pwl_tables_never_panic() {
+        // Regression: `value()` used to index `points[hi - 1]` straight off
+        // `partition_point`, which underflows on unsorted tables where the
+        // search predicate is not partitioned.
+        let unsorted = Waveform::Pwl(vec![(2.0, 1.0), (0.0, 5.0), (1.0, -3.0)]);
+        let duplicates = Waveform::Pwl(vec![(0.0, 1.0), (0.0, 2.0), (1.0, 3.0)]);
+        let nan_times = Waveform::Pwl(vec![(f64::NAN, 1.0), (1.0, 2.0)]);
+        for w in [&unsorted, &duplicates, &nan_times] {
+            for t in [-1.0, 0.0, 0.5, 1.0, 1.5, 2.0, 3.0, f64::NAN, f64::INFINITY] {
+                let v = w.value(t); // must not panic
+                let _ = v;
+            }
+            let mut bps = Vec::new();
+            w.breakpoints(10.0, &mut bps); // must not panic
+        }
+        // NaN evaluation time on a *valid* table clamps to the first value.
+        let valid = Waveform::pwl(vec![(0.0, 7.0), (1.0, 9.0)]).unwrap();
+        assert_eq!(valid.value(f64::NAN), 7.0);
+    }
+
+    #[test]
+    fn malformed_pulse_trains_never_panic() {
+        // Regression: the `tau %= period` wrap assumed `period > 0` or 0;
+        // negative and NaN periods (and negative edge durations) must still
+        // evaluate and produce a *finite* breakpoint schedule.
+        let trains = [
+            Waveform::Pulse {
+                low: 0.0,
+                high: 5.0,
+                delay: 0.0,
+                rise: -1.0,
+                fall: -1.0,
+                width: -2.0,
+                period: -10.0,
+            },
+            Waveform::Pulse {
+                low: 0.0,
+                high: 5.0,
+                delay: f64::NAN,
+                rise: f64::NAN,
+                fall: 1.0,
+                width: 1.0,
+                period: f64::NAN,
+            },
+            Waveform::Pulse {
+                low: 0.0,
+                high: 5.0,
+                delay: 0.0,
+                rise: 1.0,
+                fall: 1.0,
+                width: 1.0,
+                period: 1e-320, // denormal: start += period may not advance
+            },
+        ];
+        for w in &trains {
+            for t in [-1.0, 0.0, 0.5, 1.0, 2.0, 100.0, f64::NAN] {
+                let _ = w.value(t);
+            }
+            let mut bps = Vec::new();
+            w.breakpoints(1.0, &mut bps);
+            assert!(bps.len() <= Waveform::MAX_BREAKPOINTS);
+        }
+        // A negative-period train behaves as a one-shot (no wrap).
+        let one_shot = &trains[0];
+        assert_eq!(one_shot.value(100.0), 0.0);
     }
 
     #[test]

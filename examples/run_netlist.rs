@@ -1,0 +1,129 @@
+//! Parse, elaborate and simulate a netlist file.
+//!
+//! ```text
+//! cargo run --release --example run_netlist -- examples/netlists/villard.cir
+//! cargo run --release --example run_netlist -- examples/netlists/coupled_array4.cir --shooting
+//! cargo run --release --example run_netlist -- my.cir --t-stop 0.5 --dt 1e-5
+//! ```
+//!
+//! Runs a transient analysis by default and prints the final node voltages;
+//! with `--shooting` it runs the periodic-steady-state engine instead, taking
+//! the period from the circuit's sources (or `--period <seconds>`).
+
+use energy_harvester::mna::circuit::Circuit;
+use energy_harvester::mna::netlist;
+use energy_harvester::mna::shooting::{SteadyStateAnalysis, SteadyStateOptions};
+use energy_harvester::mna::transient::{TransientAnalysis, TransientOptions};
+
+struct Args {
+    path: String,
+    shooting: bool,
+    period: Option<f64>,
+    t_stop: f64,
+    dt: f64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        path: String::new(),
+        shooting: false,
+        period: None,
+        t_stop: 0.2,
+        dt: 2e-5,
+    };
+    let mut it = std::env::args().skip(1);
+    let float = |it: &mut dyn Iterator<Item = String>, flag: &str| -> Result<f64, String> {
+        it.next()
+            .ok_or_else(|| format!("{flag} needs a value"))?
+            .parse::<f64>()
+            .map_err(|e| format!("{flag}: {e}"))
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--shooting" => args.shooting = true,
+            "--period" => args.period = Some(float(&mut it, "--period")?),
+            "--t-stop" => args.t_stop = float(&mut it, "--t-stop")?,
+            "--dt" => args.dt = float(&mut it, "--dt")?,
+            other if args.path.is_empty() && !other.starts_with('-') => {
+                args.path = other.to_string();
+            }
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+    if args.path.is_empty() {
+        return Err(
+            "usage: run_netlist <file.cir> [--shooting] [--period s] [--t-stop s] [--dt s]"
+                .to_string(),
+        );
+    }
+    Ok(args)
+}
+
+/// The circuit's excitation period: the largest period any periodic source
+/// reports (constant sources are compatible with anything).
+fn detect_period(circuit: &Circuit) -> Option<f64> {
+    circuit
+        .devices()
+        .iter()
+        .filter_map(|d| d.excitation_period())
+        .filter(|&p| p > 0.0)
+        .fold(None, |acc: Option<f64>, p| {
+            Some(acc.map_or(p, |a| a.max(p)))
+        })
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args = parse_args().unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
+    let source = std::fs::read_to_string(&args.path)?;
+    let circuit = netlist::build(&source).map_err(|e| format!("{}: {e}", args.path))?;
+    println!(
+        "{}: {} node(s), {} device(s)",
+        args.path,
+        circuit.node_count(),
+        circuit.device_count()
+    );
+
+    if args.shooting {
+        let period = args
+            .period
+            .or_else(|| detect_period(&circuit))
+            .ok_or("no periodic source found; pass an explicit --period <seconds>")?;
+        let mut options = SteadyStateOptions::new(period);
+        options.transient.dt = period / 100.0;
+        let pss = SteadyStateAnalysis::new(options).run(&circuit)?;
+        println!(
+            "periodic steady state over T = {period:.3e} s: converged = {} \
+             ({} iteration(s), closure error {:.3e})",
+            pss.converged, pss.iterations, pss.closure_error
+        );
+        print_final_voltages(&circuit, |node| pss.result.final_voltage(node));
+    } else {
+        let options = TransientOptions {
+            t_stop: args.t_stop,
+            dt: args.dt,
+            ..TransientOptions::default()
+        };
+        let result = TransientAnalysis::new(options).run(&circuit)?;
+        println!(
+            "transient to t = {:.3e} s: {} accepted point(s)",
+            args.t_stop,
+            result.times().len()
+        );
+        print_final_voltages(&circuit, |node| result.final_voltage(node));
+    }
+    Ok(())
+}
+
+fn print_final_voltages(
+    circuit: &Circuit,
+    voltage: impl Fn(energy_harvester::mna::circuit::NodeId) -> f64,
+) {
+    println!("final node voltages:");
+    for name in &circuit.node_names()[1..] {
+        let node = circuit.find_node(name).expect("listed nodes exist");
+        println!("  {name:<16} {:+.6} V", voltage(node));
+    }
+}

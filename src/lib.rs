@@ -12,7 +12,9 @@
 //!
 //! * [`numerics`] — linear algebra, Newton, ODE/DAE integrators.
 //! * [`mna`] — the mixed-technology transient simulation kernel
-//!   (the stand-in for the paper's VHDL-AMS simulator).
+//!   (the stand-in for the paper's VHDL-AMS simulator), including the
+//!   [`netlist`] front-end that parses SPICE-flavoured circuit files with
+//!   subcircuit elaboration (see `docs/netlist.md`).
 //! * [`models`] — the harvester component models and system assembly
 //!   (micro-generator models of Fig. 2, boosters of Figs. 4 and 9, storage,
 //!   envelope acceleration, the synthetic experimental reference).
@@ -53,3 +55,5 @@ pub use harvester_experiments as experiments;
 pub use harvester_mna as mna;
 pub use harvester_numerics as numerics;
 pub use harvester_optim as optim;
+
+pub use harvester_mna::netlist;

@@ -1,0 +1,160 @@
+//! Golden equivalence suite for the netlist front-end: the shipped
+//! `examples/netlists/*.cir` files must elaborate into circuits whose
+//! transient **and** shooting traces are *bit-identical* to the hardcoded
+//! Rust fixtures they re-express.
+//!
+//! Bit-identity (every `f64` compared through `to_bits`) is deliberate: the
+//! solver's arithmetic depends on node numbering and device insertion order,
+//! so these tests pin that the front-end reproduces both exactly — any
+//! reordering, value drift, or parser rounding shows up as a failed bit
+//! pattern, not a fuzzy tolerance.
+
+use energy_harvester::mna::circuit::Circuit;
+use energy_harvester::mna::devices::{Capacitor, Resistor, VoltageSource};
+use energy_harvester::mna::netlist;
+use energy_harvester::mna::shooting::{SteadyStateAnalysis, SteadyStateOptions};
+use energy_harvester::mna::transient::{TransientAnalysis, TransientOptions, TransientResult};
+use energy_harvester::mna::waveform::Waveform;
+use energy_harvester::models::booster::{add_transformer_booster, add_villard_multiplier};
+use energy_harvester::models::{TransformerBoosterParams, VillardParams};
+use std::path::PathBuf;
+
+fn netlist_file(name: &str) -> String {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("examples/netlists")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()))
+}
+
+/// The driven-booster harness of `crates/core/src/booster.rs`: a 1 V / 50 Hz
+/// source, the booster under test, and the standard load.
+fn driven(booster: impl FnOnce(&mut Circuit)) -> Circuit {
+    let mut c = Circuit::new();
+    let ac = c.node("ac");
+    let out = c.node("out");
+    c.add(VoltageSource::new(
+        "Vac",
+        ac,
+        Circuit::GROUND,
+        Waveform::sine(1.0, 50.0),
+    ));
+    booster(&mut c);
+    c.add(Capacitor::new("Cload", out, Circuit::GROUND, 10e-6));
+    c.add(Resistor::new("Rload", out, Circuit::GROUND, 1e6));
+    c
+}
+
+fn transient(circuit: &Circuit, t_stop: f64) -> TransientResult {
+    TransientAnalysis::new(TransientOptions {
+        t_stop,
+        dt: 2e-5,
+        ..TransientOptions::default()
+    })
+    .run(circuit)
+    .expect("fixture must simulate")
+}
+
+/// Asserts two results sampled the same times and every node voltage matches
+/// bit for bit.
+fn assert_traces_bit_identical(circuit: &Circuit, a: &TransientResult, b: &TransientResult) {
+    assert_eq!(a.times().len(), b.times().len(), "step counts differ");
+    for (i, (ta, tb)) in a.times().iter().zip(b.times()).enumerate() {
+        assert_eq!(ta.to_bits(), tb.to_bits(), "time grids differ at step {i}");
+    }
+    for name in &circuit.node_names()[1..] {
+        let node = circuit.find_node(name).unwrap();
+        let (va, vb) = (a.voltage(node), b.voltage(node));
+        for (i, (x, y)) in va.iter().zip(&vb).enumerate() {
+            assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "node {name} diverges at step {i}: {x} vs {y}"
+            );
+        }
+    }
+}
+
+#[test]
+fn villard_netlist_is_bit_identical_to_the_builder() {
+    let reference = driven(|c| {
+        let ac = c.find_node("ac").unwrap();
+        let out = c.find_node("out").unwrap();
+        add_villard_multiplier(c, "B", ac, out, &VillardParams::paper_six_stage());
+    });
+    let parsed = netlist::build(&netlist_file("villard.cir")).expect("villard.cir must build");
+    // Same node numbering (names differ: the netlist uses its own labels).
+    assert_eq!(parsed.node_count(), reference.node_count());
+    assert_eq!(parsed.device_count(), reference.device_count());
+    let a = transient(&reference, 0.1);
+    let b = transient(&parsed, 0.1);
+    assert_traces_bit_identical(&reference, &a, &b);
+}
+
+#[test]
+fn transformer_netlist_is_bit_identical_to_the_builder() {
+    let reference = driven(|c| {
+        let ac = c.find_node("ac").unwrap();
+        let out = c.find_node("out").unwrap();
+        add_transformer_booster(c, "B", ac, out, &TransformerBoosterParams::unoptimised());
+    });
+    let parsed = netlist::build(&netlist_file("transformer_booster.cir"))
+        .expect("transformer_booster.cir must build");
+    assert_eq!(parsed.node_count(), reference.node_count());
+    assert_eq!(parsed.device_count(), reference.device_count());
+    let a = transient(&reference, 0.1);
+    let b = transient(&parsed, 0.1);
+    assert_traces_bit_identical(&reference, &a, &b);
+}
+
+#[test]
+fn coupled_array_netlist_file_matches_the_generator() {
+    // The shipped file is the generator's verbatim output, so the fixture
+    // family stays in one place (regenerate with
+    // `coupled_array_netlist(4)` if the builder ever changes).
+    assert_eq!(
+        netlist_file("coupled_array4.cir"),
+        energy_harvester::experiments::arrays::coupled_array_netlist(4),
+        "examples/netlists/coupled_array4.cir is stale"
+    );
+}
+
+#[test]
+fn coupled_array_netlist_is_bit_identical_through_shooting() {
+    let array = energy_harvester::experiments::arrays::coupled_array(4);
+    let parsed =
+        netlist::build(&netlist_file("coupled_array4.cir")).expect("coupled_array4.cir must build");
+    assert_eq!(parsed.node_names(), array.circuit.node_names());
+
+    // Transient bit-identity.
+    let a = transient(&array.circuit, 5.0 * array.period);
+    let b = transient(&parsed, 5.0 * array.period);
+    assert_traces_bit_identical(&array.circuit, &a, &b);
+
+    // Shooting bit-identity: same orbit, same iteration count, identical
+    // closing state on every output node.
+    let run = |c: &Circuit| {
+        let options: SteadyStateOptions = array.steady_state_options();
+        SteadyStateAnalysis::new(options)
+            .run(c)
+            .expect("array must reach a periodic steady state")
+    };
+    let pa = run(&array.circuit);
+    let pb = run(&parsed);
+    assert_eq!(pa.converged, pb.converged);
+    assert_eq!(pa.iterations, pb.iterations);
+    assert_eq!(pa.closure_error.to_bits(), pb.closure_error.to_bits());
+    assert_traces_bit_identical(&array.circuit, &pa.result, &pb.result);
+}
+
+#[test]
+fn print_round_trips_the_array_builder() {
+    // print() must be the exact inverse of build() even for a circuit that
+    // was *not* born from a netlist.
+    let original = energy_harvester::experiments::arrays::coupled_array(3).circuit;
+    let text = netlist::print(&original).expect("standard devices must print");
+    let rebuilt = netlist::build(&text).expect("printed netlist must build");
+    assert_eq!(rebuilt.node_names(), original.node_names());
+    let a = transient(&original, 2e-3);
+    let b = transient(&rebuilt, 2e-3);
+    assert_traces_bit_identical(&original, &a, &b);
+}

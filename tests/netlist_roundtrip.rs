@@ -1,0 +1,292 @@
+//! Property suite for the netlist front-end: `build(print(c))` is the
+//! identity on circuits of standard devices, and no input string can panic
+//! the parser.
+//!
+//! The round trip is checked *structurally* (node table, device names, and
+//! every typed payload compared with derived `PartialEq`, i.e. bit-equal
+//! floats) — stronger than comparing simulation output, and fast enough to
+//! fuzz hundreds of random circuits.
+//!
+//! The vendored proptest supplies range strategies only, so each case draws
+//! a seed and a local SplitMix64 expands it into a random circuit or input
+//! string; failures therefore reproduce from the reported case number alone.
+
+use energy_harvester::mna::circuit::{Circuit, NodeId};
+use energy_harvester::mna::devices::{
+    Capacitor, CurrentSource, Diode, IdealTransformer, Inductor, Resistor, TimedSwitch,
+    VoltageSource,
+};
+use energy_harvester::mna::netlist;
+use energy_harvester::mna::waveform::Waveform;
+use proptest::prelude::*;
+
+/// Local deterministic generator (SplitMix64) expanding one drawn seed into
+/// a whole random structure.
+struct Rng(u64);
+
+impl Rng {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (((u128::from(self.next_u64())) * (n as u128)) >> 64) as usize
+    }
+
+    fn range(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + self.unit() * (hi - lo)
+    }
+
+    /// Positive, finite, log-uniform over the femto-to-mega range the
+    /// engineering-suffix parser has to cover.
+    fn pos_value(&mut self) -> f64 {
+        let exponent = self.range(-15.0, 7.0);
+        self.range(1.0, 9.9999) * 10f64.powf(exponent)
+    }
+
+    /// Any finite value: positive, negative, or exactly zero.
+    fn any_value(&mut self) -> f64 {
+        match self.below(5) {
+            0 => -self.pos_value(),
+            1 => 0.0,
+            _ => self.pos_value(),
+        }
+    }
+
+    fn waveform(&mut self) -> Waveform {
+        match self.below(4) {
+            0 => Waveform::Dc(self.any_value()),
+            1 => Waveform::Sine {
+                offset: self.any_value(),
+                amplitude: self.any_value(),
+                frequency_hz: self.pos_value(),
+                phase_rad: self.any_value(),
+                delay: self.pos_value(),
+            },
+            2 => {
+                let (rise, fall, width) = (self.pos_value(), self.pos_value(), self.pos_value());
+                // A period of 0 is a one-shot; otherwise it must hold the
+                // whole trapezoid.
+                let period = if self.below(2) == 0 {
+                    0.0
+                } else {
+                    (rise + width + fall) * self.range(1.0, 3.0)
+                };
+                Waveform::pulse(
+                    self.any_value(),
+                    self.any_value(),
+                    self.pos_value(),
+                    rise,
+                    fall,
+                    width,
+                    period,
+                )
+                .expect("generated pulse is valid")
+            }
+            _ => {
+                let mut t = 0.0;
+                let points = (0..1 + self.below(5))
+                    .map(|_| {
+                        // Deltas span a narrow enough range that each one
+                        // strictly advances the accumulated time.
+                        t += self.range(1.0, 9.9999) * 10f64.powf(self.range(-6.0, 3.0));
+                        (t, self.any_value())
+                    })
+                    .collect();
+                Waveform::pwl(points).expect("generated PWL is valid")
+            }
+        }
+    }
+
+    /// Adds one random device between random nodes of the pool; the index
+    /// keeps names unique and the canonical first letter keeps them stable
+    /// through the printer.
+    fn add_device(&mut self, c: &mut Circuit, nodes: &[NodeId], i: usize) {
+        let pick = |rng: &mut Rng| nodes[rng.below(nodes.len())];
+        match self.below(8) {
+            0 => {
+                let (a, b) = (pick(self), pick(self));
+                let r = self.pos_value();
+                c.add(Resistor::new(&format!("R{i}"), a, b, r));
+            }
+            1 => {
+                let (a, b) = (pick(self), pick(self));
+                let (v, ic) = (self.pos_value(), self.any_value());
+                c.add(Capacitor::with_initial_voltage(
+                    &format!("C{i}"),
+                    a,
+                    b,
+                    v,
+                    ic,
+                ));
+            }
+            2 => {
+                let (a, b) = (pick(self), pick(self));
+                let (l, ic) = (self.pos_value(), self.any_value());
+                c.add(Inductor::with_initial_current(
+                    &format!("L{i}"),
+                    a,
+                    b,
+                    l,
+                    ic,
+                ));
+            }
+            3 => {
+                let (a, b) = (pick(self), pick(self));
+                let w = self.waveform();
+                c.add(VoltageSource::new(&format!("V{i}"), a, b, w));
+            }
+            4 => {
+                let (a, b) = (pick(self), pick(self));
+                let w = self.waveform();
+                c.add(CurrentSource::new(&format!("I{i}"), a, b, w));
+            }
+            5 => {
+                let (a, b) = (pick(self), pick(self));
+                let (is, n) = (self.pos_value(), self.range(0.5, 2.5));
+                c.add(Diode::with_parameters(&format!("D{i}"), a, b, is, n));
+            }
+            6 => {
+                let (pp, pn) = (pick(self), pick(self));
+                let (sp, sn) = (pick(self), pick(self));
+                let ratio = self.pos_value();
+                c.add(IdealTransformer::new(
+                    &format!("T{i}"),
+                    pp,
+                    pn,
+                    sp,
+                    sn,
+                    ratio,
+                ));
+            }
+            _ => {
+                let (a, b) = (pick(self), pick(self));
+                // Both times drawn from the same narrow exponent band so the
+                // sum strictly exceeds t_on.
+                let time =
+                    |rng: &mut Rng| rng.range(1.0, 9.9999) * 10f64.powf(rng.range(-6.0, 3.0));
+                let t_on = time(self);
+                let t_off = t_on + time(self);
+                c.add(TimedSwitch::new(&format!("S{i}"), a, b, t_on, t_off));
+            }
+        }
+    }
+
+    fn circuit(&mut self) -> Circuit {
+        let mut c = Circuit::new();
+        // Node pool: ground plus five named nodes, created up front in a
+        // fixed order.
+        let nodes: Vec<NodeId> = std::iter::once(Circuit::GROUND)
+            .chain(
+                ["n.a", "n.b", "mid", "out", "bus"]
+                    .iter()
+                    .map(|n| c.node(n)),
+            )
+            .collect();
+        let count = 1 + self.below(9);
+        for i in 0..count {
+            self.add_device(&mut c, &nodes, i);
+        }
+        c
+    }
+
+    /// A random string over printable ASCII plus newline and tab.
+    fn text(&mut self, max_len: usize) -> String {
+        let len = self.below(max_len + 1);
+        (0..len)
+            .map(|_| match self.below(97) {
+                95 => '\n',
+                96 => '\t',
+                k => (b' ' + k as u8) as char,
+            })
+            .collect()
+    }
+}
+
+/// Typed equality through the `as_any` hook: derived `PartialEq` on each
+/// standard device compares names, terminals and every parameter bit.
+fn assert_devices_equal(a: &Circuit, b: &Circuit) {
+    assert_eq!(a.device_count(), b.device_count());
+    for (da, db) in a.devices().iter().zip(b.devices()) {
+        let (any_a, any_b) = (da.as_any().unwrap(), db.as_any().unwrap());
+        macro_rules! compare {
+            ($($ty:ty),+) => {
+                $(
+                    if let Some(x) = any_a.downcast_ref::<$ty>() {
+                        assert_eq!(Some(x), any_b.downcast_ref::<$ty>());
+                        continue;
+                    }
+                )+
+            };
+        }
+        compare!(
+            Resistor,
+            Capacitor,
+            Inductor,
+            VoltageSource,
+            CurrentSource,
+            Diode,
+            IdealTransformer,
+            TimedSwitch
+        );
+        panic!("unexpected device kind '{}'", da.name());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// `build(print(c))` reproduces the node table and every device payload
+    /// exactly, and printing again is a fixed point.
+    #[test]
+    fn print_build_round_trips(seed in 0usize..1_000_000) {
+        let c = Rng(seed as u64).circuit();
+        let text = netlist::print(&c).expect("standard devices must print");
+        let rebuilt = netlist::build(&text)
+            .unwrap_or_else(|e| panic!("printed netlist must re-build: {e}\n{text}"));
+        assert_eq!(rebuilt.node_names(), c.node_names(), "node tables differ");
+        assert_devices_equal(&c, &rebuilt);
+        let second = netlist::print(&rebuilt).expect("round-tripped circuit must print");
+        prop_assert!(second == text, "print is not a fixed point:\n{text}\nvs\n{second}");
+    }
+
+    /// No input string panics the parser: every outcome is `Ok` or a
+    /// printable positioned error.
+    #[test]
+    fn parser_never_panics(seed in 0usize..1_000_000) {
+        let source = Rng(seed as u64 ^ 0xD1CE).text(240);
+        match netlist::build(&source) {
+            Ok(circuit) => prop_assert!(circuit.device_count() > 0),
+            Err(e) => {
+                let _ = e.to_string();
+            }
+        }
+    }
+
+    /// Mutilated versions of a real fixture never panic either — this walks
+    /// far more of the grammar than fully random text.
+    #[test]
+    fn mutated_fixtures_never_panic(
+        cut_start in 0usize..600,
+        cut_len in 0usize..120,
+        seed in 0usize..1_000_000,
+    ) {
+        let insert = Rng(seed as u64 ^ 0xFEED).text(12);
+        let base = energy_harvester::experiments::arrays::coupled_array_netlist(2);
+        let start = cut_start.min(base.len());
+        let end = (start + cut_len).min(base.len());
+        // Snap to char boundaries so slicing cannot itself panic.
+        let start = (0..=start).rev().find(|&i| base.is_char_boundary(i)).unwrap();
+        let end = (end..=base.len()).find(|&i| base.is_char_boundary(i)).unwrap();
+        let mutated = format!("{}{}{}", &base[..start], insert, &base[end..]);
+        let _ = netlist::build(&mutated);
+    }
+}
