@@ -29,7 +29,7 @@ use harvester_mna::transient::{
     TransientResult, TransientWorkspace,
 };
 use harvester_mna::waveform::Waveform;
-use harvester_mna::MnaError;
+use harvester_mna::{options, MnaError};
 use harvester_numerics::interp::LinearInterpolator;
 use harvester_numerics::ode::{rk4, OdeSystem};
 use harvester_numerics::stats::mean;
@@ -166,6 +166,34 @@ impl Default for EnvelopeOptions {
             shooting_jacobian: ShootingJacobian::default(),
             reuse_jacobian: true,
         }
+    }
+}
+
+impl EnvelopeOptions {
+    /// Checks every numeric field through the workspace-wide shared checker
+    /// ([`harvester_mna::options`]) — the same primitives (and therefore the
+    /// same message formats) behind
+    /// [`TransientOptions::validate`](harvester_mna::transient::TransientOptions::validate)
+    /// and the analysis-plan cards. Called at the top of every measurement,
+    /// so a malformed sweep configuration fails fast with a named option
+    /// instead of a solver error deep inside a transient.
+    ///
+    /// # Errors
+    ///
+    /// [`MnaError::InvalidOptions`] naming the offending field.
+    pub fn validate(&self) -> Result<(), MnaError> {
+        options::at_least("envelope voltage_points", self.voltage_points, 2)?;
+        options::positive_finite("envelope max_voltage", self.max_voltage)?;
+        options::positive_finite("envelope settle_cycles", self.settle_cycles)?;
+        options::positive_finite("envelope measure_cycles", self.measure_cycles)?;
+        options::positive_finite("envelope detail_dt", self.detail_dt)?;
+        options::positive_finite("envelope horizon", self.horizon)?;
+        options::at_least("envelope output_points", self.output_points, 2)?;
+        if let SteadyState::Shooting { max_iters, tol } = self.steady_state {
+            options::at_least("envelope shooting max_iters", max_iters, 1)?;
+            options::positive_finite("envelope shooting tol", tol)?;
+        }
+        Ok(())
     }
 }
 
@@ -315,6 +343,7 @@ impl EnvelopeSimulator {
         workspace: &mut EnvelopeWorkspace,
     ) -> Result<ChargingCharacteristic, MnaError> {
         let opts = &self.options;
+        opts.validate()?;
         let period = 1.0 / self.config.vibration.frequency_hz;
         let t_settle = opts.settle_cycles * period;
         let t_stop = t_settle + opts.measure_cycles * period;
@@ -655,6 +684,44 @@ mod tests {
             steady_state: SteadyState::default(),
             ..quick_envelope_options()
         }
+    }
+
+    #[test]
+    fn envelope_options_validate_through_the_shared_checker() {
+        assert!(EnvelopeOptions::default().validate().is_ok());
+        let reject = |options: EnvelopeOptions, needle: &str| {
+            let config = HarvesterConfig::unoptimised();
+            match EnvelopeSimulator::new(config, options).measure_characteristic() {
+                Err(MnaError::InvalidOptions(msg)) => {
+                    assert!(msg.contains(needle), "{msg:?} missing {needle:?}")
+                }
+                other => panic!("expected InvalidOptions({needle}), got {other:?}"),
+            }
+        };
+        reject(
+            EnvelopeOptions {
+                voltage_points: 1,
+                ..quick_envelope_options()
+            },
+            "voltage_points must be at least 2",
+        );
+        reject(
+            EnvelopeOptions {
+                detail_dt: 0.0,
+                ..quick_envelope_options()
+            },
+            "detail_dt must be positive and finite",
+        );
+        reject(
+            EnvelopeOptions {
+                steady_state: SteadyState::Shooting {
+                    max_iters: 12,
+                    tol: f64::NAN,
+                },
+                ..quick_envelope_options()
+            },
+            "shooting tol must be positive and finite",
+        );
     }
 
     #[test]

@@ -19,9 +19,11 @@
 //! the stages interact through the bus voltage, and the spread keeps their
 //! diode conduction windows from coinciding.
 
+use harvester_mna::analysis::{Analysis, AnalysisPlan};
 use harvester_mna::circuit::{Circuit, NodeId};
 use harvester_mna::devices::{Capacitor, Diode, Resistor, VoltageSource};
 use harvester_mna::shooting::SteadyStateOptions;
+use harvester_mna::transient::TransientOptions;
 use harvester_mna::waveform::Waveform;
 
 /// Excitation frequency of the shared generator (Hz).
@@ -56,6 +58,32 @@ impl CoupledArray {
         options.warmup_cycles = 1.0;
         options.tolerance = 1e-9;
         options
+    }
+
+    /// Transient options of the fixture's settling study: five excitation
+    /// periods at the golden-suite step — the workload
+    /// `tests/netlist_golden.rs` pins bit-identically against the shipped
+    /// `coupled_array4.cir`.
+    pub fn transient_options(&self) -> TransientOptions {
+        TransientOptions {
+            dt: 2e-5,
+            t_stop: 5.0 * self.period,
+            ..TransientOptions::default()
+        }
+    }
+
+    /// The fixture's canonical [`AnalysisPlan`]: the settling transient
+    /// ([`CoupledArray::transient_options`]) followed by the shooting
+    /// periodic steady state ([`CoupledArray::steady_state_options`]).
+    /// [`coupled_array_netlist`] renders the same plan as `.tran`/`.pss`
+    /// cards, so the shipped fixture runs the identical study end-to-end
+    /// from text.
+    pub fn analysis_plan(&self) -> AnalysisPlan {
+        AnalysisPlan::from_cards(vec![
+            Analysis::Tran(self.transient_options()),
+            Analysis::Pss(self.steady_state_options()),
+        ])
+        .expect("fixture analysis options are valid by construction")
     }
 }
 
@@ -203,6 +231,16 @@ pub fn coupled_array_netlist(n: usize) -> String {
         )
         .unwrap();
     }
+    // The fixture's canonical study as analysis cards, rendered through the
+    // same printer `netlist::print_with_plan` uses so the text stays the
+    // exact inverse of the plan. Taking the plan from `coupled_array(n)`
+    // itself (not re-deriving the option arithmetic here) keeps every value
+    // bit-identical to the builder's.
+    let plan = coupled_array(n).analysis_plan();
+    s.push_str(
+        &harvester_mna::netlist::print_plan(&plan)
+            .expect("fixture analysis cards are representable"),
+    );
     s
 }
 

@@ -15,6 +15,7 @@
 
 use crate::circuit::NodeId;
 use crate::transient::IntegrationMethod;
+use harvester_numerics::complex::Complex64;
 use harvester_numerics::linalg::Matrix;
 use harvester_numerics::sparse::SparseMatrix;
 
@@ -91,6 +92,20 @@ pub trait Device {
     /// sparsity; every device shipped with this workspace overrides it.
     fn stamp_pattern(&self, ctx: &mut PatternContext<'_>) {
         ctx.mark_dense();
+    }
+
+    /// Contributes the device's small-signal (AC) excitation phasor to the
+    /// complex right-hand side of an AC analysis
+    /// ([`Analysis::Ac`](crate::analysis::Analysis)).
+    ///
+    /// Most devices have no independent excitation and keep the default
+    /// no-op: their small-signal behaviour is captured entirely by the
+    /// linearised Jacobian at the operating point. Independent sources with
+    /// an AC specification ([`VoltageSource::with_ac`](crate::devices::VoltageSource::with_ac),
+    /// [`CurrentSource::with_ac`](crate::devices::CurrentSource::with_ac))
+    /// drive the system here.
+    fn stamp_ac(&self, ctx: &mut AcStampContext<'_>) {
+        let _ = ctx;
     }
 
     /// Whether the device equations are nonlinear (informational; used by
@@ -245,6 +260,64 @@ impl<'a> PatternContext<'a> {
     /// correct, but the sparse backend degenerates to a dense pattern.
     pub fn mark_dense(&mut self) {
         *self.dense = true;
+    }
+}
+
+/// The view through which a device contributes its small-signal excitation
+/// to the complex right-hand side of an AC analysis (see
+/// [`Device::stamp_ac`]).
+///
+/// The sign conventions mirror [`StampContext`]'s residual conventions so a
+/// source's AC drive reads like its transient stamp: the solved system is
+/// `(G + jωC)·x̂ = b̂` where `G`/`C` are the Jacobian blocks of the residual
+/// `f(x) = 0` at the operating point, and `b̂` collects `−∂f/∂u · û` for
+/// each excitation phasor `û`.
+pub struct AcStampContext<'a> {
+    node_unknowns: usize,
+    extra_base: usize,
+    rhs: &'a mut [Complex64],
+}
+
+impl<'a> AcStampContext<'a> {
+    pub(crate) fn new(node_unknowns: usize, extra_base: usize, rhs: &'a mut [Complex64]) -> Self {
+        AcStampContext {
+            node_unknowns,
+            extra_base,
+            rhs,
+        }
+    }
+
+    /// Number of non-ground nodes in the circuit being solved.
+    pub fn node_unknown_count(&self) -> usize {
+        self.node_unknowns
+    }
+
+    fn global_index(&self, unknown: Unknown) -> Option<usize> {
+        match unknown {
+            Unknown::Node(node) => {
+                if node.is_ground() {
+                    None
+                } else {
+                    Some(node.index() - 1)
+                }
+            }
+            Unknown::Extra(k) => Some(self.extra_base + k),
+        }
+    }
+
+    /// Injects `phasor` amperes of small-signal current **into** `node`
+    /// (contributions to ground are discarded, as during stamping).
+    pub fn inject_current(&mut self, node: NodeId, phasor: Complex64) {
+        if let Some(row) = self.global_index(Unknown::Node(node)) {
+            self.rhs[row] += phasor;
+        }
+    }
+
+    /// Drives the right-hand side of the device's `equation`-th behavioural
+    /// equation with `phasor` — for a voltage source whose transient
+    /// equation is `v(a) − v(b) − V(t) = 0`, the AC drive is `+V̂` here.
+    pub fn drive_equation(&mut self, equation: usize, phasor: Complex64) {
+        self.rhs[self.extra_base + equation] += phasor;
     }
 }
 

@@ -11,8 +11,32 @@
 //! to its second terminal through the device.
 
 use crate::circuit::NodeId;
-use crate::device::{Device, PatternContext, StampContext, Unknown};
+use crate::device::{AcStampContext, Device, PatternContext, StampContext, Unknown};
 use crate::waveform::Waveform;
+use harvester_numerics::complex::Complex64;
+
+/// Small-signal (AC) excitation of an independent source: a phasor given as
+/// peak magnitude and phase.
+///
+/// Attached to a [`VoltageSource`] or [`CurrentSource`] with their
+/// `with_ac` builders; sources without a spec contribute nothing to an AC
+/// analysis (their small-signal drive is zero even though their transient
+/// waveform still sets the operating point).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AcSpec {
+    /// Phasor magnitude (peak, in the source's natural unit: volts or
+    /// amperes).
+    pub magnitude: f64,
+    /// Phasor phase in radians.
+    pub phase_rad: f64,
+}
+
+impl AcSpec {
+    /// The excitation as a complex phasor.
+    pub fn phasor(self) -> Complex64 {
+        Complex64::from_polar(self.magnitude, self.phase_rad)
+    }
+}
 
 /// Linear resistor.
 #[derive(Debug, Clone, PartialEq)]
@@ -288,6 +312,7 @@ pub struct VoltageSource {
     a: NodeId,
     b: NodeId,
     waveform: Waveform,
+    ac: Option<AcSpec>,
 }
 
 impl VoltageSource {
@@ -298,7 +323,24 @@ impl VoltageSource {
             a,
             b,
             waveform,
+            ac: None,
         }
+    }
+
+    /// Attaches a small-signal excitation of `magnitude` volts (peak) at
+    /// `phase_rad` radians, making this source drive AC analyses.
+    #[must_use]
+    pub fn with_ac(mut self, magnitude: f64, phase_rad: f64) -> Self {
+        self.ac = Some(AcSpec {
+            magnitude,
+            phase_rad,
+        });
+        self
+    }
+
+    /// The small-signal excitation, if any.
+    pub fn ac(&self) -> Option<AcSpec> {
+        self.ac
     }
 
     /// The waveform of the source.
@@ -349,6 +391,14 @@ impl Device for VoltageSource {
         ctx.equation_derivative(0, Unknown::Node(self.b));
     }
 
+    fn stamp_ac(&self, ctx: &mut AcStampContext<'_>) {
+        if let Some(ac) = self.ac {
+            // The transient equation carries `−V(t)`, so the small-signal
+            // drive lands on its right-hand side as `+V̂`.
+            ctx.drive_equation(0, ac.phasor());
+        }
+    }
+
     fn breakpoints(&self, t_stop: f64, out: &mut Vec<f64>) {
         self.waveform.breakpoints(t_stop, out);
     }
@@ -366,6 +416,7 @@ pub struct CurrentSource {
     a: NodeId,
     b: NodeId,
     waveform: Waveform,
+    ac: Option<AcSpec>,
 }
 
 impl CurrentSource {
@@ -376,7 +427,24 @@ impl CurrentSource {
             a,
             b,
             waveform,
+            ac: None,
         }
+    }
+
+    /// Attaches a small-signal excitation of `magnitude` amperes (peak) at
+    /// `phase_rad` radians, making this source drive AC analyses.
+    #[must_use]
+    pub fn with_ac(mut self, magnitude: f64, phase_rad: f64) -> Self {
+        self.ac = Some(AcSpec {
+            magnitude,
+            phase_rad,
+        });
+        self
+    }
+
+    /// The small-signal excitation, if any.
+    pub fn ac(&self) -> Option<AcSpec> {
+        self.ac
     }
 
     /// The waveform of the source.
@@ -407,6 +475,17 @@ impl Device for CurrentSource {
 
     fn stamp_pattern(&self, _ctx: &mut PatternContext<'_>) {
         // Residual-only stamps: no Jacobian entries.
+    }
+
+    fn stamp_ac(&self, ctx: &mut AcStampContext<'_>) {
+        if let Some(ac) = self.ac {
+            // The transient stamp adds `+i` at `a` (current leaving `a`), so
+            // the small-signal drive is a current *extracted* from `a` and
+            // injected into `b`.
+            let i = ac.phasor();
+            ctx.inject_current(self.a, -i);
+            ctx.inject_current(self.b, i);
+        }
     }
 
     fn breakpoints(&self, t_stop: f64, out: &mut Vec<f64>) {

@@ -29,11 +29,19 @@
 //!   step halving on non-convergence) with dense and sparse linear-solver
 //!   backends ([`transient::SolverBackend`]) and reusable per-run buffers
 //!   ([`transient::TransientWorkspace`]).
+//! * [`analysis`] — the plan-executing engine: an ordered
+//!   [`analysis::AnalysisPlan`] of `.op`/`.tran`/`.pss`/`.ac` cards run by
+//!   one [`analysis::AnalysisEngine`] with workspace reuse and operating-
+//!   point warm-start chaining; home of the DC operating-point and AC
+//!   small-signal analyses.
 //! * [`waveform::Waveform`] — time-dependent source descriptions (DC, sine,
 //!   pulse, piecewise linear).
+//! * [`options`] — the shared option-validation checker every analysis
+//!   options struct funnels through.
 //! * [`netlist`] — the SPICE-flavoured text front-end (parse → elaborate →
-//!   build, with `.subckt` subcircuit elaboration), so a circuit is *data*
-//!   instead of Rust code; [`netlist::print`] is its exact inverse.
+//!   build, with `.subckt` subcircuit elaboration and analysis cards), so a
+//!   circuit *and its analyses* are data instead of Rust code;
+//!   [`netlist::print`] is its exact inverse.
 //!
 //! # Example: RC charging
 //!
@@ -67,10 +75,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analysis;
 pub mod circuit;
 pub mod device;
 pub mod devices;
 pub mod netlist;
+pub mod options;
 pub mod shooting;
 pub mod transient;
 pub mod waveform;

@@ -12,16 +12,19 @@
 //! constructors.
 
 use super::parser::{
-    Card, CardKind, DeviceCard, DeviceSpec, Document, InstanceCard, SubcktDef, Value, ValueKind,
-    WaveSpec,
+    AcDrive, AnalysisCard, AnalysisCardKind, Card, CardKind, DeviceCard, DeviceSpec, Document,
+    InstanceCard, SubcktDef, Value, ValueKind, WaveSpec,
 };
 use super::NetlistError;
+use crate::analysis::{AcOptions, Analysis, AnalysisPlan, FrequencySweep, OpOptions};
 use crate::circuit::{Circuit, NodeId};
 use crate::devices::{
     Capacitor, CurrentSource, Diode, IdealTransformer, Inductor, Resistor, TimedSwitch,
     VoltageSource,
 };
 use crate::error::MnaError;
+use crate::shooting::SteadyStateOptions;
+use crate::transient::TransientOptions;
 use crate::waveform::Waveform;
 use std::collections::{HashMap, HashSet};
 
@@ -45,6 +48,134 @@ pub(crate) fn elaborate(document: &Document) -> Result<Circuit, NetlistError> {
         ));
     }
     Ok(elab.circuit)
+}
+
+/// Builds the document's analysis cards into a validated [`AnalysisPlan`]
+/// (see [`super::elaborate_plan`]). Every card goes through the same
+/// `validate()` gate Rust-built plans use; failures come back as positioned
+/// [`NetlistError`]s.
+pub(crate) fn elaborate_plan(document: &Document) -> Result<AnalysisPlan, NetlistError> {
+    let mut plan = AnalysisPlan::new();
+    for card in &document.analyses {
+        let analysis = build_analysis(card)?;
+        plan.push(analysis)
+            .map_err(|e| NetlistError::new(card.line, card.column, options_message(e)))?;
+    }
+    Ok(plan)
+}
+
+/// Unwraps an options-validation error into its bare message for embedding
+/// in a positioned netlist error.
+fn options_message(error: MnaError) -> String {
+    match error {
+        MnaError::InvalidOptions(message) => message,
+        other => other.to_string(),
+    }
+}
+
+/// Resolves an analysis-card value, which must be a literal number —
+/// there is no parameter environment at top level.
+fn analysis_number(value: &Value, what: &str) -> Result<f64, NetlistError> {
+    match &value.kind {
+        ValueKind::Number(x) => Ok(*x),
+        ValueKind::Param(name) => Err(NetlistError::new(
+            value.line,
+            value.column,
+            format!("{what} must be a literal number; '{{{name}}}' is not available here"),
+        )),
+    }
+}
+
+/// Resolves an analysis-card value that must be a non-negative integer
+/// count (iteration limits, sweep points, step counts).
+fn analysis_count(value: &Value, what: &str) -> Result<usize, NetlistError> {
+    let x = analysis_number(value, what)?;
+    if x >= 0.0 && x.fract() == 0.0 && x <= u32::MAX as f64 {
+        Ok(x as usize)
+    } else {
+        Err(NetlistError::new(
+            value.line,
+            value.column,
+            format!("{what} must be a non-negative integer, got {x}"),
+        ))
+    }
+}
+
+/// Converts one parsed analysis card into a typed [`Analysis`], applying the
+/// engine defaults for every option the card leaves unset.
+fn build_analysis(card: &AnalysisCard) -> Result<Analysis, NetlistError> {
+    match &card.kind {
+        AnalysisCardKind::Op {
+            maxiter,
+            gminsteps,
+            srcsteps,
+            dtol,
+            rtol,
+        } => {
+            let mut options = OpOptions::default();
+            if let Some(v) = maxiter {
+                options.max_newton_iterations = analysis_count(v, ".op maxiter")?;
+            }
+            if let Some(v) = gminsteps {
+                options.gmin_steps = analysis_count(v, ".op gminsteps")?;
+            }
+            if let Some(v) = srcsteps {
+                options.source_steps = analysis_count(v, ".op srcsteps")?;
+            }
+            if let Some(v) = dtol {
+                options.delta_tolerance = analysis_number(v, ".op dtol")?;
+            }
+            if let Some(v) = rtol {
+                options.residual_tolerance = analysis_number(v, ".op rtol")?;
+            }
+            Ok(Analysis::Op(options))
+        }
+        AnalysisCardKind::Tran { dt, t_stop } => Ok(Analysis::Tran(TransientOptions {
+            dt: analysis_number(dt, ".tran time step")?,
+            t_stop: analysis_number(t_stop, ".tran stop time")?,
+            ..TransientOptions::default()
+        })),
+        AnalysisCardKind::Pss {
+            period,
+            dt,
+            warmup,
+            tol,
+            maxiter,
+        } => {
+            let mut options = SteadyStateOptions::new(analysis_number(period, ".pss period")?);
+            if let Some(v) = dt {
+                options.transient.dt = analysis_number(v, ".pss dt")?;
+            }
+            if let Some(v) = warmup {
+                options.warmup_cycles = analysis_number(v, ".pss warmup")?;
+            }
+            if let Some(v) = tol {
+                options.tolerance = analysis_number(v, ".pss tol")?;
+            }
+            if let Some(v) = maxiter {
+                options.max_iterations = analysis_count(v, ".pss maxiter")?;
+            }
+            Ok(Analysis::Pss(options))
+        }
+        AnalysisCardKind::Ac {
+            sweep,
+            points,
+            f_start,
+            f_stop,
+        } => {
+            let sweep = match sweep.as_str() {
+                "dec" => FrequencySweep::Dec,
+                "oct" => FrequencySweep::Oct,
+                _ => FrequencySweep::Lin,
+            };
+            Ok(Analysis::Ac(AcOptions::new(
+                sweep,
+                analysis_count(points, ".ac points")?,
+                analysis_number(f_start, ".ac start frequency")?,
+                analysis_number(f_stop, ".ac stop frequency")?,
+            )))
+        }
+    }
 }
 
 /// One level of instantiation context.
@@ -193,15 +324,21 @@ impl Elaborator<'_> {
                     &full_name, nodes[0], nodes[1], l, i0,
                 ));
             }
-            DeviceSpec::VoltageSource { wave } => {
+            DeviceSpec::VoltageSource { wave, ac } => {
                 let waveform = self.build_waveform(card, wave, scope)?;
-                self.circuit
-                    .add(VoltageSource::new(&full_name, nodes[0], nodes[1], waveform));
+                let mut source = VoltageSource::new(&full_name, nodes[0], nodes[1], waveform);
+                if let Some((magnitude, phase)) = self.build_ac(ac, scope)? {
+                    source = source.with_ac(magnitude, phase);
+                }
+                self.circuit.add(source);
             }
-            DeviceSpec::CurrentSource { wave } => {
+            DeviceSpec::CurrentSource { wave, ac } => {
                 let waveform = self.build_waveform(card, wave, scope)?;
-                self.circuit
-                    .add(CurrentSource::new(&full_name, nodes[0], nodes[1], waveform));
+                let mut source = CurrentSource::new(&full_name, nodes[0], nodes[1], waveform);
+                if let Some((magnitude, phase)) = self.build_ac(ac, scope)? {
+                    source = source.with_ac(magnitude, phase);
+                }
+                self.circuit.add(source);
             }
             DeviceSpec::Diode { is, n } => {
                 let is = match is {
@@ -237,6 +374,26 @@ impl Elaborator<'_> {
             }
         }
         Ok(())
+    }
+
+    /// Resolves an `AC magnitude [phase]` suffix into `(magnitude, phase)`
+    /// with the phase defaulting to 0 radians.
+    fn build_ac(
+        &self,
+        ac: &Option<AcDrive>,
+        scope: &Scope,
+    ) -> Result<Option<(f64, f64)>, NetlistError> {
+        match ac {
+            None => Ok(None),
+            Some(drive) => {
+                let magnitude = self.finite(scope, &drive.magnitude, "AC magnitude")?;
+                let phase = match &drive.phase {
+                    Some(p) => self.finite(scope, p, "AC phase")?,
+                    None => 0.0,
+                };
+                Ok(Some((magnitude, phase)))
+            }
+        }
     }
 
     fn build_waveform(

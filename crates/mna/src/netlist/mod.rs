@@ -44,6 +44,7 @@
 //! Errors never panic: every malformed input is reported as a
 //! [`NetlistError`] with position context.
 
+use crate::analysis::AnalysisPlan;
 use crate::circuit::Circuit;
 use std::error::Error;
 use std::fmt;
@@ -151,4 +152,61 @@ pub fn build(source: &str) -> Result<Circuit, NetlistError> {
 /// whitespace or `(){}=;*,` characters).
 pub fn print(circuit: &Circuit) -> Result<String, NetlistError> {
     printer::print(circuit)
+}
+
+/// Builds the document's `.op`/`.tran`/`.pss`/`.ac` analysis cards into a
+/// validated [`AnalysisPlan`], in source order.
+///
+/// Every card funnels through the same `validate()` gate as Rust-built
+/// plans (see [`crate::options`]), so `.ac dec 10 1k 1`-style text that a
+/// builder would reject comes back as a positioned [`NetlistError`] carrying
+/// the identical message — never a panic.
+///
+/// # Errors
+///
+/// A positioned [`NetlistError`] for non-literal or non-integral card
+/// arguments and for any option the shared checker rejects.
+pub fn elaborate_plan(document: &Document) -> Result<AnalysisPlan, NetlistError> {
+    elaborator::elaborate_plan(document)
+}
+
+/// Parses and elaborates netlist text into a ready-to-simulate [`Circuit`]
+/// plus the [`AnalysisPlan`] described by its analysis cards (empty when the
+/// netlist carries none) — the card-driven entry point behind
+/// `examples/run_netlist.rs`.
+///
+/// # Errors
+///
+/// Any error from [`parse`], [`elaborate`] or [`elaborate_plan`].
+pub fn build_with_plan(source: &str) -> Result<(Circuit, AnalysisPlan), NetlistError> {
+    let document = parse(source)?;
+    let circuit = elaborate(&document)?;
+    let plan = elaborate_plan(&document)?;
+    Ok((circuit, plan))
+}
+
+/// Prints a [`Circuit`] and its [`AnalysisPlan`] as a flat netlist, the
+/// inverse of [`build_with_plan`]: re-building the output reproduces the
+/// circuit (as with [`print()`]) *and* an equal plan, bit-identical option
+/// for option.
+///
+/// # Errors
+///
+/// Any error from [`print()`], or an (unpositioned) [`NetlistError`] if a
+/// plan card holds options the card grammar cannot express (a non-default
+/// integration method on a `.tran`, a non-`Auto` backend, …).
+pub fn print_with_plan(circuit: &Circuit, plan: &AnalysisPlan) -> Result<String, NetlistError> {
+    printer::print_with_plan(circuit, plan)
+}
+
+/// Renders just the analysis cards of `plan` as netlist text, one card per
+/// line — the tail section [`print_with_plan`] appends after the circuit.
+/// [`elaborate_plan`] on the parsed result reproduces `plan` exactly.
+///
+/// # Errors
+///
+/// An (unpositioned) [`NetlistError`] if a card holds options the card
+/// grammar cannot express (see [`print_with_plan`]).
+pub fn print_plan(plan: &AnalysisPlan) -> Result<String, NetlistError> {
+    printer::print_plan(plan)
 }

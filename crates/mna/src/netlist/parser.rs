@@ -9,11 +9,13 @@ use super::lexer::{logical_lines, parse_number, Token};
 use super::NetlistError;
 
 /// A parsed netlist: top-level cards in source order plus subcircuit
-/// definitions (looked up by case-insensitive name at elaboration).
+/// definitions (looked up by case-insensitive name at elaboration) and
+/// analysis cards (`.op`/`.tran`/`.pss`/`.ac`) in execution order.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Document {
     pub(crate) cards: Vec<Card>,
     pub(crate) subckts: Vec<SubcktDef>,
+    pub(crate) analyses: Vec<AnalysisCard>,
 }
 
 /// A subcircuit definition (`.subckt name ports… [param=default…]` …
@@ -75,8 +77,8 @@ pub(crate) enum DeviceSpec {
     Resistor { value: Value },
     Capacitor { value: Value, ic: Option<Value> },
     Inductor { value: Value, ic: Option<Value> },
-    VoltageSource { wave: WaveSpec },
-    CurrentSource { wave: WaveSpec },
+    VoltageSource { wave: WaveSpec, ac: Option<AcDrive> },
+    CurrentSource { wave: WaveSpec, ac: Option<AcDrive> },
     Diode { is: Option<Value>, n: Option<Value> },
     Transformer { ratio: Value },
     Switch { t_on: Value, t_off: Value },
@@ -104,11 +106,64 @@ pub(crate) struct InstanceCard {
     pub params: Vec<(String, Value)>,
 }
 
+/// An optional small-signal drive on a source card: `AC magnitude [phase]`,
+/// phase in radians (defaults to 0 at elaboration).
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct AcDrive {
+    pub magnitude: Value,
+    pub phase: Option<Value>,
+}
+
+/// One analysis card (`.op`/`.tran`/`.pss`/`.ac`) with its source position.
+///
+/// Only allowed at top level (not inside `.subckt`), and only with literal
+/// number arguments — there is no parameter environment outside instances.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct AnalysisCard {
+    pub line: usize,
+    pub column: usize,
+    pub kind: AnalysisCardKind,
+}
+
+/// The typed payload of an analysis card, arity-checked at parse time.
+/// Option semantics (defaults, validation) are applied at elaboration
+/// through the same `validate()` gate Rust-built plans use.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum AnalysisCardKind {
+    /// `.op [maxiter=N] [gminsteps=N] [srcsteps=N] [dtol=V] [rtol=V]`.
+    Op {
+        maxiter: Option<Value>,
+        gminsteps: Option<Value>,
+        srcsteps: Option<Value>,
+        dtol: Option<Value>,
+        rtol: Option<Value>,
+    },
+    /// `.tran dt t_stop`.
+    Tran { dt: Value, t_stop: Value },
+    /// `.pss period [dt=V] [warmup=V] [tol=V] [maxiter=N]`.
+    Pss {
+        period: Value,
+        dt: Option<Value>,
+        warmup: Option<Value>,
+        tol: Option<Value>,
+        maxiter: Option<Value>,
+    },
+    /// `.ac <dec|oct|lin> points f_start f_stop`.
+    Ac {
+        /// Lowercased sweep keyword, one of `dec`, `oct`, `lin`.
+        sweep: String,
+        points: Value,
+        f_start: Value,
+        f_stop: Value,
+    },
+}
+
 /// Parses netlist source text into a [`Document`].
 pub(crate) fn parse(source: &str) -> Result<Document, NetlistError> {
     let lines = logical_lines(source)?;
     let mut cards = Vec::new();
     let mut subckts: Vec<SubcktDef> = Vec::new();
+    let mut analyses: Vec<AnalysisCard> = Vec::new();
     let mut open_subckt: Option<SubcktDef> = None;
 
     for line in &lines {
@@ -155,6 +210,15 @@ pub(crate) fn parse(source: &str) -> Result<Document, NetlistError> {
                     };
                     push_card(&mut cards, &mut open_subckt, card);
                 }
+                "op" | "tran" | "pss" | "ac" => {
+                    if open_subckt.is_some() {
+                        return Err(head.error(format!(
+                            ".{} analysis cards are not allowed inside a .subckt",
+                            directive.to_ascii_lowercase()
+                        )));
+                    }
+                    analyses.push(parse_analysis(&directive.to_ascii_lowercase(), line)?);
+                }
                 "end" => {
                     if open_subckt.is_some() {
                         return Err(head.error(".end inside a .subckt (missing .ends?)"));
@@ -177,7 +241,84 @@ pub(crate) fn parse(source: &str) -> Result<Document, NetlistError> {
             format!("subcircuit '{}' is never closed with .ends", def.name),
         ));
     }
-    Ok(Document { cards, subckts })
+    Ok(Document {
+        cards,
+        subckts,
+        analyses,
+    })
+}
+
+/// Parses one `.op`/`.tran`/`.pss`/`.ac` card.
+fn parse_analysis(directive: &str, line: &[Token]) -> Result<AnalysisCard, NetlistError> {
+    let head = &line[0];
+    let mut args = Args::new(&head.text, &line[1..]);
+    let kind = match directive {
+        "op" => {
+            let mut keyed =
+                args.keyed_values(&["maxiter", "gminsteps", "srcsteps", "dtol", "rtol"])?;
+            args.finish()?;
+            let rtol = keyed.pop().unwrap();
+            let dtol = keyed.pop().unwrap();
+            let srcsteps = keyed.pop().unwrap();
+            let gminsteps = keyed.pop().unwrap();
+            let maxiter = keyed.pop().unwrap();
+            AnalysisCardKind::Op {
+                maxiter,
+                gminsteps,
+                srcsteps,
+                dtol,
+                rtol,
+            }
+        }
+        "tran" => {
+            let dt = args.positional_value("time step")?;
+            let t_stop = args.positional_value("stop time")?;
+            args.finish()?;
+            AnalysisCardKind::Tran { dt, t_stop }
+        }
+        "pss" => {
+            let period = args.positional_value("period")?;
+            let mut keyed = args.keyed_values(&["dt", "warmup", "tol", "maxiter"])?;
+            args.finish()?;
+            let maxiter = keyed.pop().unwrap();
+            let tol = keyed.pop().unwrap();
+            let warmup = keyed.pop().unwrap();
+            let dt = keyed.pop().unwrap();
+            AnalysisCardKind::Pss {
+                period,
+                dt,
+                warmup,
+                tol,
+                maxiter,
+            }
+        }
+        "ac" => {
+            let sweep_token = args.next_token("sweep type (dec, oct or lin)")?;
+            let sweep = sweep_token.text.to_ascii_lowercase();
+            if !matches!(sweep.as_str(), "dec" | "oct" | "lin") {
+                return Err(sweep_token.error(format!(
+                    ".ac: expected sweep type dec, oct or lin, found '{}'",
+                    sweep_token.text
+                )));
+            }
+            let points = args.positional_value("points")?;
+            let f_start = args.positional_value("start frequency")?;
+            let f_stop = args.positional_value("stop frequency")?;
+            args.finish()?;
+            AnalysisCardKind::Ac {
+                sweep,
+                points,
+                f_start,
+                f_stop,
+            }
+        }
+        other => unreachable!("parse_analysis called for '.{other}'"),
+    };
+    Ok(AnalysisCard {
+        line: head.line,
+        column: head.column,
+        kind,
+    })
 }
 
 fn push_card(cards: &mut Vec<Card>, open: &mut Option<SubcktDef>, card: Card) {
@@ -290,11 +431,12 @@ fn parse_card(line: &[Token]) -> Result<Card, NetlistError> {
         'V' | 'I' => {
             let nodes = args.nodes(2)?;
             let wave = args.waveform()?;
+            let ac = args.ac_suffix()?;
             args.finish()?;
             let spec = if prefix == 'V' {
-                DeviceSpec::VoltageSource { wave }
+                DeviceSpec::VoltageSource { wave, ac }
             } else {
-                DeviceSpec::CurrentSource { wave }
+                DeviceSpec::CurrentSource { wave, ac }
             };
             CardKind::Device(DeviceCard { name, nodes, spec })
         }
@@ -568,6 +710,23 @@ impl<'a> Args<'a> {
         }
     }
 
+    /// The optional `AC magnitude [phase]` small-signal suffix on source
+    /// cards, consumed after the transient waveform.
+    fn ac_suffix(&mut self) -> Result<Option<AcDrive>, NetlistError> {
+        match self.peek() {
+            Some(token) if token.text.eq_ignore_ascii_case("ac") => {
+                self.advance();
+                let magnitude = self.positional_value("AC magnitude")?;
+                let phase = match self.peek() {
+                    Some(_) => Some(self.positional_value("AC phase")?),
+                    None => None,
+                };
+                Ok(Some(AcDrive { magnitude, phase }))
+            }
+            _ => Ok(None),
+        }
+    }
+
     /// `( value… )` argument list for waveform cards.
     fn paren_values(&mut self, what: &str) -> Result<Vec<Value>, NetlistError> {
         let open = self.next_token(&format!("'(' after {what}"))?;
@@ -651,27 +810,120 @@ mod tests {
         match device("V1 in 0 SIN(0 2 50)").spec {
             DeviceSpec::VoltageSource {
                 wave: WaveSpec::Sin(args),
+                ac: None,
             } => assert_eq!(args.len(), 3),
             other => panic!("{other:?}"),
         }
         match device("I1 0 out PULSE(0 1m 0 1u 1u 0.5m 1m)").spec {
             DeviceSpec::CurrentSource {
                 wave: WaveSpec::Pulse(args),
+                ac: None,
             } => assert_eq!(args.len(), 7),
             other => panic!("{other:?}"),
         }
         match device("V2 a 0 PWL(0 0 1m 5 2m 0)").spec {
             DeviceSpec::VoltageSource {
                 wave: WaveSpec::Pwl(args),
+                ac: None,
             } => assert_eq!(args.len(), 6),
             other => panic!("{other:?}"),
         }
         match device("V3 a 0 3.3").spec {
             DeviceSpec::VoltageSource {
                 wave: WaveSpec::Dc(v),
+                ac: None,
             } => assert_eq!(number(&v), 3.3),
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn parses_ac_suffixes_on_sources() {
+        match device("V1 in 0 SIN(0 2 50) AC 1 0.5").spec {
+            DeviceSpec::VoltageSource { ac: Some(ac), .. } => {
+                assert_eq!(number(&ac.magnitude), 1.0);
+                assert_eq!(number(ac.phase.as_ref().unwrap()), 0.5);
+            }
+            other => panic!("{other:?}"),
+        }
+        match device("I1 0 out DC 0 ac 1m").spec {
+            DeviceSpec::CurrentSource { ac: Some(ac), .. } => {
+                assert_eq!(number(&ac.magnitude), 1e-3);
+                assert!(ac.phase.is_none());
+            }
+            other => panic!("{other:?}"),
+        }
+        let err = parse("V1 in 0 1.0 AC").unwrap_err();
+        assert!(err.message.contains("missing AC magnitude"), "{err}");
+        let err = parse("V1 in 0 1.0 AC 1 junk").unwrap_err();
+        assert!(err.message.contains("expected a number"), "{err}");
+        let err = parse("V1 in 0 1.0 AC 1 0 junk").unwrap_err();
+        assert!(err.message.contains("trailing argument"), "{err}");
+    }
+
+    #[test]
+    fn parses_analysis_cards() {
+        let doc = parse(
+            "R1 in 0 1k\n.op maxiter=40\n.tran 1u 2m\n.pss 20m dt=10u tol=1e-8\n.ac dec 10 1 1k\n",
+        )
+        .unwrap();
+        assert_eq!(doc.analyses.len(), 4);
+        match &doc.analyses[0].kind {
+            AnalysisCardKind::Op { maxiter, dtol, .. } => {
+                assert_eq!(number(maxiter.as_ref().unwrap()), 40.0);
+                assert!(dtol.is_none());
+            }
+            other => panic!("{other:?}"),
+        }
+        match &doc.analyses[1].kind {
+            AnalysisCardKind::Tran { dt, t_stop } => {
+                assert_eq!(number(dt), 1e-6);
+                assert_eq!(number(t_stop), 2e-3);
+            }
+            other => panic!("{other:?}"),
+        }
+        match &doc.analyses[2].kind {
+            AnalysisCardKind::Pss {
+                period, dt, tol, ..
+            } => {
+                assert_eq!(number(period), 20e-3);
+                assert_eq!(number(dt.as_ref().unwrap()), 10e-6);
+                assert_eq!(number(tol.as_ref().unwrap()), 1e-8);
+            }
+            other => panic!("{other:?}"),
+        }
+        match &doc.analyses[3].kind {
+            AnalysisCardKind::Ac {
+                sweep,
+                points,
+                f_start,
+                f_stop,
+            } => {
+                assert_eq!(sweep, "dec");
+                assert_eq!(number(points), 10.0);
+                assert_eq!(number(f_start), 1.0);
+                assert_eq!(number(f_stop), 1e3);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn analysis_card_errors_are_positioned() {
+        let err = parse(".tran 1u").unwrap_err();
+        assert!(err.message.contains("missing stop time"), "{err}");
+        let err = parse(".ac lug 10 1 1k").unwrap_err();
+        assert!(err.message.contains("dec, oct or lin"), "{err}");
+        let err = parse(".op wibble=3").unwrap_err();
+        assert!(err.message.contains("unknown parameter 'wibble'"), "{err}");
+        let err = parse(".pss 1m 2m").unwrap_err();
+        assert!(err.message.contains("trailing argument"), "{err}");
+        let err = parse(".subckt s a\n.tran 1u 1m\n.ends\n").unwrap_err();
+        assert!(
+            err.message.contains("not allowed inside a .subckt"),
+            "{err}"
+        );
+        assert_eq!((err.line, err.column), (2, 1));
     }
 
     #[test]

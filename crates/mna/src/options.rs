@@ -1,0 +1,102 @@
+//! Shared option-validation checker.
+//!
+//! Every analysis options struct in the workspace —
+//! [`TransientOptions`](crate::transient::TransientOptions),
+//! [`SteadyStateOptions`](crate::shooting::SteadyStateOptions), the
+//! [`analysis`](crate::analysis) plan cards, and the envelope simulator's
+//! options in `harvester-core` — validates itself through these primitives,
+//! so the rules ("positive and finite", "at least one iteration") and their
+//! message formats live in exactly one place. The netlist elaborator calls
+//! the same `validate()` methods and wraps any failure into a positioned
+//! [`NetlistError`](crate::netlist::NetlistError), which is how `.tran`-card
+//! text and Rust-built options end up rejected by the identical checker.
+
+use crate::MnaError;
+
+/// Wraps a validation message into [`MnaError::InvalidOptions`] — the single
+/// constructor every option validator produces its errors through.
+pub fn invalid(message: impl Into<String>) -> MnaError {
+    MnaError::InvalidOptions(message.into())
+}
+
+/// Fails unless `value` is strictly positive and finite. `what` names the
+/// option in the message (e.g. `"shooting period"`).
+///
+/// # Errors
+///
+/// [`MnaError::InvalidOptions`] with the message
+/// `"{what} must be positive and finite, got {value}"`.
+pub fn positive_finite(what: &str, value: f64) -> Result<(), MnaError> {
+    if value > 0.0 && value.is_finite() {
+        Ok(())
+    } else {
+        Err(invalid(format!(
+            "{what} must be positive and finite, got {value}"
+        )))
+    }
+}
+
+/// Fails unless `value` is finite (any sign, including zero).
+///
+/// # Errors
+///
+/// [`MnaError::InvalidOptions`] with the message
+/// `"{what} must be finite, got {value}"`.
+pub fn finite(what: &str, value: f64) -> Result<(), MnaError> {
+    if value.is_finite() {
+        Ok(())
+    } else {
+        Err(invalid(format!("{what} must be finite, got {value}")))
+    }
+}
+
+/// Fails unless the integer count `value` is at least `min`.
+///
+/// # Errors
+///
+/// [`MnaError::InvalidOptions`] with the message
+/// `"{what} must be at least {min}"`.
+pub fn at_least(what: &str, value: usize, min: usize) -> Result<(), MnaError> {
+    if value >= min {
+        Ok(())
+    } else {
+        Err(invalid(format!("{what} must be at least {min}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn message(result: Result<(), MnaError>) -> String {
+        match result {
+            Err(MnaError::InvalidOptions(msg)) => msg,
+            other => panic!("expected InvalidOptions, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn positive_finite_accepts_and_rejects() {
+        assert!(positive_finite("dt", 1e-6).is_ok());
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let msg = message(positive_finite("dt", bad));
+            assert!(msg.starts_with("dt must be positive and finite"), "{msg}");
+        }
+    }
+
+    #[test]
+    fn finite_rejects_nan_and_infinity() {
+        assert!(finite("phase", -3.0).is_ok());
+        assert!(finite("phase", 0.0).is_ok());
+        assert!(message(finite("phase", f64::NAN)).contains("finite"));
+    }
+
+    #[test]
+    fn at_least_names_the_bound() {
+        assert!(at_least("points", 2, 2).is_ok());
+        assert_eq!(
+            message(at_least("points", 1, 2)),
+            "points must be at least 2"
+        );
+    }
+}

@@ -210,6 +210,41 @@ impl SteadyStateOptions {
             jacobian: ShootingJacobian::Auto,
         }
     }
+
+    /// Checks the options for consistency — the shared checker (see
+    /// [`crate::options`]) behind [`SteadyStateAnalysis::run`] and the
+    /// analysis plan's `.pss` cards.
+    ///
+    /// # Errors
+    ///
+    /// [`MnaError::InvalidOptions`] naming the offending option.
+    pub fn validate(&self) -> Result<(), MnaError> {
+        crate::options::positive_finite("shooting period", self.period)?;
+        if self.warmup_cycles < 1.0 || !self.warmup_cycles.is_finite() {
+            return Err(crate::options::invalid(format!(
+                "shooting warmup_cycles must be at least 1 (the start-up step's \
+                 backward-Euler companion model must stay out of the sensitivity \
+                 chain), got {}",
+                self.warmup_cycles
+            )));
+        }
+        crate::options::at_least("shooting max_iterations", self.max_iterations, 1)?;
+        crate::options::positive_finite("shooting tolerance", self.tolerance)?;
+        crate::options::positive_finite("shooting transient dt", self.transient.dt)?;
+        if let ShootingJacobian::MatrixFree {
+            restart,
+            max_matvecs,
+        } = self.jacobian
+        {
+            if restart == 0 || max_matvecs == 0 {
+                return Err(crate::options::invalid(format!(
+                    "shooting jacobian MatrixFree needs restart and max_matvecs of at \
+                     least 1, got restart {restart} and max_matvecs {max_matvecs}"
+                )));
+            }
+        }
+        Ok(())
+    }
 }
 
 /// Fewest fixed steps the engine places across one period, whatever the
@@ -532,51 +567,7 @@ impl SteadyStateAnalysis {
     }
 
     fn validate(&self) -> Result<(), MnaError> {
-        let o = &self.options;
-        if o.period <= 0.0 || !o.period.is_finite() {
-            return Err(MnaError::InvalidOptions(format!(
-                "shooting period must be positive and finite, got {}",
-                o.period
-            )));
-        }
-        if o.warmup_cycles < 1.0 || !o.warmup_cycles.is_finite() {
-            return Err(MnaError::InvalidOptions(format!(
-                "shooting warmup_cycles must be at least 1 (the start-up step's \
-                 backward-Euler companion model must stay out of the sensitivity \
-                 chain), got {}",
-                o.warmup_cycles
-            )));
-        }
-        if o.max_iterations == 0 {
-            return Err(MnaError::InvalidOptions(
-                "shooting max_iterations must be at least 1".to_string(),
-            ));
-        }
-        if o.tolerance <= 0.0 || !o.tolerance.is_finite() {
-            return Err(MnaError::InvalidOptions(format!(
-                "shooting tolerance must be positive and finite, got {}",
-                o.tolerance
-            )));
-        }
-        if o.transient.dt <= 0.0 || !o.transient.dt.is_finite() {
-            return Err(MnaError::InvalidOptions(format!(
-                "shooting transient dt must be positive and finite, got {}",
-                o.transient.dt
-            )));
-        }
-        if let ShootingJacobian::MatrixFree {
-            restart,
-            max_matvecs,
-        } = o.jacobian
-        {
-            if restart == 0 || max_matvecs == 0 {
-                return Err(MnaError::InvalidOptions(format!(
-                    "shooting jacobian MatrixFree needs restart and max_matvecs of at \
-                     least 1, got restart {restart} and max_matvecs {max_matvecs}"
-                )));
-            }
-        }
-        Ok(())
+        self.options.validate()
     }
 
     /// Runs the analysis with a freshly built workspace.
@@ -843,7 +834,7 @@ impl SteadyStateAnalysis {
 
     /// The fixed period grid: `steps` uniform steps of size `dt` spanning
     /// the period exactly.
-    fn period_grid(&self) -> (usize, f64) {
+    pub(crate) fn period_grid(&self) -> (usize, f64) {
         let period = self.options.period;
         let steps =
             ((period / self.options.transient.dt).round() as usize).max(MIN_STEPS_PER_PERIOD);
@@ -851,7 +842,7 @@ impl SteadyStateAnalysis {
     }
 
     /// The transient options the in-period integrations actually run under.
-    fn effective_transient(&self) -> TransientOptions {
+    pub(crate) fn effective_transient(&self) -> TransientOptions {
         let (steps, dt) = self.period_grid();
         let cycles = self.options.warmup_cycles.ceil() + self.options.max_iterations as f64 + 2.0;
         TransientOptions {

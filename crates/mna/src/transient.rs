@@ -289,6 +289,61 @@ impl Default for TransientOptions {
     }
 }
 
+impl TransientOptions {
+    /// Checks the options for consistency — the shared checker (see
+    /// [`crate::options`]) behind [`TransientAnalysis::run`], the analysis
+    /// plan's `.tran` cards and every caller that embeds transient options
+    /// (shooting, the envelope simulator).
+    ///
+    /// # Errors
+    ///
+    /// [`MnaError::InvalidOptions`] naming the offending option.
+    pub fn validate(&self) -> Result<(), MnaError> {
+        if self.dt <= 0.0 || self.t_stop <= 0.0 {
+            return Err(crate::options::invalid(format!(
+                "dt ({}) and t_stop ({}) must be positive",
+                self.dt, self.t_stop
+            )));
+        }
+        crate::options::finite("dt", self.dt)?;
+        crate::options::finite("t_stop", self.t_stop)?;
+        if self.min_dt <= 0.0 || self.min_dt > self.dt {
+            return Err(crate::options::invalid(
+                "min_dt must be positive and no larger than dt",
+            ));
+        }
+        if let StepControl::Adaptive {
+            reltol,
+            abstol,
+            max_dt,
+        } = self.step_control
+        {
+            if reltol <= 0.0 || !reltol.is_finite() {
+                return Err(crate::options::invalid(format!(
+                    "adaptive reltol must be positive and finite, got {reltol}; typical values \
+                     are 1e-2 (loose) to 1e-4 (tight), default {}",
+                    StepControl::DEFAULT_RELTOL
+                )));
+            }
+            if abstol <= 0.0 || !abstol.is_finite() {
+                return Err(crate::options::invalid(format!(
+                    "adaptive abstol must be positive and finite, got {abstol}; set it to the \
+                     smallest signal level you care about (default {})",
+                    StepControl::DEFAULT_ABSTOL
+                )));
+            }
+            if max_dt < self.dt || max_dt.is_nan() {
+                return Err(crate::options::invalid(format!(
+                    "adaptive max_dt ({max_dt}) must be at least the nominal dt ({}); use \
+                     f64::INFINITY to leave growth bounded by the error controller alone",
+                    self.dt
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
 /// Counters describing the work a transient run performed; used by the
 /// CPU-time experiments that reproduce the paper's "GA accounts for < 3 % of
 /// the CPU time" breakdown.
@@ -393,7 +448,7 @@ pub(crate) struct SystemLayout {
     pub(crate) total_states: usize,
     extra_bases: Vec<usize>,
     state_bases: Vec<usize>,
-    probes: HashMap<String, (usize, Vec<String>)>,
+    pub(crate) probes: HashMap<String, (usize, Vec<String>)>,
 }
 
 impl SystemLayout {
@@ -1025,47 +1080,7 @@ impl TransientAnalysis {
     }
 
     fn validate_options(&self) -> Result<(), MnaError> {
-        let opts = &self.options;
-        if opts.dt <= 0.0 || opts.t_stop <= 0.0 {
-            return Err(MnaError::InvalidOptions(format!(
-                "dt ({}) and t_stop ({}) must be positive",
-                opts.dt, opts.t_stop
-            )));
-        }
-        if opts.min_dt <= 0.0 || opts.min_dt > opts.dt {
-            return Err(MnaError::InvalidOptions(
-                "min_dt must be positive and no larger than dt".to_string(),
-            ));
-        }
-        if let StepControl::Adaptive {
-            reltol,
-            abstol,
-            max_dt,
-        } = opts.step_control
-        {
-            if reltol <= 0.0 || !reltol.is_finite() {
-                return Err(MnaError::InvalidOptions(format!(
-                    "adaptive reltol must be positive and finite, got {reltol}; typical values \
-                     are 1e-2 (loose) to 1e-4 (tight), default {}",
-                    StepControl::DEFAULT_RELTOL
-                )));
-            }
-            if abstol <= 0.0 || !abstol.is_finite() {
-                return Err(MnaError::InvalidOptions(format!(
-                    "adaptive abstol must be positive and finite, got {abstol}; set it to the \
-                     smallest signal level you care about (default {})",
-                    StepControl::DEFAULT_ABSTOL
-                )));
-            }
-            if max_dt < opts.dt || max_dt.is_nan() {
-                return Err(MnaError::InvalidOptions(format!(
-                    "adaptive max_dt ({max_dt}) must be at least the nominal dt ({}); use \
-                     f64::INFINITY to leave growth bounded by the error controller alone",
-                    opts.dt
-                )));
-            }
-        }
-        Ok(())
+        self.options.validate()
     }
 
     /// Runs the transient analysis on `circuit`.
@@ -1097,6 +1112,23 @@ impl TransientAnalysis {
         circuit: &Circuit,
         workspace: &mut TransientWorkspace,
     ) -> Result<TransientResult, MnaError> {
+        self.run_from(circuit, workspace, false)
+    }
+
+    /// As [`TransientAnalysis::run_with`], but with `warm == true` the
+    /// workspace's solution vector and device states are kept as the
+    /// starting point instead of being reset — the op → transient chaining
+    /// primitive of the [`analysis`](crate::analysis) engine. The caller
+    /// guarantees the workspace holds a consistent `(x, states)` pair (e.g.
+    /// a converged operating point with its ddt value slots seeded); only
+    /// the recording buffers and the factor-bypass eligibility are cleared,
+    /// so a warm run is still a pure function of its starting state.
+    pub(crate) fn run_from(
+        &self,
+        circuit: &Circuit,
+        workspace: &mut TransientWorkspace,
+        warm: bool,
+    ) -> Result<TransientResult, MnaError> {
         self.validate_options()?;
         let opts = &self.options;
         let ws = workspace;
@@ -1118,7 +1150,19 @@ impl TransientAnalysis {
                     .to_string(),
             ));
         }
-        ws.reset(circuit);
+        if warm {
+            ws.factored_h = f64::NAN;
+            ws.factored_first = false;
+            ws.candidate.copy_from_slice(&ws.x);
+            ws.new_states.copy_from_slice(&ws.states);
+            ws.times.clear();
+            ws.history.clear();
+            ws.hist_times.clear();
+            ws.hist_states.clear();
+            ws.breakpoints.clear();
+        } else {
+            ws.reset(circuit);
+        }
         let mut stats = RunStatistics::default();
 
         ws.times.push(0.0);

@@ -1,0 +1,491 @@
+//! Minimal complex arithmetic and the frequency-sweep linear solver behind
+//! AC small-signal analysis.
+//!
+//! The MNA engine linearises a circuit at its operating point into a
+//! conductance matrix `G` and a susceptance (charge/flux derivative) matrix
+//! `C`; the small-signal response at angular frequency `ω` solves
+//!
+//! ```text
+//! (G + jωC) · x = b
+//! ```
+//!
+//! with complex unknowns and excitation. Rather than introduce a complex
+//! factorisation, [`HarmonicSolver`] maps each solve onto the equivalent
+//! real system of twice the dimension,
+//!
+//! ```text
+//! [ G   -ωC ] [ Re x ]   [ Re b ]
+//! [ ωC   G  ] [ Im x ] = [ Im b ]
+//! ```
+//!
+//! so both existing real backends apply unchanged: dense partial-pivot LU
+//! for small circuits, and the fill-pattern-reusing [`SparseLu`] for large
+//! ones — the `2n×2n` sparsity pattern is built **once** from the nonzero
+//! union of `G` and `C`, symbolically analysed once, and only numerically
+//! refactored as the sweep moves from frequency to frequency.
+
+use crate::linalg::Matrix;
+use crate::sparse::{SparseLu, SparseMatrix, TripletMatrix};
+use crate::NumericsError;
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub};
+
+/// A complex number with `f64` components.
+///
+/// Covers exactly what AC analysis needs — arithmetic, polar conversion,
+/// magnitude and phase — without pulling in an external crate.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex64 {
+    /// The additive identity `0 + 0j`.
+    pub const ZERO: Complex64 = Complex64 { re: 0.0, im: 0.0 };
+    /// The multiplicative identity `1 + 0j`.
+    pub const ONE: Complex64 = Complex64 { re: 1.0, im: 0.0 };
+    /// The imaginary unit `0 + 1j`.
+    pub const I: Complex64 = Complex64 { re: 0.0, im: 1.0 };
+
+    /// Builds a complex number from rectangular components.
+    pub const fn new(re: f64, im: f64) -> Self {
+        Complex64 { re, im }
+    }
+
+    /// Builds a complex number from polar form: `r·e^{jθ}`.
+    pub fn from_polar(r: f64, theta: f64) -> Self {
+        Complex64::new(r * theta.cos(), r * theta.sin())
+    }
+
+    /// Magnitude `|z|`, computed with `hypot` for overflow safety.
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Squared magnitude `|z|²` (no square root).
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Argument (phase angle) in radians, in `(-π, π]`.
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Complex conjugate.
+    pub fn conj(self) -> Self {
+        Complex64::new(self.re, -self.im)
+    }
+
+    /// Multiplies by a real scalar.
+    pub fn scale(self, k: f64) -> Self {
+        Complex64::new(self.re * k, self.im * k)
+    }
+
+    /// True when both components are finite.
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+}
+
+impl From<f64> for Complex64 {
+    fn from(re: f64) -> Self {
+        Complex64::new(re, 0.0)
+    }
+}
+
+impl fmt::Display for Complex64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im < 0.0 {
+            write!(f, "{}-{}j", self.re, -self.im)
+        } else {
+            write!(f, "{}+{}j", self.re, self.im)
+        }
+    }
+}
+
+impl Add for Complex64 {
+    type Output = Complex64;
+    fn add(self, rhs: Complex64) -> Complex64 {
+        Complex64::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl AddAssign for Complex64 {
+    fn add_assign(&mut self, rhs: Complex64) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Complex64 {
+    type Output = Complex64;
+    fn sub(self, rhs: Complex64) -> Complex64 {
+        Complex64::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Neg for Complex64 {
+    type Output = Complex64;
+    fn neg(self) -> Complex64 {
+        Complex64::new(-self.re, -self.im)
+    }
+}
+
+impl Mul for Complex64 {
+    type Output = Complex64;
+    fn mul(self, rhs: Complex64) -> Complex64 {
+        Complex64::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl Div for Complex64 {
+    type Output = Complex64;
+    fn div(self, rhs: Complex64) -> Complex64 {
+        // Smith's algorithm: scale by the larger component to avoid
+        // overflow/underflow in the naive |rhs|² denominator.
+        if rhs.re.abs() >= rhs.im.abs() {
+            let r = rhs.im / rhs.re;
+            let d = rhs.re + rhs.im * r;
+            Complex64::new((self.re + self.im * r) / d, (self.im - self.re * r) / d)
+        } else {
+            let r = rhs.re / rhs.im;
+            let d = rhs.re * r + rhs.im;
+            Complex64::new((self.re * r + self.im) / d, (self.im * r - self.re) / d)
+        }
+    }
+}
+
+/// Solves `(G + jωC)·x = b` for a sweep of frequencies, reusing as much
+/// factorisation work as each backend allows.
+///
+/// Construct once per (operating point, circuit) pair with
+/// [`HarmonicSolver::dense`] or [`HarmonicSolver::sparse`], then call
+/// [`HarmonicSolver::solve`] per frequency. Both constructors take dense
+/// `G`/`C` (that is how the MNA engine extracts them); the sparse backend
+/// harvests their nonzero union into a fixed `2n×2n` pattern and reuses its
+/// symbolic analysis across the whole sweep.
+#[derive(Debug)]
+pub struct HarmonicSolver {
+    n: usize,
+    backend: Backend,
+}
+
+#[derive(Debug)]
+enum Backend {
+    Dense {
+        g: Matrix,
+        c: Matrix,
+        scratch: Matrix,
+    },
+    Sparse {
+        /// Nonzero entries of `G` as `(row, col, value)`.
+        g_entries: Vec<(usize, usize, f64)>,
+        /// Nonzero entries of `C` as `(row, col, value)`.
+        c_entries: Vec<(usize, usize, f64)>,
+        /// The `2n×2n` real-equivalent matrix over the fixed union pattern.
+        matrix: SparseMatrix,
+        lu: Box<SparseLu>,
+    },
+}
+
+impl HarmonicSolver {
+    /// Builds a dense-backend solver. Each [`solve`](Self::solve) assembles
+    /// the `2n×2n` real-equivalent system and factors it with partial-pivot
+    /// LU — the right choice for the small matrices a single harvester
+    /// produces.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::DimensionMismatch`] unless `G` and `C` are
+    /// square with identical dimensions.
+    pub fn dense(g: &Matrix, c: &Matrix) -> Result<Self, NumericsError> {
+        let n = check_shapes(g, c)?;
+        let mut own_g = Matrix::zeros(n, n);
+        own_g.copy_from(g);
+        let mut own_c = Matrix::zeros(n, n);
+        own_c.copy_from(c);
+        Ok(HarmonicSolver {
+            n,
+            backend: Backend::Dense {
+                g: own_g,
+                c: own_c,
+                scratch: Matrix::zeros(2 * n, 2 * n),
+            },
+        })
+    }
+
+    /// Builds a sparse-backend solver: the `2n×2n` sparsity pattern (the
+    /// nonzero union of `G` and `C`, plus an always-present diagonal for
+    /// pivoting) is assembled and symbolically analysed **once**; each
+    /// [`solve`](Self::solve) only refills values and numerically refactors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::DimensionMismatch`] unless `G` and `C` are
+    /// square with identical dimensions, or a factorisation error if the
+    /// pattern is structurally singular at `ω = 1`.
+    pub fn sparse(g: &Matrix, c: &Matrix) -> Result<Self, NumericsError> {
+        let n = check_shapes(g, c)?;
+        let harvest = |m: &Matrix| -> Vec<(usize, usize, f64)> {
+            let mut entries = Vec::new();
+            for i in 0..n {
+                for j in 0..n {
+                    if m[(i, j)] != 0.0 {
+                        entries.push((i, j, m[(i, j)]));
+                    }
+                }
+            }
+            entries
+        };
+        let g_entries = harvest(g);
+        let c_entries = harvest(c);
+
+        // Fixed pattern: G entries land in both diagonal blocks, C entries
+        // in both off-diagonal blocks, and every diagonal position exists so
+        // the elimination always has a pivot slot (explicit zeros are kept
+        // as pattern entries by the CSR builder).
+        let mut triplets = TripletMatrix::new(2 * n, 2 * n);
+        for i in 0..2 * n {
+            triplets.push(i, i, 0.0);
+        }
+        for &(i, j, _) in &g_entries {
+            triplets.push(i, j, 0.0);
+            triplets.push(i + n, j + n, 0.0);
+        }
+        for &(i, j, _) in &c_entries {
+            triplets.push(i, j + n, 0.0);
+            triplets.push(i + n, j, 0.0);
+        }
+        let mut matrix = triplets.to_csr();
+        fill_real_equivalent(&mut matrix, n, &g_entries, &c_entries, 1.0);
+        let lu = Box::new(SparseLu::new(&matrix)?);
+        Ok(HarmonicSolver {
+            n,
+            backend: Backend::Sparse {
+                g_entries,
+                c_entries,
+                matrix,
+                lu,
+            },
+        })
+    }
+
+    /// The system dimension `n` (the complex unknown count, not `2n`).
+    pub fn dimension(&self) -> usize {
+        self.n
+    }
+
+    /// Solves `(G + jωC)·x = b` at angular frequency `omega` (rad/s).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::DimensionMismatch`] if `b` has the wrong
+    /// length, or a factorisation error if the system is singular at this
+    /// frequency.
+    pub fn solve(&mut self, omega: f64, b: &[Complex64]) -> Result<Vec<Complex64>, NumericsError> {
+        let n = self.n;
+        if b.len() != n {
+            return Err(NumericsError::DimensionMismatch {
+                expected: format!("vector of length {n}"),
+                found: format!("vector of length {}", b.len()),
+            });
+        }
+        let mut rhs = vec![0.0; 2 * n];
+        for (k, z) in b.iter().enumerate() {
+            rhs[k] = z.re;
+            rhs[k + n] = z.im;
+        }
+        let xy = match &mut self.backend {
+            Backend::Dense { g, c, scratch } => {
+                scratch.fill_zero();
+                for i in 0..n {
+                    for j in 0..n {
+                        let (gij, cij) = (g[(i, j)], c[(i, j)]);
+                        scratch.add_at(i, j, gij);
+                        scratch.add_at(i + n, j + n, gij);
+                        scratch.add_at(i, j + n, -omega * cij);
+                        scratch.add_at(i + n, j, omega * cij);
+                    }
+                }
+                scratch.solve(&rhs)?
+            }
+            Backend::Sparse {
+                g_entries,
+                c_entries,
+                matrix,
+                lu,
+            } => {
+                fill_real_equivalent(matrix, n, g_entries, c_entries, omega);
+                // `update` retries with a fresh pivot order if the one from
+                // construction went numerically stale at this frequency.
+                lu.update(matrix)?;
+                lu.solve(&rhs)?
+            }
+        };
+        Ok((0..n).map(|k| Complex64::new(xy[k], xy[k + n])).collect())
+    }
+}
+
+fn check_shapes(g: &Matrix, c: &Matrix) -> Result<usize, NumericsError> {
+    if !g.is_square() || g.rows() != c.rows() || g.cols() != c.cols() {
+        return Err(NumericsError::DimensionMismatch {
+            expected: format!("square C matching {}x{} G", g.rows(), g.cols()),
+            found: format!("{}x{} C", c.rows(), c.cols()),
+        });
+    }
+    if g.rows() == 0 {
+        return Err(NumericsError::InvalidArgument(
+            "harmonic system must have at least one unknown".to_string(),
+        ));
+    }
+    Ok(g.rows())
+}
+
+/// Refills the fixed-pattern real-equivalent matrix with the block values at
+/// angular frequency `omega`.
+fn fill_real_equivalent(
+    matrix: &mut SparseMatrix,
+    n: usize,
+    g_entries: &[(usize, usize, f64)],
+    c_entries: &[(usize, usize, f64)],
+    omega: f64,
+) {
+    matrix.fill_zero();
+    for &(i, j, v) in g_entries {
+        matrix.add_at(i, j, v);
+        matrix.add_at(i + n, j + n, v);
+    }
+    for &(i, j, v) in c_entries {
+        matrix.add_at(i, j + n, -omega * v);
+        matrix.add_at(i + n, j, omega * v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: Complex64, b: Complex64, tol: f64) -> bool {
+        (a - b).abs() < tol
+    }
+
+    #[test]
+    fn arithmetic_matches_hand_results() {
+        let a = Complex64::new(1.0, 2.0);
+        let b = Complex64::new(3.0, -1.0);
+        assert_eq!(a + b, Complex64::new(4.0, 1.0));
+        assert_eq!(a - b, Complex64::new(-2.0, 3.0));
+        assert_eq!(a * b, Complex64::new(5.0, 5.0));
+        let q = a / b;
+        assert!(
+            close(q * b, a, 1e-14),
+            "division must invert multiplication"
+        );
+        assert_eq!(-a + a, Complex64::ZERO);
+        assert_eq!(a.conj(), Complex64::new(1.0, -2.0));
+        assert!((a.abs() - 5f64.sqrt()).abs() < 1e-15);
+        assert!((a.norm_sqr() - 5.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn polar_round_trips() {
+        let z = Complex64::from_polar(2.0, 0.75);
+        assert!((z.abs() - 2.0).abs() < 1e-14);
+        assert!((z.arg() - 0.75).abs() < 1e-14);
+    }
+
+    #[test]
+    fn division_survives_extreme_magnitudes() {
+        let tiny = Complex64::new(1e-300, 1e-300);
+        let q = tiny / tiny;
+        assert!(close(q, Complex64::ONE, 1e-12), "got {q}");
+        let big = Complex64::new(1e300, -1e300);
+        let q = big / big;
+        assert!(close(q, Complex64::ONE, 1e-12), "got {q}");
+    }
+
+    /// Single RC low-pass: node equation `(1/R + jωC)·v = 1/R · vin` has the
+    /// textbook solution `v = vin / (1 + jωRC)`.
+    fn rc_case(solver: &mut HarmonicSolver, r: f64, cap: f64) {
+        for omega in [0.0, 1.0, 1.0 / (r * cap), 1e6] {
+            let x = solver
+                .solve(omega, &[Complex64::new(1.0 / r, 0.0)])
+                .expect("RC system is regular");
+            let expected = Complex64::ONE / Complex64::new(1.0, omega * r * cap);
+            assert!(
+                close(x[0], expected, 1e-12 * expected.abs().max(1.0)),
+                "omega {omega}: {} vs {expected}",
+                x[0]
+            );
+        }
+    }
+
+    #[test]
+    fn dense_backend_solves_the_rc_divider() {
+        let (r, cap) = (1e3, 1e-6);
+        let g = Matrix::from_rows(&[&[1.0 / r]]);
+        let c = Matrix::from_rows(&[&[cap]]);
+        rc_case(&mut HarmonicSolver::dense(&g, &c).unwrap(), r, cap);
+    }
+
+    #[test]
+    fn sparse_backend_solves_the_rc_divider() {
+        let (r, cap) = (1e3, 1e-6);
+        let g = Matrix::from_rows(&[&[1.0 / r]]);
+        let c = Matrix::from_rows(&[&[cap]]);
+        rc_case(&mut HarmonicSolver::sparse(&g, &c).unwrap(), r, cap);
+    }
+
+    #[test]
+    fn backends_agree_on_a_random_regular_system() {
+        // Deterministic "random" fill from a simple LCG; diagonally
+        // dominated so both factorisations stay well conditioned.
+        let n = 7;
+        let mut state = 0x2545_F491_4F6C_DD1Du64;
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as f64) / (1u64 << 31) as f64 - 0.5
+        };
+        let mut g = Matrix::zeros(n, n);
+        let mut c = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                // Sparse-ish fill: skip ~half the off-diagonals.
+                if i == j || next() > 0.0 {
+                    g.add_at(i, j, next());
+                    c.add_at(i, j, next());
+                }
+            }
+            g.add_at(i, i, 4.0);
+            c.add_at(i, i, 4.0);
+        }
+        let b: Vec<Complex64> = (0..n)
+            .map(|k| Complex64::new(next(), k as f64 * 0.1))
+            .collect();
+        let mut dense = HarmonicSolver::dense(&g, &c).unwrap();
+        let mut sparse = HarmonicSolver::sparse(&g, &c).unwrap();
+        for omega in [0.0, 0.3, 2.0, 50.0] {
+            let xd = dense.solve(omega, &b).unwrap();
+            let xs = sparse.solve(omega, &b).unwrap();
+            for (a, b) in xd.iter().zip(&xs) {
+                assert!(close(*a, *b, 1e-9), "backends disagree: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn shape_mismatches_are_reported() {
+        let g = Matrix::zeros(2, 2);
+        let c = Matrix::zeros(3, 3);
+        assert!(HarmonicSolver::dense(&g, &c).is_err());
+        assert!(HarmonicSolver::sparse(&g, &c).is_err());
+    }
+}

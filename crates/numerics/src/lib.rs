@@ -29,6 +29,11 @@
 //!   the mechanical resonance of a generator design.
 //! * [`stats`] — small statistics helpers (RMS, total harmonic distortion,
 //!   linear regression) used by the experiment harness.
+//! * [`complex`] — a minimal [`Complex64`](complex::Complex64) and the
+//!   [`HarmonicSolver`](complex::HarmonicSolver) that solves `(G + jωC)x = b`
+//!   frequency sweeps through the real `2n×2n` equivalent system, reusing
+//!   the sparse pattern machinery across the sweep (AC small-signal
+//!   analysis).
 //!
 //! # Example
 //!
@@ -47,6 +52,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod complex;
 pub mod extrap;
 pub mod gmres;
 pub mod interp;

@@ -9,6 +9,7 @@
 //! reordering, value drift, or parser rounding shows up as a failed bit
 //! pattern, not a fuzzy tolerance.
 
+use energy_harvester::mna::analysis::AnalysisEngine;
 use energy_harvester::mna::circuit::Circuit;
 use energy_harvester::mna::devices::{Capacitor, Resistor, VoltageSource};
 use energy_harvester::mna::netlist;
@@ -144,6 +145,65 @@ fn coupled_array_netlist_is_bit_identical_through_shooting() {
     assert_eq!(pa.iterations, pb.iterations);
     assert_eq!(pa.closure_error.to_bits(), pb.closure_error.to_bits());
     assert_traces_bit_identical(&array.circuit, &pa.result, &pb.result);
+}
+
+#[test]
+fn analysis_cards_drive_the_fixtures_bit_identically() {
+    // The `.tran` cards the booster fixtures carry must reproduce the exact
+    // golden transient the pre-card harness ran, through the card-driven
+    // entry point (`build_with_plan` + `AnalysisEngine`) and with no
+    // per-file flags.
+    for name in ["villard.cir", "transformer_booster.cir"] {
+        let (circuit, plan) =
+            netlist::build_with_plan(&netlist_file(name)).expect("fixture must build with plan");
+        assert!(!plan.is_empty(), "{name} must carry analysis cards");
+        let results = AnalysisEngine::new()
+            .run(&circuit, &plan)
+            .expect("fixture plan must run");
+        let card_driven = results.transient().expect("fixture plans run a .tran");
+        let reference = transient(&circuit, 0.1);
+        assert_traces_bit_identical(&circuit, card_driven, &reference);
+    }
+
+    // The transformer fixture additionally sweeps its small-signal response.
+    let (circuit, plan) = netlist::build_with_plan(&netlist_file("transformer_booster.cir"))
+        .expect("transformer_booster.cir must build with plan");
+    let results = AnalysisEngine::new()
+        .run(&circuit, &plan)
+        .expect("transformer plan must run");
+    let ac = results.ac().expect("the transformer fixture carries a .ac");
+    assert_eq!(ac.len(), 51, "dec 10 over 1 Hz..100 kHz is 51 points");
+}
+
+#[test]
+fn coupled_array_cards_match_the_builder_plan_and_traces() {
+    let array = energy_harvester::experiments::arrays::coupled_array(4);
+    let (circuit, plan) = netlist::build_with_plan(&netlist_file("coupled_array4.cir"))
+        .expect("coupled_array4.cir must build with plan");
+
+    // The fixture's cards elaborate into exactly the plan the Rust builder
+    // hands out — option for option, bit for bit.
+    assert_eq!(plan, array.analysis_plan());
+
+    // Executing those cards reproduces both golden traces: the transient
+    // study and the shooting orbit, each bit-identical to the standalone
+    // engines on fresh workspaces.
+    let results = AnalysisEngine::new()
+        .run(&circuit, &plan)
+        .expect("array plan must run");
+    let tran = results.transient().expect("array plan runs a .tran");
+    assert_traces_bit_identical(&circuit, tran, &transient(&circuit, 5.0 * array.period));
+    let pss = results.steady_state().expect("array plan runs a .pss");
+    let reference = SteadyStateAnalysis::new(array.steady_state_options())
+        .run(&circuit)
+        .expect("array must reach a periodic steady state");
+    assert_eq!(pss.converged, reference.converged);
+    assert_eq!(pss.iterations, reference.iterations);
+    assert_eq!(
+        pss.closure_error.to_bits(),
+        reference.closure_error.to_bits()
+    );
+    assert_traces_bit_identical(&circuit, &pss.result, &reference.result);
 }
 
 #[test]

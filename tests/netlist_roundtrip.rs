@@ -11,12 +11,17 @@
 //! a seed and a local SplitMix64 expands it into a random circuit or input
 //! string; failures therefore reproduce from the reported case number alone.
 
+use energy_harvester::mna::analysis::{
+    AcOptions, Analysis, AnalysisPlan, FrequencySweep, OpOptions,
+};
 use energy_harvester::mna::circuit::{Circuit, NodeId};
 use energy_harvester::mna::devices::{
     Capacitor, CurrentSource, Diode, IdealTransformer, Inductor, Resistor, TimedSwitch,
     VoltageSource,
 };
 use energy_harvester::mna::netlist;
+use energy_harvester::mna::shooting::SteadyStateOptions;
+use energy_harvester::mna::transient::TransientOptions;
 use energy_harvester::mna::waveform::Waveform;
 use proptest::prelude::*;
 
@@ -142,12 +147,20 @@ impl Rng {
             3 => {
                 let (a, b) = (pick(self), pick(self));
                 let w = self.waveform();
-                c.add(VoltageSource::new(&format!("V{i}"), a, b, w));
+                let mut source = VoltageSource::new(&format!("V{i}"), a, b, w);
+                if self.below(3) == 0 {
+                    source = source.with_ac(self.any_value(), self.any_value());
+                }
+                c.add(source);
             }
             4 => {
                 let (a, b) = (pick(self), pick(self));
                 let w = self.waveform();
-                c.add(CurrentSource::new(&format!("I{i}"), a, b, w));
+                let mut source = CurrentSource::new(&format!("I{i}"), a, b, w);
+                if self.below(3) == 0 {
+                    source = source.with_ac(self.any_value(), self.any_value());
+                }
+                c.add(source);
             }
             5 => {
                 let (a, b) = (pick(self), pick(self));
@@ -196,6 +209,72 @@ impl Rng {
             self.add_device(&mut c, &nodes, i);
         }
         c
+    }
+
+    /// A random *valid* analysis card — only option values the card grammar
+    /// can express (the printer rejects anything else), spanning every card
+    /// kind and both the keyed-default and overridden forms.
+    fn analysis(&mut self) -> Analysis {
+        match self.below(4) {
+            0 => {
+                let mut options = OpOptions::default();
+                if self.below(2) == 0 {
+                    options.max_newton_iterations = 1 + self.below(200);
+                }
+                if self.below(2) == 0 {
+                    options.gmin_steps = self.below(30);
+                }
+                if self.below(2) == 0 {
+                    options.source_steps = self.below(30);
+                }
+                if self.below(2) == 0 {
+                    options.delta_tolerance = self.pos_value();
+                }
+                if self.below(2) == 0 {
+                    options.residual_tolerance = self.pos_value();
+                }
+                Analysis::Op(options)
+            }
+            1 => {
+                let dt = self.pos_value();
+                Analysis::Tran(TransientOptions {
+                    dt,
+                    t_stop: dt * self.range(1.0, 1000.0),
+                    ..TransientOptions::default()
+                })
+            }
+            2 => {
+                let mut options = SteadyStateOptions::new(self.pos_value());
+                if self.below(2) == 0 {
+                    options.transient.dt = options.period / self.range(10.0, 1000.0);
+                }
+                if self.below(2) == 0 {
+                    options.warmup_cycles = self.range(1.0, 20.0).round();
+                }
+                if self.below(2) == 0 {
+                    options.tolerance = self.pos_value();
+                }
+                if self.below(2) == 0 {
+                    options.max_iterations = 1 + self.below(60);
+                }
+                Analysis::Pss(options)
+            }
+            _ => {
+                let sweep = match self.below(3) {
+                    0 => FrequencySweep::Dec,
+                    1 => FrequencySweep::Oct,
+                    _ => FrequencySweep::Lin,
+                };
+                let f_start = self.pos_value();
+                let f_stop = f_start * self.range(1.0, 1e6);
+                Analysis::Ac(AcOptions::new(sweep, 1 + self.below(25), f_start, f_stop))
+            }
+        }
+    }
+
+    fn plan(&mut self) -> AnalysisPlan {
+        let cards = (0..self.below(5)).map(|_| self.analysis()).collect();
+        AnalysisPlan::from_cards(cards).expect("generated cards are valid")
     }
 
     /// A random string over printable ASCII plus newline and tab.
@@ -255,6 +334,24 @@ proptest! {
         assert_eq!(rebuilt.node_names(), c.node_names(), "node tables differ");
         assert_devices_equal(&c, &rebuilt);
         let second = netlist::print(&rebuilt).expect("round-tripped circuit must print");
+        prop_assert!(second == text, "print is not a fixed point:\n{text}\nvs\n{second}");
+    }
+
+    /// `build_with_plan(print_with_plan(c, p))` reproduces the circuit *and*
+    /// every analysis card bit for bit, and printing again is a fixed point.
+    #[test]
+    fn plan_round_trips(seed in 0usize..1_000_000) {
+        let mut rng = Rng(seed as u64 ^ 0xCA7D);
+        let c = rng.circuit();
+        let plan = rng.plan();
+        let text = netlist::print_with_plan(&c, &plan).expect("generated plans must print");
+        let (rebuilt, replan) = netlist::build_with_plan(&text)
+            .unwrap_or_else(|e| panic!("printed netlist must re-build: {e}\n{text}"));
+        assert_eq!(rebuilt.node_names(), c.node_names(), "node tables differ");
+        assert_devices_equal(&c, &rebuilt);
+        prop_assert!(replan == plan, "plans differ:\n{plan:?}\nvs\n{replan:?}\n{text}");
+        let second = netlist::print_with_plan(&rebuilt, &replan)
+            .expect("round-tripped plan must print");
         prop_assert!(second == text, "print is not a fixed point:\n{text}\nvs\n{second}");
     }
 
