@@ -67,6 +67,10 @@ pub fn statistics_record(name: impl Into<String>, stats: &RunStatistics, wall: f
         .metric("predicted_steps", stats.predicted_steps as f64)
         .metric("shooting_iterations", stats.shooting_iterations as f64)
         .metric("integrated_cycles", stats.integrated_cycles as f64)
+        .metric("gmres_fallbacks", stats.gmres_fallbacks as f64)
+        .metric("brute_force_fallbacks", stats.brute_force_fallbacks as f64)
+        .metric("homotopy_escalations", stats.homotopy_escalations as f64)
+        .metric("recovery_retries", stats.recovery_retries as f64)
 }
 
 /// Absolute path of `file` anchored at the workspace root, whatever cargo
@@ -219,6 +223,10 @@ mod tests {
             predicted_steps: 8,
             shooting_iterations: 9,
             integrated_cycles: 10,
+            gmres_fallbacks: 11,
+            brute_force_fallbacks: 12,
+            homotopy_escalations: 13,
+            recovery_retries: 14,
         };
         let record = statistics_record("r", &stats, 0.5);
         assert_eq!(record.get("wall_seconds"), Some(0.5));
@@ -226,6 +234,10 @@ mod tests {
         assert_eq!(record.get("repivot_factorizations"), Some(6.0));
         assert_eq!(record.get("shooting_iterations"), Some(9.0));
         assert_eq!(record.get("integrated_cycles"), Some(10.0));
+        assert_eq!(record.get("gmres_fallbacks"), Some(11.0));
+        assert_eq!(record.get("brute_force_fallbacks"), Some(12.0));
+        assert_eq!(record.get("homotopy_escalations"), Some(13.0));
+        assert_eq!(record.get("recovery_retries"), Some(14.0));
         assert_eq!(record.get("nope"), None);
     }
 

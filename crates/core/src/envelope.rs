@@ -30,6 +30,7 @@ use harvester_mna::transient::{
 };
 use harvester_mna::waveform::Waveform;
 use harvester_mna::{options, MnaError};
+use harvester_numerics::fault::FaultInjector;
 use harvester_numerics::interp::LinearInterpolator;
 use harvester_numerics::ode::{rk4, OdeSystem};
 use harvester_numerics::stats::mean;
@@ -282,6 +283,9 @@ impl ChargingCharacteristic {
 #[derive(Debug, Default)]
 pub struct EnvelopeWorkspace {
     transient: Option<TransientWorkspace>,
+    /// Injector waiting to be handed to the transient workspace the next
+    /// time a measurement materialises (or reuses) it.
+    fault: Option<FaultInjector>,
 }
 
 impl EnvelopeWorkspace {
@@ -293,6 +297,44 @@ impl EnvelopeWorkspace {
     /// `true` once a transient workspace has been materialised.
     pub fn is_initialised(&self) -> bool {
         self.transient.is_some()
+    }
+
+    /// Installs a deterministic [`FaultInjector`] that every measurement
+    /// through this workspace threads into its solver layer — the test hook
+    /// that drives the shooting→brute-force fallback (and any deeper
+    /// recovery path) on demand. Counters accumulate across measurements;
+    /// reclaim them with [`EnvelopeWorkspace::take_fault_injector`].
+    pub fn install_fault_injector(&mut self, injector: FaultInjector) {
+        self.fault = Some(injector);
+    }
+
+    /// Removes and returns the installed injector (with its accumulated
+    /// consultation counts and firing log), if any.
+    pub fn take_fault_injector(&mut self) -> Option<FaultInjector> {
+        self.transient
+            .as_mut()
+            .and_then(TransientWorkspace::take_fault_injector)
+            .or_else(|| self.fault.take())
+    }
+
+    /// Moves a pending injector into the materialised transient workspace
+    /// (called by the measurement paths once the workspace exists).
+    fn arm_transient(&mut self) {
+        if let (Some(f), Some(ws)) = (self.fault.take(), self.transient.as_mut()) {
+            ws.install_fault_injector(f);
+        }
+    }
+
+    /// Salvages an installed injector (and its counters) before the
+    /// transient workspace is replaced.
+    fn preserve_fault(&mut self) {
+        if let Some(f) = self
+            .transient
+            .as_mut()
+            .and_then(TransientWorkspace::take_fault_injector)
+        {
+            self.fault = Some(f);
+        }
     }
 }
 
@@ -365,10 +407,18 @@ impl EnvelopeSimulator {
         let mut warm = false;
         for k in 0..opts.voltage_points {
             let v = opts.max_voltage * k as f64 / (opts.voltage_points - 1).max(1) as f64;
+            // A failure deep in the transient engine names a time and a
+            // residual but not *which* sweep point was being measured — wrap
+            // it with the operating point so optimiser logs are actionable.
+            let context = |e: MnaError| {
+                e.with_context(format!(
+                    "charging-characteristic grid point {k} (clamp {v:.3} V)"
+                ))
+            };
             let i = match opts.steady_state {
-                SteadyState::BruteForce => {
-                    self.measure_settled(v, t_settle, t_stop, period, workspace, &mut statistics)?
-                }
+                SteadyState::BruteForce => self
+                    .measure_settled(v, t_settle, t_stop, period, workspace, &mut statistics)
+                    .map_err(context)?,
                 SteadyState::Shooting { max_iters, tol } => {
                     match self.measure_shooting(
                         v,
@@ -389,6 +439,7 @@ impl EnvelopeSimulator {
                         // shooting cycles stay on the work counters.
                         None => {
                             warm = false;
+                            statistics.brute_force_fallbacks += 1;
                             self.measure_settled(
                                 v,
                                 t_settle,
@@ -396,7 +447,8 @@ impl EnvelopeSimulator {
                                 period,
                                 workspace,
                                 &mut statistics,
-                            )?
+                            )
+                            .map_err(context)?
                         }
                     }
                 }
@@ -543,12 +595,14 @@ impl EnvelopeSimulator {
             None => true,
         };
         if rebuild {
+            workspace.preserve_fault();
             workspace.transient =
                 Some(TransientWorkspace::for_circuit(&circuit, &options.transient).ok()?);
             // A fresh workspace holds no previous orbit to continue from.
             options.warm_start = false;
             options.warmup_cycles = SteadyStateOptions::DEFAULT_WARMUP_CYCLES;
         }
+        workspace.arm_transient();
         let analysis = SteadyStateAnalysis::new(options);
         let ws = workspace
             .transient
@@ -594,11 +648,13 @@ impl EnvelopeSimulator {
             None => true,
         };
         if rebuild {
+            workspace.preserve_fault();
             workspace.transient = Some(TransientWorkspace::for_circuit(
                 &circuit,
                 analysis.options(),
             )?);
         }
+        workspace.arm_transient();
         let ws = workspace
             .transient
             .as_mut()
@@ -904,6 +960,76 @@ mod tests {
             fallback.statistics().integrated_cycles,
             brute.statistics().integrated_cycles
         );
+        // Every grid point abandoned shooting, and each retreat is counted;
+        // the brute-force mode never even consults the fallback path.
+        assert!(
+            fallback.statistics().brute_force_fallbacks > 0,
+            "abandoned shooting solves must be counted as fallbacks"
+        );
+        assert_eq!(brute.statistics().brute_force_fallbacks, 0);
+    }
+
+    #[test]
+    fn injected_faults_drive_shooting_to_the_brute_force_fallback() {
+        use harvester_numerics::fault::Fault;
+
+        let mut config = HarvesterConfig::unoptimised();
+        config.generator.damping *= 3.0;
+        let clean = EnvelopeSimulator::new(config.clone(), quick_shooting_options())
+            .measure_characteristic()
+            .unwrap();
+        assert_eq!(clean.statistics().brute_force_fallbacks, 0);
+
+        // Poison a window of transient Newton residuals starting mid-way
+        // through the first grid point's shooting warm-up: the in-period
+        // halving cascade exhausts (the fixed period grid carries no
+        // recovery policy), the shooting engine reports the failure, and
+        // the envelope must retreat to brute-force settling for that grid
+        // point. The window deliberately outlasts the cascade so the first
+        // settling steps are poisoned too — near the rest state the
+        // residual-balance acceptance absorbs those, and the fallback must
+        // still deliver the measurement.
+        let mut inj = FaultInjector::new();
+        inj.arm_window(Fault::NanResidual, 100, 45);
+        let mut workspace = EnvelopeWorkspace::new();
+        workspace.install_fault_injector(inj);
+        let injected = EnvelopeSimulator::new(config, quick_shooting_options())
+            .measure_characteristic_with(&mut workspace)
+            .unwrap();
+        let inj = workspace
+            .take_fault_injector()
+            .expect("injector must be reclaimable after the measurement");
+        assert!(inj.fired(Fault::NanResidual) > 0, "the window must fire");
+        assert!(
+            injected.statistics().brute_force_fallbacks >= 1,
+            "the poisoned shooting attempt must be counted as a fallback"
+        );
+        // Each grid point delivers a legitimate measurement: the shooting
+        // value where shooting survived, the (deliberately short-settled,
+        // hence biased-low) brute-force value where the injection forced the
+        // retreat. Compare against both references.
+        let brute = EnvelopeSimulator::new(
+            {
+                let mut c = HarvesterConfig::unoptimised();
+                c.generator.damping *= 3.0;
+                c
+            },
+            quick_envelope_options(),
+        )
+        .measure_characteristic()
+        .unwrap();
+        let scale = clean.points().map(|(_, i)| i.abs()).fold(0.0f64, f64::max);
+        for (((vc, ic), (vi, ii)), (_, ib)) in
+            clean.points().zip(injected.points()).zip(brute.points())
+        {
+            assert_eq!(vc, vi);
+            let dev = (ic - ii).abs().min((ib - ii).abs());
+            assert!(
+                dev <= 0.05 * scale + 1e-9,
+                "measurement must match the shooting or settled reference: \
+                 {ii} vs shooting {ic} / settled {ib}"
+            );
+        }
     }
 
     #[test]

@@ -87,6 +87,7 @@
 use std::collections::HashMap;
 
 use harvester_numerics::complex::{Complex64, HarmonicSolver};
+use harvester_numerics::fault::{Fault, FaultInjector};
 use harvester_numerics::linalg::{norm_inf, Matrix};
 
 use crate::circuit::{Circuit, NodeId};
@@ -94,8 +95,8 @@ use crate::device::AcStampContext;
 use crate::options;
 use crate::shooting::{SteadyStateAnalysis, SteadyStateOptions, SteadyStateResult};
 use crate::transient::{
-    assemble_system, IntegrationMethod, JacobianStorage, RunStatistics, SolverBackend,
-    TransientAnalysis, TransientOptions, TransientResult, TransientWorkspace,
+    assemble_system, IntegrationMethod, JacobianStorage, RunStatistics, SimulationBudget,
+    SolverBackend, TransientAnalysis, TransientOptions, TransientResult, TransientWorkspace,
 };
 use crate::MnaError;
 
@@ -767,6 +768,49 @@ struct OpSeed {
     result: OpResult,
 }
 
+/// Why (and where) [`AnalysisEngine::run_budgeted`] stopped a plan early.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BudgetTruncation {
+    /// Plan-order index of the first card that was **not** run.
+    pub card: usize,
+    /// The budget axis that was exhausted (as reported by
+    /// [`SimulationBudget::exhausted_by`]).
+    pub reason: &'static str,
+}
+
+/// Outcome of a budgeted plan run: every card completed before the budget
+/// ran out, plus where (if anywhere) the plan was cut off.
+#[derive(Debug, Clone)]
+pub struct AnalysisOutcome {
+    results: AnalysisResults,
+    truncation: Option<BudgetTruncation>,
+}
+
+impl AnalysisOutcome {
+    /// The completed cards' results (a plan prefix when truncated).
+    pub fn results(&self) -> &AnalysisResults {
+        &self.results
+    }
+
+    /// Where the plan was cut off, or `None` if every card ran. Note that
+    /// the *last completed* transient card can itself hold a
+    /// budget-truncated trace — check
+    /// [`TransientResult::truncated`] on it as well.
+    pub fn truncation(&self) -> Option<&BudgetTruncation> {
+        self.truncation.as_ref()
+    }
+
+    /// `true` when every card of the plan ran to completion.
+    pub fn is_complete(&self) -> bool {
+        self.truncation.is_none()
+    }
+
+    /// Consumes the outcome, keeping the completed results.
+    pub fn into_results(self) -> AnalysisResults {
+        self.results
+    }
+}
+
 /// Executes [`AnalysisPlan`]s against circuits, owning one reusable
 /// [`TransientWorkspace`] and the operating-point chaining state. See the
 /// [module docs](self) for the engine's contract.
@@ -774,6 +818,7 @@ struct OpSeed {
 pub struct AnalysisEngine {
     workspace: Option<TransientWorkspace>,
     op_seed: Option<OpSeed>,
+    fault: Option<FaultInjector>,
 }
 
 impl AnalysisEngine {
@@ -781,6 +826,25 @@ impl AnalysisEngine {
     /// first card).
     pub fn new() -> Self {
         AnalysisEngine::default()
+    }
+
+    /// Installs a [`FaultInjector`] consulted by every subsequent card's
+    /// solver-layer sites (factorisations, Newton residuals, Krylov
+    /// solves). The injector's occurrence counters accumulate across cards;
+    /// reclaim it with [`AnalysisEngine::take_fault_injector`].
+    pub fn install_fault_injector(&mut self, injector: FaultInjector) {
+        self.fault = Some(injector);
+    }
+
+    /// Removes and returns the installed injector (with its accumulated
+    /// counters and event log), if any.
+    pub fn take_fault_injector(&mut self) -> Option<FaultInjector> {
+        if let Some(ws) = self.workspace.as_mut() {
+            if let Some(f) = ws.take_fault_injector() {
+                return Some(f);
+            }
+        }
+        self.fault.take()
     }
 
     /// Runs every card of `plan` against `circuit`, in order.
@@ -798,80 +862,7 @@ impl AnalysisEngine {
         let mut results = Vec::with_capacity(plan.len());
         let mut statistics = RunStatistics::default();
         for card in plan.cards() {
-            let result = match card {
-                Analysis::Op(opts) => {
-                    self.ensure_workspace(circuit, &workspace_options(opts.backend))?;
-                    let ws = self.workspace.as_mut().expect("workspace just ensured");
-                    ws.invalidate_factors();
-                    let op = run_op(circuit, ws, opts)?;
-                    let states = ws.states.clone();
-                    self.op_seed = Some(OpSeed {
-                        states,
-                        result: op.clone(),
-                    });
-                    AnalysisResult::Op(op)
-                }
-                Analysis::Tran(opts) => {
-                    self.ensure_workspace(circuit, opts)?;
-                    let seed = self.op_seed.take();
-                    let ws = self.workspace.as_mut().expect("workspace just ensured");
-                    ws.invalidate_factors();
-                    let warm = match &seed {
-                        Some(s)
-                            if s.result.solution().len() == ws.x.len()
-                                && s.states.len() == ws.states.len() =>
-                        {
-                            ws.x.copy_from_slice(s.result.solution());
-                            ws.states.copy_from_slice(&s.states);
-                            true
-                        }
-                        _ => false,
-                    };
-                    let tran = TransientAnalysis::new(*opts).run_from(circuit, ws, warm)?;
-                    AnalysisResult::Tran(tran)
-                }
-                Analysis::Pss(opts) => {
-                    let effective = SteadyStateAnalysis::new(*opts).effective_transient();
-                    self.ensure_workspace(circuit, &effective)?;
-                    let seed = self.op_seed.take();
-                    let ws = self.workspace.as_mut().expect("workspace just ensured");
-                    ws.invalidate_factors();
-                    let mut opts = *opts;
-                    if let Some(s) = &seed {
-                        if s.result.solution().len() == ws.x.len()
-                            && s.states.len() == ws.states.len()
-                        {
-                            ws.x.copy_from_slice(s.result.solution());
-                            ws.states.copy_from_slice(&s.states);
-                            opts.warm_start = true;
-                        }
-                    }
-                    let pss = SteadyStateAnalysis::new(opts).run_with(circuit, ws)?;
-                    AnalysisResult::Pss(pss)
-                }
-                Analysis::Ac(opts) => {
-                    self.ensure_workspace(circuit, &workspace_options(opts.op.backend))?;
-                    let seed = self.op_seed.clone();
-                    let ws = self.workspace.as_mut().expect("workspace just ensured");
-                    ws.invalidate_factors();
-                    let mut stats = RunStatistics::default();
-                    let (op, states) = match seed {
-                        Some(s)
-                            if s.result.solution().len() == ws.x.len()
-                                && s.states.len() == ws.states.len() =>
-                        {
-                            (s.result, s.states)
-                        }
-                        _ => {
-                            let op = run_op(circuit, ws, &opts.op)?;
-                            stats.merge(&op.statistics());
-                            (op, ws.states.clone())
-                        }
-                    };
-                    let ac = run_ac(circuit, ws, opts, op, &states, stats)?;
-                    AnalysisResult::Ac(ac)
-                }
-            };
+            let result = self.run_card(circuit, card)?;
             statistics.merge(&result.statistics());
             results.push(result);
         }
@@ -879,6 +870,144 @@ impl AnalysisEngine {
             results,
             statistics,
         })
+    }
+
+    /// As [`AnalysisEngine::run`], under a plan-wide [`SimulationBudget`]:
+    /// the budget is checked against the cumulative work counters at every
+    /// card boundary, and its remainder is threaded into each `.tran` card
+    /// (tightening the card's own budget) so a single unbounded card cannot
+    /// blow through the plan's ceiling. When the budget runs out the
+    /// completed prefix is returned as a partial [`AnalysisOutcome`] instead
+    /// of an error.
+    ///
+    /// # Errors
+    ///
+    /// As [`AnalysisEngine::run`] — budget exhaustion itself is *not* an
+    /// error.
+    pub fn run_budgeted(
+        &mut self,
+        circuit: &Circuit,
+        plan: &AnalysisPlan,
+        budget: SimulationBudget,
+    ) -> Result<AnalysisOutcome, MnaError> {
+        self.op_seed = None;
+        let mut results = Vec::with_capacity(plan.len());
+        let mut statistics = RunStatistics::default();
+        let mut truncation = None;
+        for (index, card) in plan.cards().iter().enumerate() {
+            if let Some(reason) = budget.exhausted_by(&statistics) {
+                truncation = Some(BudgetTruncation {
+                    card: index,
+                    reason,
+                });
+                break;
+            }
+            let mut card = *card;
+            if let Analysis::Tran(opts) = &mut card {
+                opts.budget = opts.budget.min(&budget.remaining_after(&statistics));
+            }
+            let result = self.run_card(circuit, &card)?;
+            statistics.merge(&result.statistics());
+            results.push(result);
+        }
+        Ok(AnalysisOutcome {
+            results: AnalysisResults {
+                results,
+                statistics,
+            },
+            truncation,
+        })
+    }
+
+    /// Executes one card, maintaining the engine's workspace-reuse and
+    /// op-chaining state.
+    fn run_card(&mut self, circuit: &Circuit, card: &Analysis) -> Result<AnalysisResult, MnaError> {
+        let result = match card {
+            Analysis::Op(opts) => {
+                self.ensure_workspace(circuit, &workspace_options(opts.backend))?;
+                let ws = self.workspace.as_mut().expect("workspace just ensured");
+                ws.invalidate_factors();
+                if let Some(f) = self.fault.take() {
+                    ws.install_fault_injector(f);
+                }
+                let op = run_op(circuit, ws, opts)?;
+                let states = ws.states.clone();
+                self.op_seed = Some(OpSeed {
+                    states,
+                    result: op.clone(),
+                });
+                AnalysisResult::Op(op)
+            }
+            Analysis::Tran(opts) => {
+                self.ensure_workspace(circuit, opts)?;
+                let seed = self.op_seed.take();
+                let ws = self.workspace.as_mut().expect("workspace just ensured");
+                ws.invalidate_factors();
+                if let Some(f) = self.fault.take() {
+                    ws.install_fault_injector(f);
+                }
+                let warm = match &seed {
+                    Some(s)
+                        if s.result.solution().len() == ws.x.len()
+                            && s.states.len() == ws.states.len() =>
+                    {
+                        ws.x.copy_from_slice(s.result.solution());
+                        ws.states.copy_from_slice(&s.states);
+                        true
+                    }
+                    _ => false,
+                };
+                let tran = TransientAnalysis::new(*opts).run_from(circuit, ws, warm)?;
+                AnalysisResult::Tran(tran)
+            }
+            Analysis::Pss(opts) => {
+                let effective = SteadyStateAnalysis::new(*opts).effective_transient();
+                self.ensure_workspace(circuit, &effective)?;
+                let seed = self.op_seed.take();
+                let ws = self.workspace.as_mut().expect("workspace just ensured");
+                ws.invalidate_factors();
+                if let Some(f) = self.fault.take() {
+                    ws.install_fault_injector(f);
+                }
+                let mut opts = *opts;
+                if let Some(s) = &seed {
+                    if s.result.solution().len() == ws.x.len() && s.states.len() == ws.states.len()
+                    {
+                        ws.x.copy_from_slice(s.result.solution());
+                        ws.states.copy_from_slice(&s.states);
+                        opts.warm_start = true;
+                    }
+                }
+                let pss = SteadyStateAnalysis::new(opts).run_with(circuit, ws)?;
+                AnalysisResult::Pss(pss)
+            }
+            Analysis::Ac(opts) => {
+                self.ensure_workspace(circuit, &workspace_options(opts.op.backend))?;
+                let seed = self.op_seed.clone();
+                let ws = self.workspace.as_mut().expect("workspace just ensured");
+                ws.invalidate_factors();
+                if let Some(f) = self.fault.take() {
+                    ws.install_fault_injector(f);
+                }
+                let mut stats = RunStatistics::default();
+                let (op, states) = match seed {
+                    Some(s)
+                        if s.result.solution().len() == ws.x.len()
+                            && s.states.len() == ws.states.len() =>
+                    {
+                        (s.result, s.states)
+                    }
+                    _ => {
+                        let op = run_op(circuit, ws, &opts.op)?;
+                        stats.merge(&op.statistics());
+                        (op, ws.states.clone())
+                    }
+                };
+                let ac = run_ac(circuit, ws, opts, op, &states, stats)?;
+                AnalysisResult::Ac(ac)
+            }
+        };
+        Ok(result)
     }
 
     /// Rebuilds the engine's workspace when the current one does not fit
@@ -894,6 +1023,15 @@ impl AnalysisEngine {
             None => true,
         };
         if rebuild {
+            // A rebuild must not drop an installed fault injector (or its
+            // accumulated counters) with the old workspace.
+            if let Some(f) = self
+                .workspace
+                .as_mut()
+                .and_then(TransientWorkspace::take_fault_injector)
+            {
+                self.fault = Some(f);
+            }
             self.workspace = Some(TransientWorkspace::for_circuit(circuit, options)?);
         }
         Ok(())
@@ -956,6 +1094,20 @@ fn newton_static(
     let node_unknowns = circuit.unknown_node_count();
     for _ in 0..opts.max_newton_iterations {
         assemble_static(circuit, ws);
+        // Fault-injection hook: only the *unmodified* static system is
+        // poisoned, so an armed `NanStaticResidual` fails the direct solve
+        // (and gmin stepping's final gmin = 0 stage) while every homotopy
+        // stage stays clean — which drives the cascade deterministically to
+        // source stepping.
+        if gmin == 0.0
+            && homotopy.is_none()
+            && ws
+                .fault
+                .as_mut()
+                .is_some_and(|f| f.should_fire(Fault::NanStaticResidual))
+        {
+            ws.residual[0] = f64::NAN;
+        }
         if gmin > 0.0 {
             for i in 0..node_unknowns {
                 ws.residual[i] += gmin * ws.x[i];
@@ -978,22 +1130,25 @@ fn newton_static(
                 *r -= w * *f;
             }
         }
-        let residual_norm = norm_inf(&ws.residual);
-        if !residual_norm.is_finite() {
+        // Element-wise, not `!norm_inf(..).is_finite()`: the max-fold norm
+        // *ignores* NaN entries (`f64::max` semantics), so a poisoned
+        // residual would otherwise sail through as converged.
+        if ws.residual.iter().any(|r| !r.is_finite()) {
             return false;
         }
+        let residual_norm = norm_inf(&ws.residual);
         stats.newton_iterations += 1;
-        if !ws.jacobian.factor(stats) {
+        if !ws.jacobian.factor(stats, ws.fault.as_mut()) {
             return false;
         }
         if !ws.jacobian.solve_factored(&ws.residual, delta) {
             return false;
         }
         stats.linear_solves += 1;
-        let delta_norm = norm_inf(delta);
-        if !delta_norm.is_finite() {
+        if delta.iter().any(|d| !d.is_finite()) {
             return false;
         }
+        let delta_norm = norm_inf(delta);
         let cap = newton_step_cap(&ws.x);
         let scale = if delta_norm > cap {
             cap / delta_norm
@@ -1035,6 +1190,7 @@ fn run_op(
             break 'found OpStrategy::Direct;
         }
         if opts.gmin_steps > 0 {
+            stats.homotopy_escalations += 1;
             ws.reset(circuit);
             let mut gmin = GMIN_START;
             let mut converged = true;
@@ -1050,6 +1206,7 @@ fn run_op(
             }
         }
         if opts.source_steps > 0 {
+            stats.homotopy_escalations += 1;
             ws.reset(circuit);
             assemble_static(circuit, ws);
             let f0 = ws.residual.clone();

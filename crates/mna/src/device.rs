@@ -355,6 +355,9 @@ pub struct StampContext<'a> {
     /// [`DDT_VALUE_SLOT`] for the previous-value slot, [`DDT_DERIVATIVE_SLOT`]
     /// for the previous-derivative slot.
     ddt_mask: Option<&'a mut [u8]>,
+    /// SPICE-style junction-voltage limit (volts) requested by the
+    /// convergence-recovery cascade, or `None` on the normal path.
+    junction_limit: Option<f64>,
 }
 
 /// Marker written into a ddt-slot mask for the slot holding a differentiated
@@ -395,6 +398,7 @@ impl<'a> StampContext<'a> {
             equation_base,
             first_step,
             ddt_mask: None,
+            junction_limit: None,
         }
     }
 
@@ -403,6 +407,23 @@ impl<'a> StampContext<'a> {
     pub(crate) fn with_ddt_mask(mut self, mask: &'a mut [u8]) -> Self {
         self.ddt_mask = Some(mask);
         self
+    }
+
+    /// Requests SPICE-style junction-voltage limiting from junction devices
+    /// (the recovery cascade's second leg; see
+    /// [`RecoveryPolicy`](crate::transient::RecoveryPolicy)).
+    pub(crate) fn with_junction_limit(mut self, limit: Option<f64>) -> Self {
+        self.junction_limit = limit;
+        self
+    }
+
+    /// The junction-voltage limit (volts) the current assembly runs under,
+    /// or `None` on the normal unlimited path. Exponential-junction devices
+    /// (the [`Diode`](crate::devices::Diode)) honour it by evaluating
+    /// voltages beyond the limit at the limit and extending linearly;
+    /// devices that are linear in their branch voltage ignore it.
+    pub fn junction_limit(&self) -> Option<f64> {
+        self.junction_limit
     }
 
     /// Simulation time of the step being solved.

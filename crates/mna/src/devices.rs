@@ -572,6 +572,18 @@ impl Diode {
         (i + self.gmin * v, g + self.gmin)
     }
 
+    /// As [`Diode::current_and_conductance`], with SPICE-style junction
+    /// limiting: junction voltages beyond `±limit` are evaluated *at* the
+    /// limit and extended linearly with the conductance there, which bounds
+    /// the exponential currents during wild Newton excursions. Inside the
+    /// limit the two models are identical, so a converged solution whose
+    /// junction voltage sits within the limit is exact.
+    pub fn limited_current_and_conductance(&self, v: f64, limit: f64) -> (f64, f64) {
+        let clamped = v.clamp(-limit, limit);
+        let (i0, g0) = self.current_and_conductance(clamped);
+        (i0 + g0 * (v - clamped), g0)
+    }
+
     /// Saturation current `Is` in amperes.
     pub fn saturation_current(&self) -> f64 {
         self.saturation_current
@@ -603,7 +615,10 @@ impl Device for Diode {
 
     fn stamp(&self, ctx: &mut StampContext<'_>) {
         let v = ctx.voltage_between(self.anode, self.cathode);
-        let (i, g) = self.current_and_conductance(v);
+        let (i, g) = match ctx.junction_limit() {
+            Some(limit) => self.limited_current_and_conductance(v, limit),
+            None => self.current_and_conductance(v),
+        };
         ctx.add_current(self.anode, i);
         ctx.add_current(self.cathode, -i);
         ctx.add_current_derivative(self.anode, Unknown::Node(self.anode), g);

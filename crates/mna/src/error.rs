@@ -2,6 +2,79 @@ use harvester_numerics::NumericsError;
 use std::error::Error;
 use std::fmt;
 
+/// One strategy the convergence-recovery cascade attempted before giving
+/// up (recorded, in order, in a [`ConvergenceReport`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RecoveryStrategy {
+    /// Plain time-step halving down to `min_dt`.
+    StepHalving,
+    /// The transient gmin ramp: a conductance-to-ground homotopy solved at
+    /// the failing step and relaxed back to the true system.
+    GminRamp,
+    /// SPICE-style junction-voltage limiting in the nonlinear device
+    /// stamps.
+    JunctionLimiting,
+}
+
+impl fmt::Display for RecoveryStrategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecoveryStrategy::StepHalving => write!(f, "step halving"),
+            RecoveryStrategy::GminRamp => write!(f, "gmin ramp"),
+            RecoveryStrategy::JunctionLimiting => write!(f, "junction limiting"),
+        }
+    }
+}
+
+/// Structured post-mortem of a transient step that no recovery strategy
+/// could rescue.
+///
+/// Produced instead of a bare [`MnaError::StepFailed`] when the active
+/// [`RecoveryPolicy`](crate::transient::RecoveryPolicy) asks for a detailed
+/// report; the worst-residual unknowns are mapped back to netlist node and
+/// device-probe names so optimiser logs point at circuit elements, not
+/// matrix rows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConvergenceReport {
+    /// Simulation time the engine was trying to reach when it gave up.
+    pub time: f64,
+    /// The sequence of step sizes attempted at this time point (largest
+    /// first, ending below `min_dt`).
+    pub dt_trajectory: Vec<f64>,
+    /// Residual infinity-norm at the last attempt.
+    pub residual: f64,
+    /// The unknowns with the largest residual magnitude at the last
+    /// attempt, as `(name, |residual|)` pairs, worst first.
+    pub worst_unknowns: Vec<(String, f64)>,
+    /// Every recovery strategy attempted, in order.
+    pub strategies: Vec<RecoveryStrategy>,
+}
+
+impl fmt::Display for ConvergenceReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "no convergence at t={:.6e}s (residual {:.3e}; {} dt attempts",
+            self.time,
+            self.residual,
+            self.dt_trajectory.len()
+        )?;
+        if let Some(smallest) = self.dt_trajectory.last() {
+            write!(f, ", smallest dt {smallest:.3e}s")?;
+        }
+        write!(f, "; strategies:")?;
+        for (i, s) in self.strategies.iter().enumerate() {
+            write!(f, "{}{s}", if i == 0 { " " } else { ", " })?;
+        }
+        write!(f, "; worst unknowns:")?;
+        for (i, (name, r)) in self.worst_unknowns.iter().enumerate() {
+            write!(f, "{}{name}={r:.3e}", if i == 0 { " " } else { ", " })?;
+        }
+        write!(f, ")")
+    }
+}
+
 /// Errors produced by the simulation kernel.
 #[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
@@ -30,6 +103,39 @@ pub enum MnaError {
     /// A source waveform description is physically meaningless (negative
     /// pulse edge durations, a non-increasing PWL table, …).
     InvalidWaveform(String),
+    /// A transient step failed after the full recovery cascade; carries the
+    /// structured [`ConvergenceReport`] post-mortem.
+    Convergence(Box<ConvergenceReport>),
+    /// An error annotated with higher-level context (which sweep point,
+    /// which analysis card, …) by [`MnaError::with_context`].
+    WithContext {
+        /// Human-readable description of where the error arose.
+        context: String,
+        /// The underlying error.
+        source: Box<MnaError>,
+    },
+}
+
+impl MnaError {
+    /// Wraps this error with a layer of context, preserved through
+    /// [`Display`](fmt::Display) and walkable via
+    /// [`Error::source`]/[`MnaError::root_cause`].
+    pub fn with_context(self, context: impl Into<String>) -> MnaError {
+        MnaError::WithContext {
+            context: context.into(),
+            source: Box::new(self),
+        }
+    }
+
+    /// Strips every [`MnaError::WithContext`] layer and returns the
+    /// innermost error.
+    pub fn root_cause(&self) -> &MnaError {
+        let mut e = self;
+        while let MnaError::WithContext { source, .. } = e {
+            e = source;
+        }
+        e
+    }
 }
 
 impl fmt::Display for MnaError {
@@ -45,6 +151,8 @@ impl fmt::Display for MnaError {
             MnaError::UnknownProbe(name) => write!(f, "unknown probe '{name}'"),
             MnaError::Netlist(e) => write!(f, "netlist error: {e}"),
             MnaError::InvalidWaveform(msg) => write!(f, "invalid waveform: {msg}"),
+            MnaError::Convergence(report) => write!(f, "{report}"),
+            MnaError::WithContext { context, source } => write!(f, "{context}: {source}"),
         }
     }
 }
@@ -54,6 +162,7 @@ impl Error for MnaError {
         match self {
             MnaError::Numerics(e) => Some(e),
             MnaError::Netlist(e) => Some(e),
+            MnaError::WithContext { source, .. } => Some(source.as_ref()),
             _ => None,
         }
     }
@@ -98,6 +207,45 @@ mod tests {
 
         let e = MnaError::InvalidWaveform("bad table".to_string());
         assert!(e.to_string().contains("invalid waveform: bad table"));
+    }
+
+    #[test]
+    fn context_wraps_display_and_unwraps_root_cause() {
+        let inner = MnaError::StepFailed {
+            time: 2.0,
+            dt: 1e-9,
+            residual: 0.5,
+        };
+        let wrapped = inner
+            .clone()
+            .with_context("clamp sweep point 3 (4.500 V)")
+            .with_context("characteristic measurement");
+        let text = wrapped.to_string();
+        assert!(text.starts_with("characteristic measurement: clamp sweep point 3"));
+        assert!(text.contains("transient step failed"));
+        assert_eq!(wrapped.root_cause(), &inner);
+        assert!(wrapped.source().is_some());
+    }
+
+    #[test]
+    fn convergence_report_display_names_the_worst_unknowns() {
+        let e = MnaError::Convergence(Box::new(ConvergenceReport {
+            time: 1.25e-3,
+            dt_trajectory: vec![1e-6, 5e-7, 2.5e-7],
+            residual: 3.2e2,
+            worst_unknowns: vec![("vout".to_string(), 3.2e2), ("d1.i".to_string(), 1.1e1)],
+            strategies: vec![
+                RecoveryStrategy::StepHalving,
+                RecoveryStrategy::GminRamp,
+                RecoveryStrategy::JunctionLimiting,
+            ],
+        }));
+        let text = e.to_string();
+        assert!(text.contains("t=1.250000e-3"));
+        assert!(text.contains("3 dt attempts"));
+        assert!(text.contains("smallest dt 2.500e-7"));
+        assert!(text.contains("step halving, gmin ramp, junction limiting"));
+        assert!(text.contains("vout=3.200e2"));
     }
 
     #[test]

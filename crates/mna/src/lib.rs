@@ -87,4 +87,4 @@ pub mod waveform;
 
 mod error;
 
-pub use error::MnaError;
+pub use error::{ConvergenceReport, MnaError, RecoveryStrategy};

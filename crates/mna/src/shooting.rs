@@ -73,6 +73,7 @@ use crate::transient::{
     TransientWorkspace,
 };
 use crate::MnaError;
+use harvester_numerics::fault::FaultInjector;
 use harvester_numerics::gmres::{GmresOptions, GmresWorkspace};
 use harvester_numerics::linalg::{norm_inf, Matrix};
 use harvester_numerics::monodromy::{shooting_update, MonodromyAccumulator, VectorSensitivity};
@@ -416,17 +417,21 @@ impl MatrixFreeEngine {
     /// exhausted matvec budget, falls back to rebuilding the dense monodromy
     /// through the same banked chain (`n` propagations) and solving
     /// directly, so a hard period never converges worse than the dense mode.
+    /// `fault` reaches the GMRES stagnation check, so an armed
+    /// [`Fault::KrylovStagnation`](harvester_numerics::fault::Fault::KrylovStagnation)
+    /// drives this exact fallback on demand.
     fn solve_update(
         &mut self,
         closure: &[f64],
         stats: &mut RunStatistics,
+        fault: Option<&mut FaultInjector>,
     ) -> Result<Vec<f64>, NumericsError> {
         let n = self.cache.n;
         self.update.iter_mut().for_each(|u| *u = 0.0);
         let mut solves = 0usize;
         let mut broke = false;
         let cache = &mut self.cache;
-        let result = self.gmres.solve(
+        let result = self.gmres.solve_with_injector(
             |v, out| match cache.apply_monodromy(v, out) {
                 Some(count) => {
                     solves += count;
@@ -442,6 +447,7 @@ impl MatrixFreeEngine {
             closure,
             &mut self.update,
             &self.gmres_options,
+            fault,
         );
         stats.linear_solves += solves;
         if broke {
@@ -455,6 +461,7 @@ impl MatrixFreeEngine {
         match result {
             Ok(_) => Ok(self.update.clone()),
             Err(_) => {
+                stats.gmres_fallbacks += 1;
                 let mut monodromy = Matrix::zeros(n, n);
                 let mut basis = vec![0.0; n];
                 let mut column = vec![0.0; n];
@@ -772,7 +779,9 @@ impl SteadyStateAnalysis {
             }
             let update_result = match &mut engine {
                 SensitivityEngine::Dense(acc) => shooting_update(acc.monodromy(), &closure),
-                SensitivityEngine::MatrixFree(mf) => mf.solve_update(&closure, &mut stats),
+                SensitivityEngine::MatrixFree(mf) => {
+                    mf.solve_update(&closure, &mut stats, ws.fault.as_mut())
+                }
             };
             let accepted = match update_result {
                 Ok(update) => {
@@ -823,7 +832,7 @@ impl SteadyStateAnalysis {
             stats.shooting_iterations += 1;
         }
 
-        let result = TransientResult::from_recorded(ws, circuit, stats);
+        let result = TransientResult::from_recorded(ws, circuit, stats, false);
         Ok(SteadyStateResult {
             result,
             converged,
@@ -842,6 +851,14 @@ impl SteadyStateAnalysis {
     }
 
     /// The transient options the in-period integrations actually run under.
+    ///
+    /// Note that the shooting engine's in-period marching consults neither
+    /// the [`SimulationBudget`](crate::transient::SimulationBudget) nor the
+    /// [`RecoveryPolicy`](crate::transient::RecoveryPolicy) of these options:
+    /// its work is already bounded by `max_iterations` periods on a fixed
+    /// grid, and a failed in-period step degrades to a reported stall
+    /// (`converged == false`) that callers answer with brute-force settling
+    /// — a coarser but strictly stronger recovery than any per-step cascade.
     pub(crate) fn effective_transient(&self) -> TransientOptions {
         let (steps, dt) = self.period_grid();
         let cycles = self.options.warmup_cycles.ceil() + self.options.max_iterations as f64 + 2.0;
@@ -904,7 +921,7 @@ impl SteadyStateAnalysis {
                 // accepted solution with step size `step`; factor it for the
                 // sensitivity solves and capture its `2h`-scaled copy before
                 // the second assembly overwrites the storage.
-                if !ws.jacobian.factor(stats) {
+                if !ws.jacobian.factor(stats, ws.fault.as_mut()) {
                     return Err(MnaError::Numerics(
                         harvester_numerics::NumericsError::SingularMatrix {
                             column: 0,

@@ -30,8 +30,10 @@
 
 use crate::circuit::{Circuit, NodeId};
 use crate::device::{JacobianView, PatternContext, StampContext};
+use crate::error::{ConvergenceReport, RecoveryStrategy};
 use crate::MnaError;
 use harvester_numerics::extrap::{divided_differences, extrapolate_rows, newton_eval};
+use harvester_numerics::fault::{Fault, FaultInjector};
 use harvester_numerics::linalg::{norm_inf, LuFactors, Matrix};
 use harvester_numerics::sparse::{SparseLu, SparseMatrix, TripletMatrix};
 use std::collections::HashMap;
@@ -227,6 +229,206 @@ impl StepControl {
     }
 }
 
+/// Convergence-recovery escalation policy of a transient analysis.
+///
+/// When Newton fails at the minimum step the engine normally gives up with
+/// [`MnaError::StepFailed`]. A recovery policy escalates instead, through a
+/// cascade borrowed from the operating-point homotopy machinery:
+///
+/// 1. **gmin ramp** ([`RecoveryPolicy::gmin_ramp`]) — re-solve the failing
+///    step with a shunt conductance `gmin` on every node diagonal, ramping
+///    it from [`RecoveryPolicy::gmin_start`] down to zero over
+///    [`RecoveryPolicy::gmin_stages`] stages; each stage's solution seeds
+///    the next, and only the final `gmin = 0` solution (an exact solution
+///    of the unmodified system) is ever committed.
+/// 2. **junction limiting** ([`RecoveryPolicy::junction_limit`]) — re-solve
+///    the failing step with SPICE-style junction-voltage limiting in the
+///    junction-device stamps (see
+///    [`StampContext::junction_limit`](crate::device::StampContext::junction_limit)):
+///    junction voltages beyond the limit are evaluated at the limit and
+///    linearised, which bounds the exponential currents during wild Newton
+///    excursions. A converged solution is accepted only if the *unlimited*
+///    residual balances, so the committed trace is never an artifact of the
+///    limiting.
+/// 3. **structured reporting** ([`RecoveryPolicy::detailed_report`]) — if
+///    nothing recovers the step, fail with
+///    [`MnaError::Convergence`] carrying a [`ConvergenceReport`] (failing
+///    time, attempted `dt` trajectory, worst-residual unknowns mapped back
+///    to netlist node/device names, strategies attempted) instead of the
+///    bare [`MnaError::StepFailed`].
+///
+/// The default policy is **fully disabled**: default-policy runs take
+/// exactly the code path (and produce bit-identical traces to) earlier
+/// releases.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecoveryPolicy {
+    /// Enable the transient gmin-ramp recovery leg.
+    pub gmin_ramp: bool,
+    /// Initial shunt conductance (siemens) of the gmin ramp.
+    pub gmin_start: f64,
+    /// Number of shrinking gmin stages (each divides `gmin` by 10) before
+    /// the final exact `gmin = 0` solve.
+    pub gmin_stages: usize,
+    /// Junction-voltage limit in volts for the junction-limiting leg, or
+    /// `None` to disable it. Any limit at or above the usual forward drop
+    /// (≈ 0.8 V covers every silicon junction in the fixture set) is
+    /// solution-exact: the converged junction voltages sit inside the limit,
+    /// where the limited and unlimited models are identical.
+    pub junction_limit: Option<f64>,
+    /// Fail with a structured [`ConvergenceReport`] instead of the bare
+    /// [`MnaError::StepFailed`] when the whole cascade is exhausted.
+    pub detailed_report: bool,
+}
+
+impl RecoveryPolicy {
+    /// Default starting shunt conductance of the gmin ramp (matches the
+    /// operating-point homotopy's [`crate::analysis::GMIN_START`]).
+    pub const DEFAULT_GMIN_START: f64 = 1e-2;
+    /// Default number of gmin ramp stages.
+    pub const DEFAULT_GMIN_STAGES: usize = 10;
+    /// Default junction-voltage limit of [`RecoveryPolicy::aggressive`].
+    pub const DEFAULT_JUNCTION_LIMIT: f64 = 0.8;
+
+    /// The fully disabled policy (the default): bare `StepFailed` on
+    /// exhausted step halving, bit-identical to earlier releases.
+    pub fn none() -> Self {
+        RecoveryPolicy {
+            gmin_ramp: false,
+            gmin_start: Self::DEFAULT_GMIN_START,
+            gmin_stages: Self::DEFAULT_GMIN_STAGES,
+            junction_limit: None,
+            detailed_report: false,
+        }
+    }
+
+    /// Every recovery leg enabled at the engine-recommended settings, with
+    /// structured failure reports.
+    pub fn aggressive() -> Self {
+        RecoveryPolicy {
+            gmin_ramp: true,
+            gmin_start: Self::DEFAULT_GMIN_START,
+            gmin_stages: Self::DEFAULT_GMIN_STAGES,
+            junction_limit: Some(Self::DEFAULT_JUNCTION_LIMIT),
+            detailed_report: true,
+        }
+    }
+
+    /// `true` when any part of the policy changes the failure path (a
+    /// recovery leg or the structured report).
+    pub fn is_enabled(&self) -> bool {
+        self.gmin_ramp || self.junction_limit.is_some() || self.detailed_report
+    }
+
+    fn validate(&self) -> Result<(), MnaError> {
+        if self.gmin_ramp {
+            crate::options::positive_finite("recovery gmin_start", self.gmin_start)?;
+            crate::options::at_least("recovery gmin_stages", self.gmin_stages, 1)?;
+        }
+        if let Some(limit) = self.junction_limit {
+            crate::options::positive_finite("recovery junction_limit", limit)?;
+        }
+        Ok(())
+    }
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+/// A hard ceiling on the work one analysis run (one analysis-plan card) may
+/// perform. The default is [`SimulationBudget::UNLIMITED`].
+///
+/// The marching loops check the budget between steps: a run that reaches a
+/// limit stops marching, keeps everything recorded so far and returns a
+/// result flagged [`TransientResult::truncated`] instead of running
+/// unbounded (a limit can be overshot by at most the work of the step in
+/// flight). [`AnalysisEngine::run_budgeted`](crate::analysis::AnalysisEngine::run_budgeted)
+/// additionally enforces a budget across a whole plan at card boundaries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SimulationBudget {
+    /// Largest total Newton iteration count, or `None` for no limit.
+    pub max_newton_iterations: Option<usize>,
+    /// Largest total factorisation count (full + repivot), or `None`.
+    pub max_factorizations: Option<usize>,
+    /// Largest accepted-step count, or `None`.
+    pub max_accepted_steps: Option<usize>,
+}
+
+impl SimulationBudget {
+    /// No limits at all — the default, and the behaviour of earlier
+    /// releases.
+    pub const UNLIMITED: SimulationBudget = SimulationBudget {
+        max_newton_iterations: None,
+        max_factorizations: None,
+        max_accepted_steps: None,
+    };
+
+    /// `true` when no limit is set (budget checks short-circuit away).
+    pub fn is_unlimited(&self) -> bool {
+        *self == Self::UNLIMITED
+    }
+
+    /// The first limit `stats` has reached, as a human-readable label, or
+    /// `None` while the run is still within budget.
+    pub fn exhausted_by(&self, stats: &RunStatistics) -> Option<&'static str> {
+        if self
+            .max_newton_iterations
+            .is_some_and(|m| stats.newton_iterations >= m)
+        {
+            return Some("newton iterations");
+        }
+        if self
+            .max_factorizations
+            .is_some_and(|m| stats.full_factorizations + stats.repivot_factorizations >= m)
+        {
+            return Some("factorizations");
+        }
+        if self
+            .max_accepted_steps
+            .is_some_and(|m| stats.accepted_steps >= m)
+        {
+            return Some("accepted steps");
+        }
+        None
+    }
+
+    /// The budget left over once the work in `stats` has been spent
+    /// (saturating at zero per axis): the card-boundary arithmetic of
+    /// [`AnalysisEngine::run_budgeted`](crate::analysis::AnalysisEngine::run_budgeted).
+    pub fn remaining_after(&self, stats: &RunStatistics) -> SimulationBudget {
+        SimulationBudget {
+            max_newton_iterations: self
+                .max_newton_iterations
+                .map(|m| m.saturating_sub(stats.newton_iterations)),
+            max_factorizations: self.max_factorizations.map(|m| {
+                m.saturating_sub(stats.full_factorizations + stats.repivot_factorizations)
+            }),
+            max_accepted_steps: self
+                .max_accepted_steps
+                .map(|m| m.saturating_sub(stats.accepted_steps)),
+        }
+    }
+
+    /// Elementwise minimum of two budgets (a plan-level budget combined with
+    /// a card's own).
+    pub fn min(&self, other: &SimulationBudget) -> SimulationBudget {
+        fn tighter(a: Option<usize>, b: Option<usize>) -> Option<usize> {
+            match (a, b) {
+                (Some(x), Some(y)) => Some(x.min(y)),
+                (Some(x), None) | (None, Some(x)) => Some(x),
+                (None, None) => None,
+            }
+        }
+        SimulationBudget {
+            max_newton_iterations: tighter(self.max_newton_iterations, other.max_newton_iterations),
+            max_factorizations: tighter(self.max_factorizations, other.max_factorizations),
+            max_accepted_steps: tighter(self.max_accepted_steps, other.max_accepted_steps),
+        }
+    }
+}
+
 /// Options controlling a transient analysis.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TransientOptions {
@@ -269,6 +471,16 @@ pub struct TransientOptions {
     /// every iteration (the classical full-Newton behaviour of earlier
     /// releases, bit-compatible with them).
     pub reuse_jacobian: bool,
+    /// Convergence-recovery escalation once step halving is exhausted.
+    /// Disabled by default ([`RecoveryPolicy::none`]), which keeps the
+    /// failure path — and every successful trace — bit-identical to earlier
+    /// releases.
+    pub recovery: RecoveryPolicy,
+    /// Hard work ceiling of this run. Unlimited by default
+    /// ([`SimulationBudget::UNLIMITED`]); with limits set, the run stops at
+    /// the boundary and returns a [`TransientResult::truncated`] partial
+    /// trace instead of an error.
+    pub budget: SimulationBudget,
 }
 
 impl Default for TransientOptions {
@@ -285,6 +497,8 @@ impl Default for TransientOptions {
             backend: SolverBackend::Auto,
             step_control: StepControl::Fixed,
             reuse_jacobian: true,
+            recovery: RecoveryPolicy::none(),
+            budget: SimulationBudget::UNLIMITED,
         }
     }
 }
@@ -340,6 +554,7 @@ impl TransientOptions {
                 )));
             }
         }
+        self.recovery.validate()?;
         Ok(())
     }
 }
@@ -419,6 +634,26 @@ pub struct RunStatistics {
     /// headline work metric of the shooting engine — the same cycle-averaged
     /// measurement at a fraction of the integrated cycles.
     pub integrated_cycles: usize,
+    /// Matrix-free shooting closure solves whose Krylov iteration stagnated
+    /// or exhausted its matvec budget and fell back to rebuilding the dense
+    /// monodromy (`n` banked-chain propagations). A healthy damped circuit
+    /// keeps this at zero; a climbing count says the closure spectrum is not
+    /// clustering and the matrix-free budget is mis-sized for the workload.
+    pub gmres_fallbacks: usize,
+    /// Envelope measurements that fell back from the shooting engine to
+    /// brute-force settling because the orbit would not close (accounted by
+    /// the envelope simulator). Each one trades a handful of integrated
+    /// cycles for dozens.
+    pub brute_force_fallbacks: usize,
+    /// Operating-point homotopy escalations: +1 each time the Direct solve
+    /// hands over to gmin stepping, and +1 again when gmin stepping hands
+    /// over to source stepping. Zero for an operating point that converges
+    /// directly.
+    pub homotopy_escalations: usize,
+    /// Failing transient steps rescued by the [`RecoveryPolicy`] cascade
+    /// (gmin ramp or junction limiting) after step halving was exhausted.
+    /// Always zero under the default (disabled) policy.
+    pub recovery_retries: usize,
 }
 
 impl RunStatistics {
@@ -436,6 +671,10 @@ impl RunStatistics {
         self.predicted_steps += other.predicted_steps;
         self.shooting_iterations += other.shooting_iterations;
         self.integrated_cycles += other.integrated_cycles;
+        self.gmres_fallbacks += other.gmres_fallbacks;
+        self.brute_force_fallbacks += other.brute_force_fallbacks;
+        self.homotopy_escalations += other.homotopy_escalations;
+        self.recovery_retries += other.recovery_retries;
     }
 }
 
@@ -502,6 +741,26 @@ impl SystemLayout {
             probes,
         })
     }
+
+    /// Human-readable name of global unknown `i`, for diagnostics: the
+    /// netlist node name for the node-voltage block, `device.unknown` for a
+    /// device's extra unknowns. `node_names` is
+    /// [`Circuit::node_names`](crate::circuit::Circuit::node_names) (index 0
+    /// being ground).
+    pub(crate) fn unknown_name(&self, node_names: &[String], i: usize) -> String {
+        if i < self.node_unknowns {
+            return node_names
+                .get(i + 1)
+                .cloned()
+                .unwrap_or_else(|| format!("node{}", i + 1));
+        }
+        for (device, (base, names)) in &self.probes {
+            if i >= *base && i < base + names.len() {
+                return format!("{device}.{}", names[i - base]);
+            }
+        }
+        format!("x{i}")
+    }
 }
 
 /// Backend-specific Jacobian storage plus its (lazily created, then reused)
@@ -529,7 +788,24 @@ impl JacobianStorage {
     /// Factors the currently assembled Jacobian into the cached factors,
     /// updating the factorisation counters. Returns `false` on a singular
     /// system.
-    pub(crate) fn factor(&mut self, stats: &mut RunStatistics) -> bool {
+    ///
+    /// `fault` is the solver-layer injection hook: an armed
+    /// [`Fault::SingularFactorization`] makes this call report failure
+    /// without touching the factors, and on the sparse backend an armed
+    /// [`Fault::StalePivot`] rejects the cheap pattern-reusing
+    /// refactorisation as if the stored pivot order had gone numerically
+    /// stale, forcing the re-pivoting recovery path.
+    pub(crate) fn factor(
+        &mut self,
+        stats: &mut RunStatistics,
+        mut fault: Option<&mut FaultInjector>,
+    ) -> bool {
+        if fault
+            .as_deref_mut()
+            .is_some_and(|f| f.should_fire(Fault::SingularFactorization))
+        {
+            return false;
+        }
         match self {
             JacobianStorage::Dense { matrix, factors } => {
                 let factored = match factors {
@@ -553,7 +829,8 @@ impl JacobianStorage {
                     // with a re-pivoting factorisation (what
                     // `SparseLu::update` performs after a failed refactor)
                     // if the stored pivot order went numerically stale.
-                    f.refactor(matrix).is_ok()
+                    let stale = fault.is_some_and(|inj| inj.should_fire(Fault::StalePivot));
+                    (!stale && f.refactor(matrix).is_ok())
                         || match SparseLu::new(matrix) {
                             Ok(fresh) => {
                                 stats.repivot_factorizations += 1;
@@ -572,6 +849,17 @@ impl JacobianStorage {
                     Err(_) => false,
                 },
             },
+        }
+    }
+
+    /// Adds `value` to the diagonal entry `(i, i)` of the assembled matrix —
+    /// the gmin-homotopy hook (every unknown's diagonal is in the sparsity
+    /// pattern: MNA node equations always carry a self-conductance slot, and
+    /// extra-unknown rows stamp their own diagonal).
+    pub(crate) fn add_diagonal(&mut self, i: usize, value: f64) {
+        match self {
+            JacobianStorage::Dense { matrix, .. } => matrix.add_at(i, i, value),
+            JacobianStorage::Sparse { matrix, .. } => matrix.add_at(i, i, value),
         }
     }
 
@@ -734,6 +1022,10 @@ pub struct TransientWorkspace {
     predicted: Vec<f64>,
     /// Merged, sorted source breakpoints of the current run.
     breakpoints: Vec<f64>,
+    /// Optional fault injector consulted by the solver layer (factor calls,
+    /// residual assemblies, Krylov closure solves). `None` — the production
+    /// state — costs one branch per consultation site.
+    pub(crate) fault: Option<FaultInjector>,
 }
 
 /// Number of accepted states the adaptive predictor ring retains: three
@@ -813,8 +1105,31 @@ impl TransientWorkspace {
             hist_states: Vec::with_capacity(PREDICTOR_HISTORY * n),
             predicted: vec![0.0; n],
             breakpoints: Vec::new(),
+            fault: None,
             layout,
         })
+    }
+
+    /// Installs a deterministic [`FaultInjector`] the solver layer consults
+    /// at its factorisation, residual-assembly and Krylov sites — the test
+    /// harness hook that makes every recovery/fallback path directly
+    /// reachable. Counts and the firing log accumulate across runs on this
+    /// workspace; retrieve them with
+    /// [`TransientWorkspace::take_fault_injector`].
+    pub fn install_fault_injector(&mut self, injector: FaultInjector) {
+        self.fault = Some(injector);
+    }
+
+    /// Removes and returns the installed fault injector (with its
+    /// consultation counts and firing log), restoring the production
+    /// no-injection state.
+    pub fn take_fault_injector(&mut self) -> Option<FaultInjector> {
+        self.fault.take()
+    }
+
+    /// The installed fault injector, if any.
+    pub fn fault_injector(&self) -> Option<&FaultInjector> {
+        self.fault.as_ref()
     }
 
     /// The concrete backend this workspace solves with ([`SolverBackend::Auto`]
@@ -992,7 +1307,65 @@ pub(crate) fn assemble_system_masked(
     new_states: &mut [f64],
     residual: &mut [f64],
     jacobian: &mut JacobianStorage,
+    ddt_mask: Option<&mut [u8]>,
+) {
+    assemble_system_full(
+        circuit, layout, method, time, dt, first, x, states, new_states, residual, jacobian,
+        ddt_mask, None,
+    );
+}
+
+/// As [`assemble_system`], with SPICE-style junction-voltage limiting
+/// active in the junction-device stamps (the [`RecoveryPolicy`] cascade's
+/// second leg). Never used on the default path.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn assemble_system_limited(
+    circuit: &Circuit,
+    layout: &SystemLayout,
+    method: IntegrationMethod,
+    time: f64,
+    dt: f64,
+    first: bool,
+    x: &[f64],
+    states: &[f64],
+    new_states: &mut [f64],
+    residual: &mut [f64],
+    jacobian: &mut JacobianStorage,
+    junction_limit: Option<f64>,
+) {
+    assemble_system_full(
+        circuit,
+        layout,
+        method,
+        time,
+        dt,
+        first,
+        x,
+        states,
+        new_states,
+        residual,
+        jacobian,
+        None,
+        junction_limit,
+    );
+}
+
+/// The one stamping loop every assembly variant funnels through.
+#[allow(clippy::too_many_arguments)]
+fn assemble_system_full(
+    circuit: &Circuit,
+    layout: &SystemLayout,
+    method: IntegrationMethod,
+    time: f64,
+    dt: f64,
+    first: bool,
+    x: &[f64],
+    states: &[f64],
+    new_states: &mut [f64],
+    residual: &mut [f64],
+    jacobian: &mut JacobianStorage,
     mut ddt_mask: Option<&mut [u8]>,
+    junction_limit: Option<f64>,
 ) {
     for r in residual.iter_mut() {
         *r = 0.0;
@@ -1029,7 +1402,8 @@ pub(crate) fn assemble_system_masked(
             layout.node_unknowns,
             extra_base,
             first,
-        );
+        )
+        .with_junction_limit(junction_limit);
         if count > 0 {
             if let Some(mask) = ddt_mask.as_deref_mut() {
                 ctx = ctx.with_ddt_mask(&mut mask[state_base..state_base + count]);
@@ -1168,16 +1542,18 @@ impl TransientAnalysis {
         ws.times.push(0.0);
         ws.history.extend_from_slice(&ws.x);
 
-        match opts.step_control {
+        let truncated = match opts.step_control {
             StepControl::Fixed => self.march_fixed(circuit, ws, &mut stats)?,
             StepControl::Adaptive {
                 reltol,
                 abstol,
                 max_dt,
             } => self.march_adaptive(circuit, ws, &mut stats, reltol, abstol, max_dt)?,
-        }
+        };
 
-        Ok(TransientResult::from_recorded(ws, circuit, stats))
+        Ok(TransientResult::from_recorded(
+            ws, circuit, stats, truncated,
+        ))
     }
 
     /// Damped Newton solve of one candidate step ending at `t_next`.
@@ -1227,6 +1603,13 @@ impl TransientAnalysis {
                 &mut ws.residual,
                 &mut ws.jacobian,
             );
+            if ws
+                .fault
+                .as_mut()
+                .is_some_and(|f| f.should_fire(Fault::NanResidual))
+            {
+                ws.residual[0] = f64::NAN;
+            }
             last_residual_norm = norm_inf(&ws.residual);
             stats.newton_iterations += 1;
             iterations += 1;
@@ -1243,7 +1626,7 @@ impl TransientAnalysis {
                 stale_iterations += 1;
             }
             if !have_factors {
-                if !ws.jacobian.factor(stats) {
+                if !ws.jacobian.factor(stats, ws.fault.as_mut()) {
                     break;
                 }
                 ws.factored_h = h;
@@ -1255,7 +1638,7 @@ impl TransientAnalysis {
                 // A stale-factor back-substitution cannot fail numerically;
                 // reaching here means the factors were missing or unusable.
                 // Retry once against a fresh factorisation before rejecting.
-                if fresh || !ws.jacobian.factor(stats) {
+                if fresh || !ws.jacobian.factor(stats, ws.fault.as_mut()) {
                     break;
                 }
                 ws.factored_h = h;
@@ -1366,14 +1749,23 @@ impl TransientAnalysis {
         circuit: &Circuit,
         ws: &mut TransientWorkspace,
         stats: &mut RunStatistics,
-    ) -> Result<(), MnaError> {
+    ) -> Result<bool, MnaError> {
         let opts = &self.options;
         let mut last_recorded = 0.0f64;
         let mut t = 0.0f64;
         let mut current_dt = opts.dt;
         let mut first_step = true;
+        let mut truncated = false;
+        // The dt trajectory at the current time point, tracked only for the
+        // recovery layer's failure report (never allocated under the default
+        // disabled policy).
+        let mut attempted_dts: Vec<f64> = Vec::new();
 
         while t < opts.t_stop - 1e-9 * opts.dt {
+            if !opts.budget.is_unlimited() && opts.budget.exhausted_by(stats).is_some() {
+                truncated = true;
+                break;
+            }
             // Absorb the final fractional step into the previous one instead
             // of taking a femtosecond "sliver" step created by accumulated
             // floating-point error: companion conductances scale as 1/dt, so
@@ -1388,12 +1780,36 @@ impl TransientAnalysis {
             ws.candidate.copy_from_slice(&ws.x);
             let attempt = self.attempt_step(circuit, ws, t_next, h, first_step, stats);
 
-            if attempt.converged {
+            let mut accepted = attempt.converged;
+            if !accepted {
+                stats.rejected_steps += 1;
+                if opts.recovery.is_enabled() {
+                    attempted_dts.push(h);
+                }
+                current_dt *= 0.5;
+                if current_dt < opts.min_dt {
+                    self.recover_failed_step(
+                        circuit,
+                        ws,
+                        t_next,
+                        h,
+                        current_dt,
+                        first_step,
+                        stats,
+                        &attempted_dts,
+                        attempt.residual,
+                    )?;
+                    accepted = true;
+                }
+            }
+
+            if accepted {
                 ws.states.copy_from_slice(&ws.new_states);
                 ws.x.copy_from_slice(&ws.candidate);
                 t = t_next;
                 first_step = false;
                 stats.accepted_steps += 1;
+                attempted_dts.clear();
                 let should_record = match opts.record_interval {
                     None => true,
                     Some(interval) => {
@@ -1408,16 +1824,6 @@ impl TransientAnalysis {
                 if current_dt < opts.dt {
                     current_dt = (current_dt * 2.0).min(opts.dt);
                 }
-            } else {
-                stats.rejected_steps += 1;
-                current_dt *= 0.5;
-                if current_dt < opts.min_dt {
-                    return Err(MnaError::StepFailed {
-                        time: t_next,
-                        dt: current_dt,
-                        residual: attempt.residual,
-                    });
-                }
             }
         }
 
@@ -1428,7 +1834,7 @@ impl TransientAnalysis {
             ws.times.push(t);
             ws.history.extend_from_slice(&ws.x);
         }
-        Ok(())
+        Ok(truncated)
     }
 
     /// The LTE-controlled marching loop of [`StepControl::Adaptive`]: a
@@ -1445,9 +1851,11 @@ impl TransientAnalysis {
         reltol: f64,
         abstol: f64,
         max_dt: f64,
-    ) -> Result<(), MnaError> {
+    ) -> Result<bool, MnaError> {
         let opts = &self.options;
         let n = ws.layout.n;
+        let mut truncated = false;
+        let mut attempted_dts: Vec<f64> = Vec::new();
 
         // Merge, sort and deduplicate the circuit's source breakpoints once
         // per run.
@@ -1499,6 +1907,10 @@ impl TransientAnalysis {
         let dip_floor = (opts.dt * DIP_FLOOR_FRACTION).max(opts.min_dt);
 
         while t < opts.t_stop - stop_eps {
+            if !opts.budget.is_unlimited() && opts.budget.exhausted_by(stats).is_some() {
+                truncated = true;
+                break;
+            }
             // Advance past breakpoints already landed on.
             while ws
                 .breakpoints
@@ -1558,19 +1970,32 @@ impl TransientAnalysis {
             }
 
             let attempt = self.attempt_step(circuit, ws, t_next, h_step, first_step, stats);
+            let mut recovered = false;
             if !attempt.converged {
                 stats.rejected_steps += 1;
                 successive_lte_rejections = 0;
+                if opts.recovery.is_enabled() {
+                    attempted_dts.push(h_step);
+                }
                 h = h_step * 0.5;
                 if h < opts.min_dt {
-                    return Err(MnaError::StepFailed {
-                        time: t_next,
-                        dt: h,
-                        residual: attempt.residual,
-                    });
+                    self.recover_failed_step(
+                        circuit,
+                        ws,
+                        t_next,
+                        h_step,
+                        h,
+                        first_step,
+                        stats,
+                        &attempted_dts,
+                        attempt.residual,
+                    )?;
+                    recovered = true;
+                } else {
+                    continue;
                 }
-                continue;
             }
+            attempted_dts.clear();
 
             // Predictor–corrector LTE estimate (Milne's device): the
             // corrector's truncation error is a known fraction of the gap
@@ -1617,6 +2042,7 @@ impl TransientAnalysis {
             let at_floor = h_step <= lte_floor * (1.0 + 1e-9);
             if err_ratio > LTE_REJECT_THRESHOLD
                 && !at_floor
+                && !recovered
                 && successive_lte_rejections < MAX_LTE_REJECTIONS
             {
                 stats.lte_rejections += 1;
@@ -1708,6 +2134,18 @@ impl TransientAnalysis {
                 h = opts.dt.clamp(opts.min_dt, max_dt);
                 continue;
             }
+            if recovered {
+                // A homotopy-recovered solution is no polynomial continuation
+                // of the failed Newton attempts either: restart the predictor
+                // like at a breakpoint, but stay at the (small) step size the
+                // emergency was crossed at rather than jumping back to the
+                // nominal dt.
+                ws.hist_times.clear();
+                ws.hist_states.clear();
+                ws.hist_push(t);
+                h = h_step.clamp(opts.min_dt, max_dt);
+                continue;
+            }
             ws.hist_push(t);
 
             // Step-size controller: grow on accuracy headroom (bounded per
@@ -1740,7 +2178,227 @@ impl TransientAnalysis {
             ws.times.push(t);
             ws.history.extend_from_slice(&ws.x);
         }
-        Ok(())
+        Ok(truncated)
+    }
+
+    /// The escalation ladder behind a step that exhausted halving: gmin
+    /// ramp, then junction limiting, then a structured failure — see
+    /// [`RecoveryPolicy`]. On `Ok(())` the workspace holds a committed-ready
+    /// `(candidate, new_states)` pair at `t_next`, exactly like a converged
+    /// [`TransientAnalysis::attempt_step`]; the caller commits it. With the
+    /// policy disabled this returns the exact bare [`MnaError::StepFailed`]
+    /// earlier releases raised.
+    #[allow(clippy::too_many_arguments)]
+    fn recover_failed_step(
+        &self,
+        circuit: &Circuit,
+        ws: &mut TransientWorkspace,
+        t_next: f64,
+        h: f64,
+        dt_floor: f64,
+        first_step: bool,
+        stats: &mut RunStatistics,
+        attempted_dts: &[f64],
+        last_residual: f64,
+    ) -> Result<(), MnaError> {
+        let opts = &self.options;
+        let policy = opts.recovery;
+        let bare = MnaError::StepFailed {
+            time: t_next,
+            dt: dt_floor,
+            residual: last_residual,
+        };
+        if !policy.is_enabled() {
+            return Err(bare);
+        }
+
+        let mut strategies = vec![RecoveryStrategy::StepHalving];
+        if policy.gmin_ramp {
+            strategies.push(RecoveryStrategy::GminRamp);
+            if self.recovery_gmin_ramp(circuit, ws, t_next, h, first_step, stats) {
+                stats.recovery_retries += 1;
+                ws.factored_h = f64::NAN;
+                return Ok(());
+            }
+        }
+        if let Some(limit) = policy.junction_limit {
+            strategies.push(RecoveryStrategy::JunctionLimiting);
+            ws.candidate.copy_from_slice(&ws.x);
+            // The limited solve tames the exponential excursions enough to
+            // land near the solution; a clean polish from there guarantees
+            // the committed point solves the *unlimited* system.
+            if self.recovery_newton(circuit, ws, t_next, h, first_step, stats, 0.0, Some(limit))
+                && self.recovery_newton(circuit, ws, t_next, h, first_step, stats, 0.0, None)
+            {
+                stats.recovery_retries += 1;
+                ws.factored_h = f64::NAN;
+                return Ok(());
+            }
+        }
+
+        if !policy.detailed_report {
+            return Err(bare);
+        }
+        // Post-mortem: re-measure the residual at the last iterate and map
+        // the worst-balanced equations back to netlist names.
+        assemble_system(
+            circuit,
+            &ws.layout,
+            opts.method,
+            t_next,
+            h,
+            first_step,
+            &ws.candidate,
+            &ws.states,
+            &mut ws.new_states,
+            &mut ws.residual,
+            &mut ws.jacobian,
+        );
+        let residual = norm_inf(&ws.residual);
+        let mut ranked: Vec<(usize, f64)> =
+            ws.residual.iter().map(|r| r.abs()).enumerate().collect();
+        ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
+        let worst_unknowns = ranked
+            .iter()
+            .take(3)
+            .map(|&(i, r)| (ws.layout.unknown_name(circuit.node_names(), i), r))
+            .collect();
+        Err(MnaError::Convergence(Box::new(ConvergenceReport {
+            time: t_next,
+            dt_trajectory: attempted_dts.to_vec(),
+            residual: if residual.is_finite() {
+                residual
+            } else {
+                last_residual
+            },
+            worst_unknowns,
+            strategies,
+        })))
+    }
+
+    /// The gmin-ramp recovery leg: re-solves the failing step under a
+    /// node-diagonal shunt conductance ramped from
+    /// [`RecoveryPolicy::gmin_start`] down to zero, each stage seeding the
+    /// next. Only the final `gmin = 0` stage — an exact solution of the
+    /// unmodified system — counts as success.
+    fn recovery_gmin_ramp(
+        &self,
+        circuit: &Circuit,
+        ws: &mut TransientWorkspace,
+        t_next: f64,
+        h: f64,
+        first_step: bool,
+        stats: &mut RunStatistics,
+    ) -> bool {
+        let policy = self.options.recovery;
+        // Seed from the last *committed* solution, not the diverged iterate.
+        ws.candidate.copy_from_slice(&ws.x);
+        let mut gmin = policy.gmin_start;
+        for _ in 0..policy.gmin_stages {
+            if !self.recovery_newton(circuit, ws, t_next, h, first_step, stats, gmin, None) {
+                return false;
+            }
+            gmin /= 10.0;
+        }
+        self.recovery_newton(circuit, ws, t_next, h, first_step, stats, 0.0, None)
+    }
+
+    /// One plain Newton solve of the (possibly gmin- or limiting-modified)
+    /// step system, operating on `ws.candidate` in place — the transient
+    /// sibling of the static `newton_static` in
+    /// [`analysis`](crate::analysis). Always factors fresh (no
+    /// modified-Newton bypass: a recovery is a convergence emergency) and
+    /// leaves `(candidate, new_states, residual, jacobian)` assembled at the
+    /// final iterate.
+    #[allow(clippy::too_many_arguments)]
+    fn recovery_newton(
+        &self,
+        circuit: &Circuit,
+        ws: &mut TransientWorkspace,
+        t_next: f64,
+        h: f64,
+        first_step: bool,
+        stats: &mut RunStatistics,
+        gmin: f64,
+        junction_limit: Option<f64>,
+    ) -> bool {
+        let opts = &self.options;
+        let mut converged = false;
+        for _ in 0..opts.max_newton_iterations {
+            assemble_system_limited(
+                circuit,
+                &ws.layout,
+                opts.method,
+                t_next,
+                h,
+                first_step,
+                &ws.candidate,
+                &ws.states,
+                &mut ws.new_states,
+                &mut ws.residual,
+                &mut ws.jacobian,
+                junction_limit,
+            );
+            if gmin > 0.0 {
+                for i in 0..ws.layout.node_unknowns {
+                    ws.residual[i] += gmin * ws.candidate[i];
+                    ws.jacobian.add_diagonal(i, gmin);
+                }
+            }
+            // Element-wise, not `!norm_inf(..).is_finite()`: the max-fold
+            // norm *ignores* NaN entries (`f64::max` semantics), so a
+            // poisoned residual would otherwise read as balanced.
+            if ws.residual.iter().any(|r| !r.is_finite()) {
+                return false;
+            }
+            stats.newton_iterations += 1;
+            ws.rhs.clear();
+            ws.rhs.extend(ws.residual.iter().map(|r| -r));
+            if !ws.jacobian.factor(stats, ws.fault.as_mut()) {
+                return false;
+            }
+            if !ws.jacobian.solve_factored(&ws.rhs, &mut ws.delta) {
+                return false;
+            }
+            stats.linear_solves += 1;
+            if ws.delta.iter().any(|d| !d.is_finite()) {
+                return false;
+            }
+            let delta_norm = norm_inf(&ws.delta);
+            let limiter = if delta_norm > 1.0 {
+                1.0 / delta_norm
+            } else {
+                1.0
+            };
+            for (xi, di) in ws.candidate.iter_mut().zip(ws.delta.iter()) {
+                *xi += limiter * di;
+            }
+            let scale = 1.0 + norm_inf(&ws.candidate);
+            if delta_norm * limiter <= opts.delta_tolerance * scale {
+                converged = true;
+                break;
+            }
+        }
+        if converged {
+            // Refresh `(new_states, residual, jacobian)` at the accepted
+            // iterate, against the *unmodified* system, so a successful
+            // final stage leaves the workspace in exactly the state a
+            // converged `attempt_step` would (the commit contract).
+            assemble_system(
+                circuit,
+                &ws.layout,
+                opts.method,
+                t_next,
+                h,
+                first_step,
+                &ws.candidate,
+                &ws.states,
+                &mut ws.new_states,
+                &mut ws.residual,
+                &mut ws.jacobian,
+            );
+        }
+        converged
     }
 }
 
@@ -1801,6 +2459,7 @@ pub struct TransientResult {
     node_names: Vec<String>,
     probes: HashMap<String, (usize, Vec<String>)>,
     statistics: RunStatistics,
+    truncated: bool,
 }
 
 impl TransientResult {
@@ -1810,6 +2469,7 @@ impl TransientResult {
         ws: &mut TransientWorkspace,
         circuit: &Circuit,
         statistics: RunStatistics,
+        truncated: bool,
     ) -> Self {
         TransientResult {
             times: std::mem::take(&mut ws.times),
@@ -1818,7 +2478,15 @@ impl TransientResult {
             node_names: circuit.node_names().to_vec(),
             probes: ws.layout.probes.clone(),
             statistics,
+            truncated,
         }
+    }
+
+    /// `true` when the march stopped early because a
+    /// [`SimulationBudget`] limit was reached: the recorded trace is valid
+    /// but ends before `t_stop`.
+    pub fn truncated(&self) -> bool {
+        self.truncated
     }
 
     /// Recorded sample times (the first sample is the all-zero initial state
@@ -2562,6 +3230,10 @@ mod tests {
             predicted_steps: 7,
             shooting_iterations: 9,
             integrated_cycles: 10,
+            gmres_fallbacks: 11,
+            brute_force_fallbacks: 12,
+            homotopy_escalations: 13,
+            recovery_retries: 14,
         };
         let mut b = a;
         b.merge(&a);
@@ -2575,6 +3247,10 @@ mod tests {
         assert_eq!(b.predicted_steps, 14);
         assert_eq!(b.shooting_iterations, 18);
         assert_eq!(b.integrated_cycles, 20);
+        assert_eq!(b.gmres_fallbacks, 22);
+        assert_eq!(b.brute_force_fallbacks, 24);
+        assert_eq!(b.homotopy_escalations, 26);
+        assert_eq!(b.recovery_retries, 28);
     }
 
     #[test]

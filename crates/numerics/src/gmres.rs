@@ -20,6 +20,7 @@
 //! Breakdown and stagnation are reported as [`NumericsError`] values — the
 //! solver never returns a silently-NaN solution vector.
 
+use crate::fault::{Fault, FaultInjector};
 use crate::linalg::{dot, norm2};
 use crate::NumericsError;
 
@@ -127,10 +128,31 @@ impl GmresWorkspace {
     ///   non-finite values (breakdown is reported, never propagated as NaN).
     pub fn solve<F>(
         &mut self,
+        matvec: F,
+        b: &[f64],
+        x: &mut [f64],
+        options: &GmresOptions,
+    ) -> Result<GmresOutcome, NumericsError>
+    where
+        F: FnMut(&[f64], &mut [f64]),
+    {
+        self.solve_with_injector(matvec, b, x, options, None)
+    }
+
+    /// [`solve`](GmresWorkspace::solve) with an optional [`FaultInjector`]
+    /// consulted once per restart cycle at the stagnation check
+    /// ([`Fault::KrylovStagnation`]): an injected firing makes the cycle
+    /// report [`NumericsError::NoConvergence`] exactly as a genuine
+    /// stagnation would, so callers' Krylov-failure fallbacks are directly
+    /// testable. With `injector` `None` (or inert) the behaviour — down to
+    /// the bit — is that of `solve`.
+    pub fn solve_with_injector<F>(
+        &mut self,
         mut matvec: F,
         b: &[f64],
         x: &mut [f64],
         options: &GmresOptions,
+        mut injector: Option<&mut FaultInjector>,
     ) -> Result<GmresOutcome, NumericsError>
     where
         F: FnMut(&[f64], &mut [f64]),
@@ -196,7 +218,12 @@ impl GmresWorkspace {
             }
             // Stagnation check across restart cycles: a cycle that failed to
             // reduce the residual will not be rescued by an identical cycle.
-            if restarts > 0 && r_norm > STAGNATION_FACTOR * prev_cycle_residual {
+            // The fault injector is consulted here so an injected stagnation
+            // takes the same exit a genuine one would.
+            let injected = injector
+                .as_deref_mut()
+                .is_some_and(|f| f.should_fire(Fault::KrylovStagnation));
+            if injected || (restarts > 0 && r_norm > STAGNATION_FACTOR * prev_cycle_residual) {
                 return Err(NumericsError::NoConvergence {
                     iterations: matvecs,
                     residual: r_norm / b_norm,

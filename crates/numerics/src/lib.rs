@@ -15,6 +15,10 @@
 //! * [`gmres`] — restarted GMRES with an allocation-reusing workspace, the
 //!   Krylov backbone of the matrix-free shooting method (the operator is only
 //!   ever applied to vectors, never formed).
+//! * [`fault`] — deterministic, seedable fault injection
+//!   ([`fault::FaultInjector`]) the solver layer consults at factorisation,
+//!   residual and Krylov sites, so every recovery/fallback path is directly
+//!   testable instead of only incidentally reachable.
 //! * [`newton`] — damped Newton–Raphson for systems of nonlinear equations.
 //! * [`ode`] — explicit and implicit initial-value-problem integrators
 //!   (forward Euler, RK4, adaptive RKF45, semi-implicit Euler, backward Euler
@@ -54,6 +58,7 @@
 
 pub mod complex;
 pub mod extrap;
+pub mod fault;
 pub mod gmres;
 pub mod interp;
 pub mod linalg;

@@ -1,0 +1,126 @@
+//! No-hang property for budgeted plan execution: every mutilated version of
+//! a real fixture netlist that still parses must *return* when run under a
+//! tight [`SimulationBudget`] — a complete result set, a truncated prefix,
+//! or a printable error, but never unbounded work.
+//!
+//! This is the runtime companion of `netlist_roundtrip`'s parser fuzzing:
+//! the mutations there prove no input string can panic the *front end*; the
+//! cases here push the surviving circuits and cards through the *engine*,
+//! which is where a mangled time step, iteration cap, or homotopy count
+//! would otherwise turn into an unbounded simulation.
+//!
+//! The vendored proptest supplies range strategies only, so each case draws
+//! a seed and a local SplitMix64 expands it into the spliced-in mutation
+//! text; failures therefore reproduce from the reported case number alone.
+
+use energy_harvester::mna::analysis::{Analysis, AnalysisEngine, AnalysisPlan};
+use energy_harvester::mna::netlist;
+use energy_harvester::mna::transient::SimulationBudget;
+use proptest::prelude::*;
+
+/// Local deterministic generator (SplitMix64) expanding one drawn seed into
+/// the random insertion text.
+struct Rng(u64);
+
+impl Rng {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (((u128::from(self.next_u64())) * (n as u128)) >> 64) as usize
+    }
+
+    /// A random string over printable ASCII plus newline and tab.
+    fn text(&mut self, max_len: usize) -> String {
+        let len = self.below(max_len + 1);
+        (0..len)
+            .map(|_| match self.below(97) {
+                95 => '\n',
+                96 => '\t',
+                k => (b' ' + k as u8) as char,
+            })
+            .collect()
+    }
+}
+
+/// Keeps the budget-bounded card kinds of a parsed plan, clamping the
+/// per-card iteration caps a mutated number literal could have inflated.
+///
+/// `.pss` and `.ac` cards are dropped: the plan budget is enforced at card
+/// boundaries and threaded into `.tran` cards only, so a Krylov shooting
+/// run or a million-point sweep inside one card is legitimately allowed to
+/// finish — bounded, but far too slow for a fuzz case.
+fn budgetable_cards(plan: &AnalysisPlan) -> Vec<Analysis> {
+    plan.cards()
+        .iter()
+        .filter_map(|card| match *card {
+            Analysis::Op(mut o) => {
+                o.max_newton_iterations = o.max_newton_iterations.min(200);
+                o.gmin_steps = o.gmin_steps.min(50);
+                o.source_steps = o.source_steps.min(50);
+                Some(Analysis::Op(o))
+            }
+            Analysis::Tran(mut t) => {
+                t.max_newton_iterations = t.max_newton_iterations.min(200);
+                Some(Analysis::Tran(t))
+            }
+            Analysis::Pss(_) | Analysis::Ac(_) => None,
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Mutilated fixture netlists run under a tight budget always return:
+    /// whatever the mutation did to the card options, the engine hands back
+    /// a completed prefix (flagged with the exhausted axis) or an error —
+    /// it never marches unboundedly.
+    #[test]
+    fn budgeted_plans_always_return(
+        cut_start in 0usize..600,
+        cut_len in 0usize..120,
+        seed in 0usize..1_000_000,
+    ) {
+        let insert = Rng(seed as u64 ^ 0xB4D6).text(12);
+        let base = energy_harvester::experiments::arrays::coupled_array_netlist(2);
+        let start = cut_start.min(base.len());
+        let end = (start + cut_len).min(base.len());
+        // Snap to char boundaries so slicing cannot itself panic.
+        let start = (0..=start).rev().find(|&i| base.is_char_boundary(i)).unwrap();
+        let end = (end..=base.len()).find(|&i| base.is_char_boundary(i)).unwrap();
+        let mutated = format!("{}{}{}", &base[..start], insert, &base[end..]);
+
+        let Ok((circuit, plan)) = netlist::build_with_plan(&mutated) else {
+            // A positioned parse error is a fine outcome for a fuzz case.
+            return Ok(());
+        };
+        let Ok(plan) = AnalysisPlan::from_cards(budgetable_cards(&plan)) else {
+            return Ok(());
+        };
+        let budget = SimulationBudget {
+            max_newton_iterations: Some(200),
+            max_factorizations: Some(200),
+            max_accepted_steps: Some(50),
+        };
+        match AnalysisEngine::new().run_budgeted(&circuit, &plan, budget) {
+            Ok(outcome) => {
+                prop_assert!(outcome.results().len() <= plan.len());
+                if let Some(cut) = outcome.truncation() {
+                    prop_assert!(cut.card <= plan.len());
+                    prop_assert!(!cut.reason.is_empty());
+                } else {
+                    prop_assert!(outcome.is_complete());
+                }
+            }
+            Err(e) => {
+                let _ = e.to_string();
+            }
+        }
+    }
+}
