@@ -51,6 +51,7 @@ const LOWER_IS_BETTER: &[(&str, f64)] = &[
 
 /// Metrics where a smaller fresh value means a regression.
 const HIGHER_IS_BETTER: &[(&str, f64)] = &[
+    ("cache_hit_rate", 0.10),
     ("newton_reduction", 0.10),
     ("cycle_reduction", 0.10),
     ("sparse_speedup", 0.50),

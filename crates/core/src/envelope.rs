@@ -21,6 +21,7 @@
 //! against a brute-force detailed simulation on a shortened scenario.
 
 use crate::system::{HarvesterConfig, HarvesterNodes};
+use harvester_mna::cancel::CancelToken;
 use harvester_mna::circuit::Circuit;
 use harvester_mna::devices::{Resistor, VoltageSource};
 use harvester_mna::shooting::{ShootingJacobian, SteadyStateAnalysis, SteadyStateOptions};
@@ -286,6 +287,10 @@ pub struct EnvelopeWorkspace {
     /// Injector waiting to be handed to the transient workspace the next
     /// time a measurement materialises (or reuses) it.
     fault: Option<FaultInjector>,
+    /// Cancellation token threaded into the transient workspace alongside
+    /// the injector, so a long envelope sweep stops at the next
+    /// step/grid-point boundary when its owner fires it.
+    cancel: Option<CancelToken>,
 }
 
 impl EnvelopeWorkspace {
@@ -317,16 +322,39 @@ impl EnvelopeWorkspace {
             .or_else(|| self.fault.take())
     }
 
-    /// Moves a pending injector into the materialised transient workspace
-    /// (called by the measurement paths once the workspace exists).
+    /// Installs a [`CancelToken`] every measurement through this workspace
+    /// threads into the marching loops (the per-worker cancellation hook of
+    /// the service layer's warm workspace pools). Keep a clone to fire it;
+    /// a cancelled measurement returns
+    /// [`MnaError::Cancelled`] with the
+    /// failing grid point named in the context.
+    pub fn install_cancel_token(&mut self, token: CancelToken) {
+        self.cancel = Some(token);
+    }
+
+    /// Removes and returns the installed cancellation token, if any.
+    pub fn take_cancel_token(&mut self) -> Option<CancelToken> {
+        if let Some(ws) = self.transient.as_mut() {
+            ws.take_cancel_token();
+        }
+        self.cancel.take()
+    }
+
+    /// Moves a pending injector and cancellation token into the
+    /// materialised transient workspace (called by the measurement paths
+    /// once the workspace exists).
     fn arm_transient(&mut self) {
         if let (Some(f), Some(ws)) = (self.fault.take(), self.transient.as_mut()) {
             ws.install_fault_injector(f);
         }
+        if let (Some(c), Some(ws)) = (self.cancel.as_ref(), self.transient.as_mut()) {
+            ws.install_cancel_token(c.clone());
+        }
     }
 
     /// Salvages an installed injector (and its counters) before the
-    /// transient workspace is replaced.
+    /// transient workspace is replaced. The cancellation token needs no
+    /// salvage: the envelope keeps the original and re-installs a clone.
     fn preserve_fault(&mut self) {
         if let Some(f) = self
             .transient

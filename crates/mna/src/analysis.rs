@@ -90,6 +90,7 @@ use harvester_numerics::complex::{Complex64, HarmonicSolver};
 use harvester_numerics::fault::{Fault, FaultInjector};
 use harvester_numerics::linalg::{norm_inf, Matrix};
 
+use crate::cancel::CancelToken;
 use crate::circuit::{Circuit, NodeId};
 use crate::device::AcStampContext;
 use crate::options;
@@ -768,13 +769,20 @@ struct OpSeed {
     result: OpResult,
 }
 
+/// The [`BudgetTruncation::reason`] recorded when a plan was stopped by a
+/// fired [`CancelToken`] rather than an exhausted budget axis.
+pub const CANCELLED_REASON: &str = "cancelled";
+
 /// Why (and where) [`AnalysisEngine::run_budgeted`] stopped a plan early.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BudgetTruncation {
-    /// Plan-order index of the first card that was **not** run.
+    /// Plan-order index of the first card that was **not** run to
+    /// completion. Equal to the plan length when every card ran but the
+    /// final card's own trace was budget-truncated (or cancelled) mid-run.
     pub card: usize,
     /// The budget axis that was exhausted (as reported by
-    /// [`SimulationBudget::exhausted_by`]).
+    /// [`SimulationBudget::exhausted_by`]), or [`CANCELLED_REASON`] for a
+    /// fired [`CancelToken`].
     pub reason: &'static str,
 }
 
@@ -792,17 +800,27 @@ impl AnalysisOutcome {
         &self.results
     }
 
-    /// Where the plan was cut off, or `None` if every card ran. Note that
-    /// the *last completed* transient card can itself hold a
-    /// budget-truncated trace — check
-    /// [`TransientResult::truncated`] on it as well.
+    /// Where the plan was cut off, or `None` if every card ran to
+    /// completion. A budget that ran dry *inside* a transient card (rather
+    /// than at a card boundary) is reported here too: the truncation's
+    /// `card` then points one past the partially run card, and the partial
+    /// card's [`TransientResult::truncated`] flag is set.
     pub fn truncation(&self) -> Option<&BudgetTruncation> {
         self.truncation.as_ref()
     }
 
-    /// `true` when every card of the plan ran to completion.
+    /// `true` when every card of the plan ran to completion (no card
+    /// skipped, no trace truncated by the plan budget, no cancellation).
     pub fn is_complete(&self) -> bool {
         self.truncation.is_none()
+    }
+
+    /// `true` when the plan was stopped by a fired [`CancelToken`] (at a
+    /// card boundary or inside a transient march).
+    pub fn cancelled(&self) -> bool {
+        self.truncation
+            .as_ref()
+            .is_some_and(|t| t.reason == CANCELLED_REASON)
     }
 
     /// Consumes the outcome, keeping the completed results.
@@ -819,6 +837,7 @@ pub struct AnalysisEngine {
     workspace: Option<TransientWorkspace>,
     op_seed: Option<OpSeed>,
     fault: Option<FaultInjector>,
+    cancel: Option<CancelToken>,
 }
 
 impl AnalysisEngine {
@@ -845,6 +864,26 @@ impl AnalysisEngine {
             }
         }
         self.fault.take()
+    }
+
+    /// Installs a [`CancelToken`] checked at every card boundary and polled
+    /// by the marching loops between steps. Keep a clone to fire it;
+    /// [`AnalysisEngine::run_budgeted`] answers a fired token with a
+    /// truncation of reason [`CANCELLED_REASON`], and a cancelled transient
+    /// card returns its trace-so-far with
+    /// [`TransientResult::cancelled`] set. The token stays installed for
+    /// subsequent plans until removed.
+    pub fn install_cancel_token(&mut self, token: CancelToken) {
+        self.cancel = Some(token);
+    }
+
+    /// Removes and returns the installed cancellation token, restoring the
+    /// uncancellable production state.
+    pub fn take_cancel_token(&mut self) -> Option<CancelToken> {
+        if let Some(ws) = self.workspace.as_mut() {
+            ws.take_cancel_token();
+        }
+        self.cancel.take()
     }
 
     /// Runs every card of `plan` against `circuit`, in order.
@@ -895,6 +934,13 @@ impl AnalysisEngine {
         let mut statistics = RunStatistics::default();
         let mut truncation = None;
         for (index, card) in plan.cards().iter().enumerate() {
+            if self.cancel.as_ref().is_some_and(|c| c.poll()) {
+                truncation = Some(BudgetTruncation {
+                    card: index,
+                    reason: CANCELLED_REASON,
+                });
+                break;
+            }
             if let Some(reason) = budget.exhausted_by(&statistics) {
                 truncation = Some(BudgetTruncation {
                     card: index,
@@ -906,9 +952,47 @@ impl AnalysisEngine {
             if let Analysis::Tran(opts) = &mut card {
                 opts.budget = opts.budget.min(&budget.remaining_after(&statistics));
             }
-            let result = self.run_card(circuit, &card)?;
+            let result = match self.run_card(circuit, &card) {
+                Ok(result) => result,
+                // A cancelled shooting sweep surfaces as an error (its
+                // partial orbit is useless); at the plan level cancellation
+                // is an outcome, keeping the completed-prefix results.
+                Err(e) if matches!(e.root_cause(), MnaError::Cancelled) => {
+                    truncation = Some(BudgetTruncation {
+                        card: index,
+                        reason: CANCELLED_REASON,
+                    });
+                    break;
+                }
+                Err(e) => return Err(e),
+            };
             statistics.merge(&result.statistics());
+            let cancelled_mid_card = matches!(&result, AnalysisResult::Tran(t) if t.cancelled());
             results.push(result);
+            if cancelled_mid_card {
+                // The march already stopped at the token boundary; running
+                // the remaining cards would ignore the cancellation.
+                truncation = Some(BudgetTruncation {
+                    card: index + 1,
+                    reason: CANCELLED_REASON,
+                });
+                break;
+            }
+        }
+        // A plan budget that ran dry *inside* the final card used to be
+        // reported as a complete outcome (the boundary check only ran
+        // before a next card): close that gap so the outcome's truncation
+        // state and its merged statistics agree — budget accounting stays
+        // exact for every truncated run.
+        if truncation.is_none() {
+            if let Some(reason) = budget.exhausted_by(&statistics) {
+                if matches!(results.last(), Some(AnalysisResult::Tran(t)) if t.truncated()) {
+                    truncation = Some(BudgetTruncation {
+                        card: plan.len(),
+                        reason,
+                    });
+                }
+            }
         }
         Ok(AnalysisOutcome {
             results: AnalysisResults {
@@ -930,6 +1014,7 @@ impl AnalysisEngine {
                 if let Some(f) = self.fault.take() {
                     ws.install_fault_injector(f);
                 }
+                ws.cancel = self.cancel.clone();
                 let op = run_op(circuit, ws, opts)?;
                 let states = ws.states.clone();
                 self.op_seed = Some(OpSeed {
@@ -946,6 +1031,7 @@ impl AnalysisEngine {
                 if let Some(f) = self.fault.take() {
                     ws.install_fault_injector(f);
                 }
+                ws.cancel = self.cancel.clone();
                 let warm = match &seed {
                     Some(s)
                         if s.result.solution().len() == ws.x.len()
@@ -969,6 +1055,7 @@ impl AnalysisEngine {
                 if let Some(f) = self.fault.take() {
                     ws.install_fault_injector(f);
                 }
+                ws.cancel = self.cancel.clone();
                 let mut opts = *opts;
                 if let Some(s) = &seed {
                     if s.result.solution().len() == ws.x.len() && s.states.len() == ws.states.len()
@@ -989,6 +1076,7 @@ impl AnalysisEngine {
                 if let Some(f) = self.fault.take() {
                     ws.install_fault_injector(f);
                 }
+                ws.cancel = self.cancel.clone();
                 let mut stats = RunStatistics::default();
                 let (op, states) = match seed {
                     Some(s)

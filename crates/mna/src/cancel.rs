@@ -1,0 +1,157 @@
+//! Cooperative cancellation for long-running analyses.
+//!
+//! A [`CancelToken`] is a cheap, cloneable, thread-safe flag the simulation
+//! engines poll at well-defined boundaries — between transient steps (the
+//! same sites as the [`SimulationBudget`](crate::transient::SimulationBudget)
+//! checks), between shooting sub-intervals, and between analysis-plan cards.
+//! Firing the token from any thread stops the work at the next boundary:
+//!
+//! * the transient march returns the trace recorded so far with
+//!   [`TransientResult::cancelled`](crate::transient::TransientResult::cancelled)
+//!   (and [`truncated`](crate::transient::TransientResult::truncated)) set —
+//!   cancellation of a march is an outcome, not an error, exactly like
+//!   budget exhaustion;
+//! * the shooting sweep, whose partially converged orbit is not a useful
+//!   artefact, returns [`MnaError::Cancelled`](crate::MnaError::Cancelled);
+//! * [`AnalysisEngine::run_budgeted`](crate::analysis::AnalysisEngine::run_budgeted)
+//!   stops the plan and records a truncation with reason `"cancelled"`.
+//!
+//! Cancellation is **cooperative**: a fired token never interrupts a solve
+//! in flight, so every data structure stays valid and the partial trace is
+//! usable. All clones of a token share one flag (and one poll counter), so
+//! a controller can keep one clone and hand another to the engine.
+//!
+//! For deterministic tests, [`CancelToken::cancelled_after`] builds a token
+//! that fires itself on its n-th poll — the cancellation analogue of
+//! [`FaultInjector::arm`](harvester_numerics::fault::FaultInjector::arm).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+#[derive(Debug, Default)]
+struct Inner {
+    cancelled: AtomicBool,
+    polls: AtomicU64,
+    /// Poll count at which the token fires itself; `u64::MAX` = never.
+    fire_at: AtomicU64,
+}
+
+/// A cooperative cancellation flag shared between a controller and the
+/// engines doing the work (see the [module docs](self)).
+#[derive(Debug, Clone)]
+pub struct CancelToken {
+    inner: Arc<Inner>,
+}
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        CancelToken::new()
+    }
+}
+
+impl CancelToken {
+    /// A fresh, unfired token.
+    pub fn new() -> Self {
+        CancelToken {
+            inner: Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                polls: AtomicU64::new(0),
+                fire_at: AtomicU64::new(u64::MAX),
+            }),
+        }
+    }
+
+    /// A token that fires itself on its `n`-th poll (1-based; `n = 0` is
+    /// clamped to 1, i.e. the very first boundary). Deterministic by
+    /// construction: the engines poll at fixed boundaries, so the same run
+    /// always stops at the same place.
+    pub fn cancelled_after(n: u64) -> Self {
+        let token = CancelToken::new();
+        token.inner.fire_at.store(n.max(1), Ordering::Relaxed);
+        token
+    }
+
+    /// Fires the token. Idempotent; takes effect at the workers' next poll.
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::Release);
+    }
+
+    /// Whether the token has fired, without counting a poll.
+    pub fn is_cancelled(&self) -> bool {
+        self.inner.cancelled.load(Ordering::Acquire)
+    }
+
+    /// One engine-side consultation: counts the poll, fires a
+    /// [`cancelled_after`](CancelToken::cancelled_after) threshold that has
+    /// been reached, and returns whether the work should stop.
+    pub fn poll(&self) -> bool {
+        let polls = self.inner.polls.fetch_add(1, Ordering::AcqRel) + 1;
+        if polls >= self.inner.fire_at.load(Ordering::Relaxed) {
+            self.cancel();
+        }
+        self.is_cancelled()
+    }
+
+    /// How many times the engines have polled this token (shared across
+    /// clones).
+    pub fn polls(&self) -> u64 {
+        self.inner.polls.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_token_never_stops_work() {
+        let token = CancelToken::new();
+        assert!(!token.is_cancelled());
+        assert!((0..100).all(|_| !token.poll()));
+        assert_eq!(token.polls(), 100);
+    }
+
+    #[test]
+    fn cancel_is_visible_through_clones() {
+        let token = CancelToken::new();
+        let engine_side = token.clone();
+        assert!(!engine_side.poll());
+        token.cancel();
+        assert!(engine_side.poll());
+        assert!(engine_side.is_cancelled());
+        // Idempotent.
+        token.cancel();
+        assert!(token.is_cancelled());
+    }
+
+    #[test]
+    fn cancelled_after_fires_on_the_nth_poll_exactly() {
+        let token = CancelToken::cancelled_after(3);
+        assert!(!token.poll());
+        assert!(!token.poll());
+        assert!(!token.is_cancelled(), "peeking must not fire the threshold");
+        assert!(token.poll());
+        assert!(token.is_cancelled());
+        assert!(token.poll(), "stays fired");
+    }
+
+    #[test]
+    fn cancelled_after_zero_clamps_to_first_poll() {
+        let token = CancelToken::cancelled_after(0);
+        assert!(token.poll());
+    }
+
+    #[test]
+    fn poll_counter_is_shared_across_clones() {
+        let token = CancelToken::cancelled_after(2);
+        let clone = token.clone();
+        assert!(!token.poll());
+        assert!(clone.poll(), "the clone's poll is the shared second poll");
+    }
+
+    #[test]
+    fn token_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CancelToken>();
+    }
+}

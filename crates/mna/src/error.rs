@@ -106,6 +106,11 @@ pub enum MnaError {
     /// A transient step failed after the full recovery cascade; carries the
     /// structured [`ConvergenceReport`] post-mortem.
     Convergence(Box<ConvergenceReport>),
+    /// The run was stopped by a fired
+    /// [`CancelToken`](crate::cancel::CancelToken) at a step or card
+    /// boundary. Not a failure of the circuit or the solver: the caller
+    /// asked for the work to stop.
+    Cancelled,
     /// An error annotated with higher-level context (which sweep point,
     /// which analysis card, …) by [`MnaError::with_context`].
     WithContext {
@@ -114,6 +119,80 @@ pub enum MnaError {
         /// The underlying error.
         source: Box<MnaError>,
     },
+}
+
+/// The stable classification of an [`MnaError`], designed for retry logic
+/// and wire protocols: every variant maps to exactly one kind, every kind
+/// carries a wire-stable [`code`](ErrorKind::code), and
+/// [`is_retryable`](ErrorKind::is_retryable) splits transient numerical
+/// trouble (worth re-running, possibly with an escalated
+/// [`RecoveryPolicy`](crate::transient::RecoveryPolicy)) from permanent
+/// input errors (re-running the same request can never succeed).
+///
+/// [`MnaError::WithContext`] wrappers are transparent: classification
+/// always looks at the [`MnaError::root_cause`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum ErrorKind {
+    /// A numerical kernel failed (singular matrix, Krylov breakdown, …) —
+    /// **retryable**: pivot order, step sizing or a recovery leg may rescue
+    /// a re-run.
+    Numerics,
+    /// A transient step exhausted its Newton/halving budget —
+    /// **retryable**: a stronger recovery policy often converges.
+    StepFailed,
+    /// The full recovery cascade failed with a structured post-mortem —
+    /// **retryable**: the report may suggest different options, and
+    /// borderline circuits are sensitive to the starting point.
+    Convergence,
+    /// The in-memory circuit description is malformed — **permanent**.
+    InvalidNetlist,
+    /// An analysis option failed validation — **permanent**.
+    InvalidOptions,
+    /// A requested probe name does not exist — **permanent**.
+    UnknownProbe,
+    /// Netlist text failed to parse or elaborate — **permanent**.
+    Netlist,
+    /// A source waveform description is meaningless — **permanent**.
+    InvalidWaveform,
+    /// The run was cancelled by its caller — **not retryable** (the caller
+    /// does not want the result), but not a failure either.
+    Cancelled,
+}
+
+impl ErrorKind {
+    /// `true` for kinds where re-running the same request may succeed
+    /// (transient numerical trouble); `false` for permanent input errors
+    /// and for [`ErrorKind::Cancelled`].
+    pub fn is_retryable(self) -> bool {
+        matches!(
+            self,
+            ErrorKind::Numerics | ErrorKind::StepFailed | ErrorKind::Convergence
+        )
+    }
+
+    /// A short wire-stable identifier for this kind. These strings are a
+    /// compatibility contract (job reports, logs, HTTP payloads): existing
+    /// codes never change, new kinds add new codes.
+    pub fn code(self) -> &'static str {
+        match self {
+            ErrorKind::Numerics => "numerics",
+            ErrorKind::StepFailed => "step_failed",
+            ErrorKind::Convergence => "convergence",
+            ErrorKind::InvalidNetlist => "invalid_netlist",
+            ErrorKind::InvalidOptions => "invalid_options",
+            ErrorKind::UnknownProbe => "unknown_probe",
+            ErrorKind::Netlist => "netlist",
+            ErrorKind::InvalidWaveform => "invalid_waveform",
+            ErrorKind::Cancelled => "cancelled",
+        }
+    }
+}
+
+impl fmt::Display for ErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.code())
+    }
 }
 
 impl MnaError {
@@ -136,6 +215,29 @@ impl MnaError {
         }
         e
     }
+
+    /// The stable [`ErrorKind`] of this error's [`root
+    /// cause`](MnaError::root_cause) — the classification retry logic and
+    /// wire protocols should branch on, rather than matching variants.
+    pub fn kind(&self) -> ErrorKind {
+        match self.root_cause() {
+            MnaError::Numerics(_) => ErrorKind::Numerics,
+            MnaError::StepFailed { .. } => ErrorKind::StepFailed,
+            MnaError::Convergence(_) => ErrorKind::Convergence,
+            MnaError::InvalidNetlist(_) => ErrorKind::InvalidNetlist,
+            MnaError::InvalidOptions(_) => ErrorKind::InvalidOptions,
+            MnaError::UnknownProbe(_) => ErrorKind::UnknownProbe,
+            MnaError::Netlist(_) => ErrorKind::Netlist,
+            MnaError::InvalidWaveform(_) => ErrorKind::InvalidWaveform,
+            MnaError::Cancelled => ErrorKind::Cancelled,
+            MnaError::WithContext { .. } => unreachable!("root_cause strips context layers"),
+        }
+    }
+
+    /// Shorthand for `self.kind().is_retryable()`.
+    pub fn is_retryable(&self) -> bool {
+        self.kind().is_retryable()
+    }
 }
 
 impl fmt::Display for MnaError {
@@ -152,6 +254,7 @@ impl fmt::Display for MnaError {
             MnaError::Netlist(e) => write!(f, "netlist error: {e}"),
             MnaError::InvalidWaveform(msg) => write!(f, "invalid waveform: {msg}"),
             MnaError::Convergence(report) => write!(f, "{report}"),
+            MnaError::Cancelled => write!(f, "analysis cancelled by caller"),
             MnaError::WithContext { context, source } => write!(f, "{context}: {source}"),
         }
     }
@@ -252,5 +355,130 @@ mod tests {
     fn error_is_send_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<MnaError>();
+    }
+
+    /// One representative error per variant, with its expected kind,
+    /// retryability and wire code — every `MnaError` variant appears here,
+    /// so a new variant without a classification fails this test's match
+    /// coverage below.
+    fn classified_examples() -> Vec<(MnaError, ErrorKind, bool, &'static str)> {
+        vec![
+            (
+                MnaError::from(NumericsError::SingularMatrix {
+                    column: 0,
+                    pivot: 0.0,
+                }),
+                ErrorKind::Numerics,
+                true,
+                "numerics",
+            ),
+            (
+                MnaError::StepFailed {
+                    time: 1.0,
+                    dt: 1e-9,
+                    residual: 0.5,
+                },
+                ErrorKind::StepFailed,
+                true,
+                "step_failed",
+            ),
+            (
+                MnaError::Convergence(Box::new(ConvergenceReport {
+                    time: 0.0,
+                    dt_trajectory: vec![1e-6],
+                    residual: 1.0,
+                    worst_unknowns: vec![],
+                    strategies: vec![RecoveryStrategy::StepHalving],
+                })),
+                ErrorKind::Convergence,
+                true,
+                "convergence",
+            ),
+            (
+                MnaError::InvalidNetlist("empty".into()),
+                ErrorKind::InvalidNetlist,
+                false,
+                "invalid_netlist",
+            ),
+            (
+                MnaError::InvalidOptions("dt <= 0".into()),
+                ErrorKind::InvalidOptions,
+                false,
+                "invalid_options",
+            ),
+            (
+                MnaError::UnknownProbe("v(nowhere)".into()),
+                ErrorKind::UnknownProbe,
+                false,
+                "unknown_probe",
+            ),
+            (
+                MnaError::from(crate::netlist::NetlistError::new(1, 1, "parse")),
+                ErrorKind::Netlist,
+                false,
+                "netlist",
+            ),
+            (
+                MnaError::InvalidWaveform("non-increasing PWL".into()),
+                ErrorKind::InvalidWaveform,
+                false,
+                "invalid_waveform",
+            ),
+            (
+                MnaError::Cancelled,
+                ErrorKind::Cancelled,
+                false,
+                "cancelled",
+            ),
+        ]
+    }
+
+    #[test]
+    fn every_variant_classifies_stably() {
+        for (error, kind, retryable, code) in classified_examples() {
+            assert_eq!(error.kind(), kind, "{error}");
+            assert_eq!(error.is_retryable(), retryable, "{error}");
+            assert_eq!(kind.is_retryable(), retryable, "{error}");
+            assert_eq!(kind.code(), code, "{error}");
+            assert_eq!(kind.to_string(), code, "{error}");
+        }
+        // The example list covers every non-context variant: this match
+        // fails to compile when a variant is added, and the count check
+        // fails when the example list lags behind.
+        let covered = |e: &MnaError| match e {
+            MnaError::Numerics(_)
+            | MnaError::StepFailed { .. }
+            | MnaError::Convergence(_)
+            | MnaError::InvalidNetlist(_)
+            | MnaError::InvalidOptions(_)
+            | MnaError::UnknownProbe(_)
+            | MnaError::Netlist(_)
+            | MnaError::InvalidWaveform(_)
+            | MnaError::Cancelled => true,
+            MnaError::WithContext { .. } => false,
+        };
+        assert_eq!(classified_examples().len(), 9);
+        assert!(classified_examples().iter().all(|(e, ..)| covered(e)));
+    }
+
+    #[test]
+    fn classification_sees_through_context_layers() {
+        let wrapped = MnaError::Cancelled
+            .with_context("card 2")
+            .with_context("job 7");
+        assert_eq!(wrapped.kind(), ErrorKind::Cancelled);
+        let wrapped = MnaError::StepFailed {
+            time: 0.0,
+            dt: 1e-9,
+            residual: 1.0,
+        }
+        .with_context("sweep point 3");
+        assert_eq!(wrapped.kind(), ErrorKind::StepFailed);
+        assert!(wrapped.is_retryable());
+    }
+
+    #[test]
+    fn cancelled_display_names_the_caller() {
+        assert!(MnaError::Cancelled.to_string().contains("cancelled"));
     }
 }

@@ -38,6 +38,9 @@
 //!   pulse, piecewise linear).
 //! * [`options`] — the shared option-validation checker every analysis
 //!   options struct funnels through.
+//! * [`cancel`] — cooperative [`cancel::CancelToken`] cancellation, polled
+//!   at the same step/card boundaries as the
+//!   [`transient::SimulationBudget`] checks.
 //! * [`netlist`] — the SPICE-flavoured text front-end (parse → elaborate →
 //!   build, with `.subckt` subcircuit elaboration and analysis cards), so a
 //!   circuit *and its analyses* are data instead of Rust code;
@@ -76,6 +79,7 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod cancel;
 pub mod circuit;
 pub mod device;
 pub mod devices;
@@ -87,4 +91,4 @@ pub mod waveform;
 
 mod error;
 
-pub use error::{ConvergenceReport, MnaError, RecoveryStrategy};
+pub use error::{ConvergenceReport, ErrorKind, MnaError, RecoveryStrategy};

@@ -832,7 +832,7 @@ impl SteadyStateAnalysis {
             stats.shooting_iterations += 1;
         }
 
-        let result = TransientResult::from_recorded(ws, circuit, stats, false);
+        let result = TransientResult::from_recorded(ws, circuit, stats, Default::default());
         Ok(SteadyStateResult {
             result,
             converged,
@@ -898,6 +898,14 @@ impl SteadyStateAnalysis {
         let mut t = t_from;
         let mut h = nominal;
         while t < t_to - 1e-9 * nominal {
+            // A shooting sweep's partially converged orbit is not a useful
+            // artefact, so — unlike the transient march, which returns its
+            // trace-so-far — cancellation here is an error. Polled at the
+            // same step-boundary granularity as the transient loops
+            // (covering warm-up, the period march and Newton re-launches).
+            if ws.cancel.as_ref().is_some_and(|c| c.poll()) {
+                return Err(MnaError::Cancelled);
+            }
             let remaining = t_to - t;
             let step = if remaining < 1.5 * h { remaining } else { h };
             let t_next = if step == remaining { t_to } else { t + step };

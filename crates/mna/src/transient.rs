@@ -28,6 +28,7 @@
 //! once per run (or once per *sweep*, via
 //! [`TransientAnalysis::run_with`]) and reused across all steps.
 
+use crate::cancel::CancelToken;
 use crate::circuit::{Circuit, NodeId};
 use crate::device::{JacobianView, PatternContext, StampContext};
 use crate::error::{ConvergenceReport, RecoveryStrategy};
@@ -1026,6 +1027,10 @@ pub struct TransientWorkspace {
     /// residual assemblies, Krylov closure solves). `None` — the production
     /// state — costs one branch per consultation site.
     pub(crate) fault: Option<FaultInjector>,
+    /// Optional cooperative cancellation token polled at the same
+    /// step-boundary sites as the budget checks. `None` — the production
+    /// state for uncancellable runs — costs one branch per boundary.
+    pub(crate) cancel: Option<CancelToken>,
 }
 
 /// Number of accepted states the adaptive predictor ring retains: three
@@ -1106,6 +1111,7 @@ impl TransientWorkspace {
             predicted: vec![0.0; n],
             breakpoints: Vec::new(),
             fault: None,
+            cancel: None,
             layout,
         })
     }
@@ -1130,6 +1136,26 @@ impl TransientWorkspace {
     /// The installed fault injector, if any.
     pub fn fault_injector(&self) -> Option<&FaultInjector> {
         self.fault.as_ref()
+    }
+
+    /// Installs a [`CancelToken`] the marching loops poll between steps
+    /// (and the shooting sweep between sub-intervals). Keep a clone of the
+    /// token to fire it; remove it with
+    /// [`TransientWorkspace::take_cancel_token`] — it stays installed
+    /// across runs on this workspace otherwise.
+    pub fn install_cancel_token(&mut self, token: CancelToken) {
+        self.cancel = Some(token);
+    }
+
+    /// Removes and returns the installed cancellation token, restoring the
+    /// uncancellable production state.
+    pub fn take_cancel_token(&mut self) -> Option<CancelToken> {
+        self.cancel.take()
+    }
+
+    /// The installed cancellation token, if any.
+    pub fn cancel_token(&self) -> Option<&CancelToken> {
+        self.cancel.as_ref()
     }
 
     /// The concrete backend this workspace solves with ([`SolverBackend::Auto`]
@@ -1542,7 +1568,7 @@ impl TransientAnalysis {
         ws.times.push(0.0);
         ws.history.extend_from_slice(&ws.x);
 
-        let truncated = match opts.step_control {
+        let stop = match opts.step_control {
             StepControl::Fixed => self.march_fixed(circuit, ws, &mut stats)?,
             StepControl::Adaptive {
                 reltol,
@@ -1551,9 +1577,7 @@ impl TransientAnalysis {
             } => self.march_adaptive(circuit, ws, &mut stats, reltol, abstol, max_dt)?,
         };
 
-        Ok(TransientResult::from_recorded(
-            ws, circuit, stats, truncated,
-        ))
+        Ok(TransientResult::from_recorded(ws, circuit, stats, stop))
     }
 
     /// Damped Newton solve of one candidate step ending at `t_next`.
@@ -1749,21 +1773,26 @@ impl TransientAnalysis {
         circuit: &Circuit,
         ws: &mut TransientWorkspace,
         stats: &mut RunStatistics,
-    ) -> Result<bool, MnaError> {
+    ) -> Result<MarchStop, MnaError> {
         let opts = &self.options;
         let mut last_recorded = 0.0f64;
         let mut t = 0.0f64;
         let mut current_dt = opts.dt;
         let mut first_step = true;
-        let mut truncated = false;
+        let mut stop = MarchStop::default();
         // The dt trajectory at the current time point, tracked only for the
         // recovery layer's failure report (never allocated under the default
         // disabled policy).
         let mut attempted_dts: Vec<f64> = Vec::new();
 
         while t < opts.t_stop - 1e-9 * opts.dt {
+            if ws.cancel.as_ref().is_some_and(|c| c.poll()) {
+                stop.truncated = true;
+                stop.cancelled = true;
+                break;
+            }
             if !opts.budget.is_unlimited() && opts.budget.exhausted_by(stats).is_some() {
-                truncated = true;
+                stop.truncated = true;
                 break;
             }
             // Absorb the final fractional step into the previous one instead
@@ -1834,7 +1863,7 @@ impl TransientAnalysis {
             ws.times.push(t);
             ws.history.extend_from_slice(&ws.x);
         }
-        Ok(truncated)
+        Ok(stop)
     }
 
     /// The LTE-controlled marching loop of [`StepControl::Adaptive`]: a
@@ -1851,10 +1880,10 @@ impl TransientAnalysis {
         reltol: f64,
         abstol: f64,
         max_dt: f64,
-    ) -> Result<bool, MnaError> {
+    ) -> Result<MarchStop, MnaError> {
         let opts = &self.options;
         let n = ws.layout.n;
-        let mut truncated = false;
+        let mut stop = MarchStop::default();
         let mut attempted_dts: Vec<f64> = Vec::new();
 
         // Merge, sort and deduplicate the circuit's source breakpoints once
@@ -1907,8 +1936,13 @@ impl TransientAnalysis {
         let dip_floor = (opts.dt * DIP_FLOOR_FRACTION).max(opts.min_dt);
 
         while t < opts.t_stop - stop_eps {
+            if ws.cancel.as_ref().is_some_and(|c| c.poll()) {
+                stop.truncated = true;
+                stop.cancelled = true;
+                break;
+            }
             if !opts.budget.is_unlimited() && opts.budget.exhausted_by(stats).is_some() {
-                truncated = true;
+                stop.truncated = true;
                 break;
             }
             // Advance past breakpoints already landed on.
@@ -2178,7 +2212,7 @@ impl TransientAnalysis {
             ws.times.push(t);
             ws.history.extend_from_slice(&ws.x);
         }
-        Ok(truncated)
+        Ok(stop)
     }
 
     /// The escalation ladder behind a step that exhausted halving: gmin
@@ -2445,6 +2479,17 @@ const MIN_ADAPTIVE_STEP_FRACTION: f64 = 1e-1;
 /// `min_dt`.
 const DIP_FLOOR_FRACTION: f64 = 1e-3;
 
+/// How a marching loop ended early, if it did — plumbing between the march
+/// loops and [`TransientResult::from_recorded`].
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct MarchStop {
+    /// The march stopped before `t_stop` (budget exhausted or cancelled).
+    pub(crate) truncated: bool,
+    /// The early stop came from a fired [`CancelToken`] (implies
+    /// `truncated`).
+    pub(crate) cancelled: bool,
+}
+
 /// The recorded outcome of a transient analysis.
 ///
 /// Samples are stored in one flat row-major buffer (`unknowns` values per
@@ -2460,6 +2505,7 @@ pub struct TransientResult {
     probes: HashMap<String, (usize, Vec<String>)>,
     statistics: RunStatistics,
     truncated: bool,
+    cancelled: bool,
 }
 
 impl TransientResult {
@@ -2469,7 +2515,7 @@ impl TransientResult {
         ws: &mut TransientWorkspace,
         circuit: &Circuit,
         statistics: RunStatistics,
-        truncated: bool,
+        stop: MarchStop,
     ) -> Self {
         TransientResult {
             times: std::mem::take(&mut ws.times),
@@ -2478,15 +2524,25 @@ impl TransientResult {
             node_names: circuit.node_names().to_vec(),
             probes: ws.layout.probes.clone(),
             statistics,
-            truncated,
+            truncated: stop.truncated,
+            cancelled: stop.cancelled,
         }
     }
 
-    /// `true` when the march stopped early because a
-    /// [`SimulationBudget`] limit was reached: the recorded trace is valid
+    /// `true` when the march stopped early — because a
+    /// [`SimulationBudget`] limit was reached or a
+    /// [`CancelToken`] fired: the recorded trace is valid
     /// but ends before `t_stop`.
     pub fn truncated(&self) -> bool {
         self.truncated
+    }
+
+    /// `true` when the early stop came from a fired
+    /// [`CancelToken`] (in which case
+    /// [`TransientResult::truncated`] is also `true`): the trace recorded
+    /// up to the cancellation boundary is valid.
+    pub fn cancelled(&self) -> bool {
+        self.cancelled
     }
 
     /// Recorded sample times (the first sample is the all-zero initial state

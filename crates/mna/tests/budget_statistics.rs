@@ -1,0 +1,163 @@
+//! Regression tests for the budget-accounting contract of
+//! [`AnalysisEngine::run_budgeted`]: the outcome-level
+//! [`RunStatistics`] must equal the manual card-by-card sum of the
+//! per-result statistics (including for truncated runs), and a budget
+//! that runs dry **inside the final card** must be reported as a
+//! truncation instead of a complete outcome.
+
+use harvester_mna::analysis::{Analysis, AnalysisEngine, AnalysisPlan, AnalysisResult, OpOptions};
+use harvester_mna::circuit::{Circuit, NodeId};
+use harvester_mna::devices::{Capacitor, Diode, Resistor, VoltageSource};
+use harvester_mna::transient::{RunStatistics, SimulationBudget, TransientOptions};
+use harvester_mna::waveform::Waveform;
+
+/// Half-wave rectifier: the standard nonlinear fixture.
+fn rectifier() -> (Circuit, NodeId) {
+    let mut circuit = Circuit::new();
+    let vin = circuit.node("in");
+    let out = circuit.node("out");
+    circuit.add(VoltageSource::new(
+        "V",
+        vin,
+        Circuit::GROUND,
+        Waveform::sine(3.0, 1000.0),
+    ));
+    circuit.add(Diode::new("D", vin, out));
+    circuit.add(Capacitor::new("C", out, Circuit::GROUND, 4.7e-7));
+    circuit.add(Resistor::new("Rload", out, Circuit::GROUND, 10e3));
+    (circuit, out)
+}
+
+fn short_options() -> TransientOptions {
+    TransientOptions {
+        t_stop: 1e-4,
+        dt: 1e-5,
+        min_dt: 2e-6,
+        ..TransientOptions::default()
+    }
+}
+
+fn plan() -> AnalysisPlan {
+    AnalysisPlan::from_cards(vec![
+        Analysis::Op(OpOptions::default()),
+        Analysis::Tran(short_options()),
+        Analysis::Tran(short_options()),
+    ])
+    .unwrap()
+}
+
+/// Sums per-card statistics by hand, exactly as budget accounting should.
+fn manual_sum(results: &[AnalysisResult]) -> RunStatistics {
+    let mut sum = RunStatistics::default();
+    for result in results {
+        sum.merge(&result.statistics());
+    }
+    sum
+}
+
+#[test]
+fn outcome_statistics_equal_manual_card_sums_when_complete() {
+    let (circuit, _) = rectifier();
+    let mut engine = AnalysisEngine::new();
+    let outcome = engine
+        .run_budgeted(&circuit, &plan(), SimulationBudget::UNLIMITED)
+        .unwrap();
+    assert!(outcome.is_complete());
+    assert_eq!(
+        outcome.results().statistics(),
+        manual_sum(outcome.results().results()),
+        "aggregate statistics must be the exact sum of the per-card statistics"
+    );
+}
+
+#[test]
+fn outcome_statistics_equal_manual_card_sums_when_truncated() {
+    let (circuit, _) = rectifier();
+    let mut engine = AnalysisEngine::new();
+    // Dry up mid-plan: the partial results kept on the outcome must still
+    // account for every counter up to the truncation point.
+    let tight = SimulationBudget {
+        max_accepted_steps: Some(2),
+        ..SimulationBudget::UNLIMITED
+    };
+    let outcome = engine.run_budgeted(&circuit, &plan(), tight).unwrap();
+    assert!(!outcome.is_complete());
+    assert_eq!(
+        outcome.results().statistics(),
+        manual_sum(outcome.results().results()),
+        "truncated outcomes must merge per-card statistics up to the cut"
+    );
+}
+
+#[test]
+fn budget_dry_inside_the_final_card_is_reported_as_truncation() {
+    let (circuit, _) = rectifier();
+    let mut engine = AnalysisEngine::new();
+
+    // Baseline: how much work the full plan takes.
+    let complete = engine
+        .run_budgeted(&circuit, &plan(), SimulationBudget::UNLIMITED)
+        .unwrap();
+    let full = complete.results().statistics();
+    let per_tran = complete.results().results()[1].statistics().accepted_steps;
+    assert!(
+        per_tran >= 4,
+        "fixture must take several steps per tran card"
+    );
+
+    // A budget that survives the op and the first tran card but runs dry
+    // midway through the second (final) tran card. Before the fix this was
+    // reported as a complete outcome because the boundary check only ran
+    // ahead of a *next* card.
+    let budget = SimulationBudget {
+        max_accepted_steps: Some(full.accepted_steps - 2),
+        ..SimulationBudget::UNLIMITED
+    };
+    let outcome = engine.run_budgeted(&circuit, &plan(), budget).unwrap();
+
+    let truncation = outcome
+        .truncation()
+        .expect("a budget that dries up inside the final card must be reported");
+    assert_eq!(
+        truncation.card, 3,
+        "all three cards ran; the plan-length sentinel marks a mid-final-card cut"
+    );
+    assert_eq!(truncation.reason, "accepted steps");
+    assert_eq!(outcome.results().results().len(), 3);
+    let last = match outcome.results().results().last() {
+        Some(AnalysisResult::Tran(t)) => t,
+        other => panic!("final card must be a tran result, got {other:?}"),
+    };
+    assert!(
+        last.truncated(),
+        "the final card's own trace must be truncated"
+    );
+    assert_eq!(
+        outcome.results().statistics(),
+        manual_sum(outcome.results().results()),
+        "budget accounting must stay exact through a final-card cut"
+    );
+}
+
+#[test]
+fn complete_final_card_at_exact_budget_is_not_flagged() {
+    let (circuit, _) = rectifier();
+    let mut engine = AnalysisEngine::new();
+    let complete = engine
+        .run_budgeted(&circuit, &plan(), SimulationBudget::UNLIMITED)
+        .unwrap();
+    let full = complete.results().statistics();
+
+    // A budget met *exactly* by a fully completed plan: `exhausted_by` is
+    // `>=`-based, but nothing was cut short, so the outcome stays complete.
+    let exact = SimulationBudget {
+        max_accepted_steps: Some(full.accepted_steps),
+        ..SimulationBudget::UNLIMITED
+    };
+    let outcome = engine.run_budgeted(&circuit, &plan(), exact).unwrap();
+    assert!(
+        outcome.is_complete(),
+        "an exactly-spent budget with an untruncated final trace is complete"
+    );
+    assert_eq!(outcome.results().results().len(), 3);
+}

@@ -1,0 +1,109 @@
+//! Content-addressed design-point cache keys.
+//!
+//! A GA-style optimisation loop re-evaluates the same design points many
+//! times (elitism, converged populations, repeated sweeps). The service
+//! deduplicates that work with a cache keyed by *what will actually run*:
+//!
+//! 1. the submitted netlist is parsed and **re-printed canonically** with
+//!    [`harvester_mna::netlist::print_with_plan`], so formatting,
+//!    comments, card order quirks and equivalent number spellings all
+//!    collapse onto one identity (`build(print(c))` reproduces `c`
+//!    bit-identically, so the canonical text pins the simulation inputs
+//!    exactly);
+//! 2. the [`SimulationBudget`] is appended axis by axis (a tighter budget
+//!    legitimately produces a different — truncated — outcome, so it is
+//!    part of the identity; the deadline is **not**, because only complete
+//!    outcomes are ever cached);
+//! 3. the whole byte string is hashed with FNV-1a (64-bit).
+//!
+//! Poison-proofing is the cache's defining property and lives in the
+//! service state machine: only [`JobState::Done`](crate::job::JobState)
+//! outcomes are inserted, `Failed`/`Partial`/`Cancelled`/`TimedOut` never
+//! are, and jobs carrying test injectors bypass the cache entirely. The
+//! single-flight protocol (N identical concurrent submissions run once)
+//! also lives there — see `docs/service.md`.
+
+use harvester_mna::transient::SimulationBudget;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Content-addressed identity of a design point: canonical netlist + plan
+/// text and the simulation budget, FNV-1a hashed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CacheKey(u64);
+
+impl CacheKey {
+    /// Derives the key for a canonically printed netlist (circuit and
+    /// analysis cards) and a budget.
+    pub fn of(canonical_netlist: &str, budget: &SimulationBudget) -> CacheKey {
+        let mut hash = FNV_OFFSET;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                hash ^= u64::from(b);
+                hash = hash.wrapping_mul(FNV_PRIME);
+            }
+        };
+        eat(canonical_netlist.as_bytes());
+        for axis in [
+            budget.max_newton_iterations,
+            budget.max_factorizations,
+            budget.max_accepted_steps,
+        ] {
+            match axis {
+                Some(limit) => {
+                    eat(&[1]);
+                    eat(&limit.to_le_bytes());
+                }
+                None => eat(&[0]),
+            }
+        }
+        CacheKey(hash)
+    }
+
+    /// The raw 64-bit hash value.
+    pub fn value(self) -> u64 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for CacheKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_is_deterministic_and_content_sensitive() {
+        let budget = SimulationBudget::UNLIMITED;
+        let a = CacheKey::of("R1 in out 1k\n.tran 1u 1m\n", &budget);
+        let b = CacheKey::of("R1 in out 1k\n.tran 1u 1m\n", &budget);
+        let c = CacheKey::of("R1 in out 2k\n.tran 1u 1m\n", &budget);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn budget_axes_are_part_of_the_identity() {
+        let tight = SimulationBudget {
+            max_accepted_steps: Some(10),
+            ..SimulationBudget::UNLIMITED
+        };
+        let text = "R1 in out 1k\n";
+        assert_ne!(
+            CacheKey::of(text, &SimulationBudget::UNLIMITED),
+            CacheKey::of(text, &tight)
+        );
+        // The same numeric limit on a different axis is a different key
+        // (the None/Some tags prevent axis collisions).
+        let other_axis = SimulationBudget {
+            max_newton_iterations: Some(10),
+            ..SimulationBudget::UNLIMITED
+        };
+        assert_ne!(CacheKey::of(text, &tight), CacheKey::of(text, &other_axis));
+    }
+}

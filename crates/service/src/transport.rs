@@ -1,0 +1,68 @@
+//! The transport abstraction between callers and a [`SimulationService`].
+//!
+//! The service itself is transport-agnostic: everything a remote front-end
+//! (HTTP, gRPC, a Unix socket) would need is the four-method [`Transport`]
+//! contract, and the job identity, state and report types are all plain
+//! data. This build environment has no network, so the one shipped
+//! implementation is [`InProcessClient`] — the same contract, dispatched
+//! as direct calls on a shared service.
+
+use std::sync::Arc;
+
+use crate::job::{JobId, JobReport, JobSpec};
+use crate::service::SimulationService;
+
+/// The caller-side contract of a simulation job service.
+pub trait Transport {
+    /// Submits a job and returns its identifier immediately (the job runs
+    /// asynchronously).
+    fn submit(&self, spec: JobSpec) -> JobId;
+
+    /// Non-blocking snapshot of a job, or `None` for an unknown id.
+    fn status(&self, id: JobId) -> Option<JobReport>;
+
+    /// Requests cancellation; `true` if the job was still live.
+    fn cancel(&self, id: JobId) -> bool;
+
+    /// Blocks until the job is terminal and returns its report, or `None`
+    /// for an unknown id.
+    fn wait(&self, id: JobId) -> Option<JobReport>;
+}
+
+/// An in-process [`Transport`]: direct calls on a shared
+/// [`SimulationService`]. Clone freely; all clones talk to the same
+/// service.
+#[derive(Debug, Clone)]
+pub struct InProcessClient {
+    service: Arc<SimulationService>,
+}
+
+impl InProcessClient {
+    /// A client for `service`.
+    pub fn new(service: Arc<SimulationService>) -> Self {
+        InProcessClient { service }
+    }
+
+    /// The underlying service (e.g. for [`SimulationService::stats`]).
+    pub fn service(&self) -> &Arc<SimulationService> {
+        &self.service
+    }
+}
+
+impl Transport for InProcessClient {
+    fn submit(&self, spec: JobSpec) -> JobId {
+        self.service.submit(spec)
+    }
+
+    fn status(&self, id: JobId) -> Option<JobReport> {
+        self.service.status(id)
+    }
+
+    fn cancel(&self, id: JobId) -> bool {
+        self.service.cancel(id)
+    }
+
+    fn wait(&self, id: JobId) -> Option<JobReport> {
+        self.service.wait(id)
+    }
+}

@@ -1,0 +1,292 @@
+//! Design-point cache semantics: bit-identical warm hits, single-flight
+//! deduplication, leader-failure promotion, and the poison-proofing
+//! guarantee that only complete outcomes are ever cached.
+
+use std::time::Duration;
+
+use harvester_mna::analysis::AnalysisResult;
+use harvester_mna::transient::SimulationBudget;
+use harvester_numerics::fault::{Fault, FaultInjector};
+use harvester_service::{JobSpec, JobState, ServiceConfig, SimulationService};
+use proptest::prelude::*;
+
+const RECTIFIER: &str = "\
+Vin in 0 SIN(0 3 1000)
+D1 in out
+C1 out 0 4.7e-7
+Rload out 0 10k
+.tran 1e-5 1e-4
+";
+
+const LONG_RECTIFIER: &str = "\
+Vin in 0 SIN(0 3 1000)
+D1 in out
+C1 out 0 4.7e-7
+Rload out 0 10k
+.tran 1e-5 2e-2
+";
+
+/// Long enough (tens of milliseconds even in release builds) for a cancel
+/// or a short deadline to reliably land mid-run.
+const MARATHON_RECTIFIER: &str = "\
+Vin in 0 SIN(0 3 1000)
+D1 in out
+C1 out 0 4.7e-7
+Rload out 0 10k
+.tran 1e-5 1
+";
+
+fn service_with(workers: usize) -> SimulationService {
+    SimulationService::new(ServiceConfig {
+        workers,
+        ..ServiceConfig::default()
+    })
+}
+
+/// Flattens the transient trace of `report` into raw bit patterns, so
+/// equality means *bit-identical*, not merely approximately equal.
+fn trace_bits(report: &harvester_service::JobReport) -> Vec<u64> {
+    let outcome = report.outcome.as_ref().expect("outcome present");
+    let mut bits = Vec::new();
+    for result in outcome.results().results() {
+        if let AnalysisResult::Tran(t) = result {
+            bits.extend(t.times().iter().map(|v| v.to_bits()));
+            let out = t.voltage_by_name("out").expect("node exists");
+            bits.extend(out.iter().map(|v| v.to_bits()));
+        }
+    }
+    assert!(!bits.is_empty(), "fixture produces a transient trace");
+    bits
+}
+
+#[test]
+fn warm_hit_is_bit_identical_to_the_cold_run() {
+    let service = service_with(1);
+    let cold = service
+        .wait(service.submit(JobSpec::new(RECTIFIER)))
+        .unwrap();
+    assert_eq!(cold.state, JobState::Done);
+    assert!(!cold.from_cache);
+
+    let warm = service
+        .wait(service.submit(JobSpec::new(RECTIFIER)))
+        .unwrap();
+    assert_eq!(warm.state, JobState::Done);
+    assert!(
+        warm.from_cache,
+        "second identical submission hits the cache"
+    );
+    assert!(trace_bits(&cold) == trace_bits(&warm));
+
+    // And identical to a cold run on a completely fresh service: the hit
+    // returns exactly what a dedicated evaluation would have produced.
+    let fresh = service_with(1);
+    let independent = fresh.wait(fresh.submit(JobSpec::new(RECTIFIER))).unwrap();
+    assert!(trace_bits(&warm) == trace_bits(&independent));
+
+    let stats = service.stats();
+    assert_eq!(stats.evaluations, 1, "one evaluation served both jobs");
+    assert_eq!(stats.cache_hits, 1);
+    assert_eq!(stats.cache_misses, 1);
+}
+
+#[test]
+fn whitespace_and_comment_variants_share_one_cache_entry() {
+    // The key is derived from the canonical re-print of the parsed
+    // netlist, so formatting noise does not defeat the cache.
+    let noisy = "\
+* half-wave rectifier, reformatted
+Vin   in 0   SIN( 0 3 1000 )
+
+D1 in out
+C1 out 0 4.7e-7
+Rload out 0 10k
+.tran 1e-5 1e-4
+";
+    let service = service_with(1);
+    service.wait(service.submit(JobSpec::new(RECTIFIER)));
+    let variant = service.wait(service.submit(JobSpec::new(noisy))).unwrap();
+    assert_eq!(variant.state, JobState::Done);
+    assert!(variant.from_cache);
+    assert_eq!(service.stats().evaluations, 1);
+}
+
+#[test]
+fn different_budgets_are_different_design_points() {
+    let service = service_with(1);
+    service.wait(service.submit(JobSpec::new(RECTIFIER)));
+    let mut capped = JobSpec::new(RECTIFIER);
+    capped.budget = SimulationBudget {
+        max_newton_iterations: Some(1_000_000),
+        ..SimulationBudget::UNLIMITED
+    };
+    let report = service.wait(service.submit(capped)).unwrap();
+    assert!(!report.from_cache, "a different budget must re-evaluate");
+    assert_eq!(service.stats().evaluations, 2);
+}
+
+#[test]
+fn concurrent_identical_submissions_are_single_flighted() {
+    // Every submission after the first becomes a follower of the
+    // in-flight leader; one evaluation serves all five jobs and every
+    // follower's outcome is the leader's, bit for bit.
+    let service = service_with(2);
+    let ids: Vec<_> = (0..5)
+        .map(|_| service.submit(JobSpec::new(LONG_RECTIFIER)))
+        .collect();
+    let reports: Vec<_> = ids
+        .into_iter()
+        .map(|id| service.wait(id).unwrap())
+        .collect();
+    for report in &reports {
+        assert_eq!(report.state, JobState::Done);
+    }
+    let leader_bits = trace_bits(&reports[0]);
+    for follower in &reports[1..] {
+        assert!(follower.from_cache);
+        assert!(trace_bits(follower) == leader_bits);
+    }
+    let stats = service.stats();
+    assert_eq!(stats.evaluations, 1, "single-flight: one run for five jobs");
+    assert_eq!(stats.cache_hits, 4);
+}
+
+#[test]
+fn partial_results_are_never_cached() {
+    let service = service_with(1);
+    let mut spec = JobSpec::new(RECTIFIER);
+    spec.budget = SimulationBudget {
+        max_accepted_steps: Some(2),
+        ..SimulationBudget::UNLIMITED
+    };
+    let first = service.wait(service.submit(spec.clone())).unwrap();
+    assert_eq!(first.state, JobState::Partial);
+    let second = service.wait(service.submit(spec)).unwrap();
+    assert_eq!(second.state, JobState::Partial);
+    assert!(!second.from_cache, "a truncated outcome must not be served");
+    assert_eq!(service.stats().evaluations, 2);
+}
+
+#[test]
+fn cancelled_results_are_never_cached() {
+    let service = service_with(1);
+    let id = service.submit(JobSpec::new(MARATHON_RECTIFIER));
+    loop {
+        if service.status(id).unwrap().state != JobState::Queued {
+            break;
+        }
+        std::thread::yield_now();
+    }
+    service.cancel(id);
+    let cancelled = service.wait(id).unwrap();
+    assert_eq!(cancelled.state, JobState::Cancelled);
+
+    // A cached entry would resolve the resubmission instantly with
+    // `from_cache` set; cancelling it right away keeps the check cheap
+    // without re-marching the whole study.
+    let retry_id = service.submit(JobSpec::new(MARATHON_RECTIFIER));
+    service.cancel(retry_id);
+    let retry = service.wait(retry_id).unwrap();
+    assert!(!retry.from_cache, "the cancelled run left nothing behind");
+}
+
+#[test]
+fn timed_out_results_are_never_cached() {
+    let service = service_with(1);
+    let mut spec = JobSpec::new(MARATHON_RECTIFIER);
+    spec.deadline = Some(Duration::from_millis(20));
+    let first = service.wait(service.submit(spec)).unwrap();
+    assert_eq!(first.state, JobState::TimedOut);
+
+    // Same cheap poison check as the cancellation test: resubmit, cancel
+    // immediately, and confirm nothing was served from cache.
+    let retry_id = service.submit(JobSpec::new(MARATHON_RECTIFIER));
+    service.cancel(retry_id);
+    let retry = service.wait(retry_id).unwrap();
+    assert!(!retry.from_cache, "the timed-out run left nothing behind");
+}
+
+#[test]
+fn injected_failures_never_poison_the_cache() {
+    // A job with an injector bypasses the cache entirely; after it fails,
+    // the same design point evaluated cleanly must run fresh — and only
+    // *that* complete run becomes the cached entry.
+    let service = service_with(1);
+    let mut inj = FaultInjector::new();
+    inj.arm_always(Fault::NanResidual);
+    inj.arm_always(Fault::SingularFactorization);
+    let mut poisoned = JobSpec::new(RECTIFIER);
+    poisoned.fault = Some(inj);
+    let failed = service.wait(service.submit(poisoned)).unwrap();
+    assert_eq!(failed.state, JobState::Failed);
+
+    let clean = service
+        .wait(service.submit(JobSpec::new(RECTIFIER)))
+        .unwrap();
+    assert_eq!(clean.state, JobState::Done);
+    assert!(
+        !clean.from_cache,
+        "the failed run must not have been cached"
+    );
+
+    let warm = service
+        .wait(service.submit(JobSpec::new(RECTIFIER)))
+        .unwrap();
+    assert!(warm.from_cache, "the clean run is cached as usual");
+    assert!(trace_bits(&clean) == trace_bits(&warm));
+}
+
+#[test]
+fn leader_failure_promotes_the_follower() {
+    // Two identical budget-truncated submissions: the leader finishes
+    // Partial (not cacheable), so its follower is promoted and evaluated
+    // in its own right instead of inheriting the truncated outcome.
+    let service = service_with(1);
+    let mut spec = JobSpec::new(LONG_RECTIFIER);
+    spec.budget = SimulationBudget {
+        max_accepted_steps: Some(3),
+        ..SimulationBudget::UNLIMITED
+    };
+    let a = service.submit(spec.clone());
+    let b = service.submit(spec);
+    let ra = service.wait(a).unwrap();
+    let rb = service.wait(b).unwrap();
+    assert_eq!(ra.state, JobState::Partial);
+    assert_eq!(rb.state, JobState::Partial);
+    assert!(!rb.from_cache, "promoted follower ran for itself");
+    let stats = service.stats();
+    assert_eq!(stats.evaluations, 2);
+    assert_eq!(stats.cache_hits, 0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Poison-proofing as a property: for a random step budget, submitting
+    /// the same design point twice gives the same terminal state, the
+    /// second run is served from cache *iff* the first completed, and a
+    /// cached outcome is bit-identical to a cold evaluation on a fresh
+    /// service.
+    #[test]
+    fn only_complete_outcomes_are_ever_served_from_cache(steps in 1usize..40) {
+        let mut spec = JobSpec::new(RECTIFIER);
+        spec.budget = SimulationBudget {
+            max_accepted_steps: Some(steps),
+            ..SimulationBudget::UNLIMITED
+        };
+
+        let service = service_with(1);
+        let first = service.wait(service.submit(spec.clone())).unwrap();
+        let second = service.wait(service.submit(spec.clone())).unwrap();
+
+        prop_assert!(first.state == second.state);
+        prop_assert!(second.from_cache == (first.state == JobState::Done));
+        if second.from_cache {
+            let fresh = service_with(1);
+            let cold = fresh.wait(fresh.submit(spec)).unwrap();
+            prop_assert!(trace_bits(&second) == trace_bits(&cold));
+        } else {
+            prop_assert!(service.stats().evaluations == 2);
+        }
+    }
+}

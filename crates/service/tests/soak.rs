@@ -1,0 +1,133 @@
+//! Soak test: a burst of mixed jobs — healthy, budget-truncated,
+//! fault-injected, panicking, cancelled — through a small worker pool.
+//! Every job must reach a terminal state and no worker thread may die.
+//!
+//! By default one 200-job batch runs (fast enough for the ordinary test
+//! suite). Setting `SERVICE_SOAK_SECONDS` keeps submitting batches until
+//! that much wall-clock time has elapsed, which is how CI turns this into
+//! a 30-second endurance run.
+
+use std::time::{Duration, Instant};
+
+use harvester_mna::transient::SimulationBudget;
+use harvester_numerics::fault::{Fault, FaultInjector};
+use harvester_service::{
+    silence_injected_panics, JobSpec, JobState, PanicInjector, ServiceConfig, SimulationService,
+};
+
+const BATCH: usize = 200;
+
+/// Netlist for design point `variant`: the load resistor value varies, so
+/// distinct variants are distinct cache keys while repeats of the same
+/// variant exercise hits and single-flight parking.
+fn netlist(variant: usize) -> String {
+    format!(
+        "Vin in 0 SIN(0 3 1000)\n\
+         D1 in out\n\
+         C1 out 0 4.7e-7\n\
+         Rload out 0 {}k\n\
+         .tran 1e-5 1e-4\n",
+        1 + variant
+    )
+}
+
+/// The job mix for slot `i` of a batch. Roughly 10% carry injected faults
+/// or panics; a few more are budget-starved or born with microscopic
+/// deadlines.
+fn spec_for(i: usize) -> JobSpec {
+    let mut spec = JobSpec::new(netlist(i % 7));
+    match i % 20 {
+        // ~5%: solver faults that survive escalation — Failed after the
+        // full retry ladder.
+        3 => {
+            let mut inj = FaultInjector::new();
+            inj.arm_always(Fault::NanResidual);
+            inj.arm_always(Fault::SingularFactorization);
+            spec.fault = Some(inj);
+        }
+        // ~5%: evaluation panics — Failed, worker survives.
+        11 => spec.panic = Some(PanicInjector::armed(1)),
+        // ~5%: transient fault on the first attempt only — retried to Done.
+        17 => {
+            let mut inj = FaultInjector::new();
+            inj.arm_window(Fault::SingularFactorization, 1, 60);
+            spec.fault = Some(inj);
+        }
+        // ~5%: budget-starved — Partial.
+        8 => {
+            spec.budget = SimulationBudget {
+                max_accepted_steps: Some(2),
+                ..SimulationBudget::UNLIMITED
+            };
+        }
+        // ~5%: a deadline that has effectively already expired.
+        14 => spec.deadline = Some(Duration::from_nanos(1)),
+        _ => {}
+    }
+    spec
+}
+
+#[test]
+fn soak_mixed_burst_all_jobs_terminate_and_no_worker_dies() {
+    silence_injected_panics();
+    let service = SimulationService::new(ServiceConfig {
+        workers: 4,
+        ..ServiceConfig::default()
+    });
+
+    let soak_for = std::env::var("SERVICE_SOAK_SECONDS")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .map(Duration::from_secs);
+    let started = Instant::now();
+    let mut submitted = 0usize;
+
+    loop {
+        let ids: Vec<_> = (0..BATCH)
+            .map(|i| {
+                let id = service.submit(spec_for(i));
+                // ~4%: cancelled right after submission.
+                if i % 23 == 5 {
+                    service.cancel(id);
+                }
+                id
+            })
+            .collect();
+        submitted += BATCH;
+
+        for id in ids {
+            let report = service.wait(id).expect("submitted job is known");
+            assert!(
+                report.state.is_terminal(),
+                "wait returned a non-terminal job: {}",
+                report.state
+            );
+        }
+
+        match soak_for {
+            Some(d) if started.elapsed() < d => continue,
+            _ => break,
+        }
+    }
+
+    let stats = service.stats();
+    assert_eq!(stats.submitted, submitted as u64);
+    assert_eq!(
+        stats.completed + stats.partial + stats.failed + stats.cancelled + stats.timed_out,
+        submitted as u64,
+        "every job reached exactly one terminal state"
+    );
+    assert_eq!(stats.worker_deaths, 0, "panic isolation must hold");
+    // The cancel stream can race a couple of the injected jobs into
+    // Cancelled instead of Failed, so these bounds are deliberately loose.
+    assert!(stats.panics_caught >= (submitted / 25) as u64);
+    assert!(stats.failed >= (submitted / 25) as u64);
+    assert!(stats.retries > 0, "the retry ladder was exercised");
+    assert!(stats.cache_hits > 0, "repeat design points hit the cache");
+
+    // The pool still serves clean work after the whole storm.
+    let after = service
+        .wait(service.submit(JobSpec::new(netlist(0))))
+        .unwrap();
+    assert!(matches!(after.state, JobState::Done));
+}

@@ -23,6 +23,10 @@
 //!   simulations over worker threads with bit-identical results.
 //! * [`experiments`] — one entry point per table and figure of the paper's
 //!   evaluation.
+//! * [`service`] — the fault-tolerant simulation job service: a queue and
+//!   worker pool with wall-clock deadlines, retry with recovery-policy
+//!   escalation, panic isolation and a poison-proof content-addressed
+//!   design-point cache (see `docs/service.md`).
 //!
 //! # Quickstart
 //!
@@ -55,5 +59,6 @@ pub use harvester_experiments as experiments;
 pub use harvester_mna as mna;
 pub use harvester_numerics as numerics;
 pub use harvester_optim as optim;
+pub use harvester_service as service;
 
 pub use harvester_mna::netlist;

@@ -1,0 +1,94 @@
+//! No-hang property for cooperative cancellation: firing a [`CancelToken`]
+//! after a random number of polls always *returns* — a cancelled outcome
+//! carrying the valid trace-so-far, or (when the token fires too late) the
+//! ordinary completed result — and never hangs or panics. The runtime
+//! mirror of `budget_no_hang`, with the cancellation point taking the place
+//! of the budget axis.
+//!
+//! `CancelToken::cancelled_after(n)` makes the firing deterministic: the
+//! token cancels itself on its `n`-th poll, so each case pins the exact
+//! step/card boundary where the engine must stop without any cross-thread
+//! timing.
+
+use energy_harvester::mna::analysis::{
+    Analysis, AnalysisEngine, AnalysisPlan, AnalysisResult, CANCELLED_REASON,
+};
+use energy_harvester::mna::cancel::CancelToken;
+use energy_harvester::mna::netlist;
+use energy_harvester::mna::transient::SimulationBudget;
+use proptest::prelude::*;
+
+/// Keeps `.op` and `.tran` cards (with sane iteration caps); `.pss` and
+/// `.ac` are dropped for fuzz-case speed, exactly as in `budget_no_hang`.
+fn marchable_cards(plan: &AnalysisPlan) -> Vec<Analysis> {
+    plan.cards()
+        .iter()
+        .filter_map(|card| match *card {
+            Analysis::Op(mut o) => {
+                o.max_newton_iterations = o.max_newton_iterations.min(200);
+                Some(Analysis::Op(o))
+            }
+            Analysis::Tran(mut t) => {
+                t.max_newton_iterations = t.max_newton_iterations.min(200);
+                Some(Analysis::Tran(t))
+            }
+            Analysis::Pss(_) | Analysis::Ac(_) => None,
+        })
+        .collect()
+}
+
+/// A transient trace is self-consistent when its time axis is finite and
+/// strictly increasing — the shape every consumer (averaging, metrics,
+/// plotting) relies on, whether or not the run was cut short.
+fn assert_valid_trace(result: &AnalysisResult) -> Result<(), TestCaseError> {
+    if let AnalysisResult::Tran(t) = result {
+        let times = t.times();
+        prop_assert!(!times.is_empty(), "even a cancelled run keeps t = 0");
+        prop_assert!(times.iter().all(|t| t.is_finite()));
+        prop_assert!(
+            times.windows(2).all(|w| w[0] < w[1]),
+            "trace-so-far must stay strictly increasing"
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Cancellation at a random poll index always returns promptly with a
+    /// consistent outcome: a cancelled truncation (prefix results all
+    /// valid) or, when the token never ripened, the complete result set.
+    #[test]
+    fn cancelled_plans_always_return(fire_at in 1usize..400) {
+        let fire_at = fire_at as u64;
+        let source = energy_harvester::experiments::arrays::coupled_array_netlist(2);
+        let (circuit, plan) = netlist::build_with_plan(&source)
+            .expect("the fixture netlist is valid");
+        let plan = AnalysisPlan::from_cards(marchable_cards(&plan))
+            .expect("filtered cards stay valid");
+
+        let token = CancelToken::cancelled_after(fire_at);
+        let mut engine = AnalysisEngine::new();
+        engine.install_cancel_token(token.clone());
+        let outcome = engine
+            .run_budgeted(&circuit, &plan, SimulationBudget::UNLIMITED)
+            .expect("cancellation is an outcome, not an error");
+
+        prop_assert!(outcome.results().len() <= plan.len());
+        for result in outcome.results().results() {
+            assert_valid_trace(result)?;
+        }
+        if let Some(cut) = outcome.truncation() {
+            prop_assert!(cut.reason == CANCELLED_REASON);
+            prop_assert!(cut.card <= plan.len());
+            prop_assert!(outcome.cancelled());
+            prop_assert!(token.is_cancelled());
+        } else {
+            // The run finished before the token ripened: every poll was
+            // counted, none reached the threshold.
+            prop_assert!(outcome.is_complete());
+            prop_assert!(token.polls() < fire_at);
+        }
+    }
+}
